@@ -1,0 +1,128 @@
+// Ablation A4: critical sections, PCP blocking, and Eq. 15.
+//
+// Half of every subtask's demand is a critical section on a shared
+// per-stage lock, scheduled under the priority ceiling protocol. Task
+// resolution is LOW (deadlines only ~4x total compute) so blocking is a
+// material fraction of the deadline. Admission declares a per-stage
+// normalized blocking bound beta and enforces it: arrivals whose own
+// critical section would exceed beta * D are rejected outright, so the
+// declared beta honestly bounds B_ij/D_i over all admitted tasks, and the
+// region test uses Eq. 15's bound alpha (1 - sum beta_j). The ablation
+// also runs the same workload against the independent-task region
+// (beta = 0) to show the cost/soundness difference.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workload/pipeline_workload.h"
+#include "workload/arrival_scheduler.h"
+
+namespace {
+
+using namespace frap;
+
+struct BlockingResult {
+  double util = 0;
+  double accept = 0;
+  double miss = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t preemptions = 0;
+};
+
+constexpr double kCriticalFraction = 0.5;
+
+BlockingResult run_blocking(double load, double declared_beta,
+                            bool account_blocking, std::uint64_t seed) {
+  auto wl = workload::PipelineWorkloadConfig::balanced(2, 10 * kMilli, load,
+                                                       /*resolution=*/10.0);
+
+  sim::Simulator sim;
+  workload::PipelineWorkloadGenerator gen(wl, seed);
+  core::SyntheticUtilizationTracker tracker(sim, 2);
+  pipeline::PipelineRuntime runtime(sim, 2, &tracker);
+
+  const auto region =
+      account_blocking
+          ? core::FeasibleRegion::with_blocking(
+                1.0, std::vector<double>{declared_beta, declared_beta})
+          : core::FeasibleRegion::deadline_monotonic(2);
+  core::AdmissionController controller(sim, tracker, region);
+
+  const Duration sim_end = 200.0;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+
+  workload::schedule_renewal(
+      sim, sim_end, [&] { return gen.next_interarrival(); }, [&](Time) {
+      ++offered;
+      auto spec = gen.next_task();
+      bool beta_ok = true;
+      for (auto& stage : spec.stages) {
+        const Duration crit = stage.compute * kCriticalFraction;
+        if (crit > declared_beta * spec.deadline) beta_ok = false;
+        stage.segments = {
+            sched::Segment{stage.compute - crit, sched::kNoLock},
+            sched::Segment{crit, 0}};
+      }
+      // Screening keeps the declared beta honest for BOTH variants.
+      if (beta_ok && controller.try_admit(spec).admitted) {
+        ++admitted;
+        runtime.start_task(spec, sim.now() + spec.deadline);
+      }
+      });
+  sim.run();
+
+  BlockingResult r;
+  const auto u = runtime.stage_utilizations(10.0, sim_end);
+  r.util = (u[0] + u[1]) / 2.0;
+  r.accept = offered ? static_cast<double>(admitted) /
+                           static_cast<double>(offered)
+                     : 0.0;
+  r.miss = runtime.misses().ratio();
+  r.completed = runtime.completed();
+  r.preemptions =
+      runtime.stage(0).preemptions() + runtime.stage(1).preemptions();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A4: PCP critical sections and the Eq. 15 region\n");
+  std::printf(
+      "(two-stage pipeline, resolution 10, half of every subtask inside a\n"
+      " per-stage PCP critical section)\n\n");
+
+  util::Table table({"beta/stage", "load %", "util (Eq.15)", "miss (Eq.15)",
+                     "accept (Eq.15)", "util (beta=0)",
+                     "miss (beta=0, WRONG)"});
+  for (double beta : {0.05, 0.10}) {
+    for (int load_pct : {100, 160}) {
+      const double load = load_pct / 100.0;
+      const auto honest = run_blocking(load, beta, true, 11);
+      const auto wrong = run_blocking(load, beta, false, 11);
+      table.add_row(
+          {util::Table::fmt(beta, 2), std::to_string(load_pct),
+           util::Table::fmt(honest.util, 3), util::Table::fmt(honest.miss, 4),
+           util::Table::fmt(honest.accept, 3),
+           util::Table::fmt(wrong.util, 3),
+           util::Table::fmt(wrong.miss, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: the Eq. 15 region keeps miss = 0 under PCP "
+      "blocking at the cost of a smaller region (lower acceptance); the "
+      "beta = 0 region admits more and risks (rare) blocking-induced "
+      "misses.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation/baseline A3: end-to-end feasible region vs per-stage deadline
+// splitting.
+//
+// The introduction contrasts the paper's end-to-end analysis with the
+// traditional approach of assigning intermediate per-stage deadlines
+// (D_i / N per stage) and testing each stage independently with the
+// single-resource aperiodic bound. Splitting is sound but conservative:
+// the balanced per-stage cap is 0.586/N instead of f_inv(1/N) ~ 1/N.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/stage_delay.h"
+#include "pipeline/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace frap;
+
+pipeline::ExperimentResult run_cell(std::size_t stages, double load,
+                                    pipeline::AdmissionMode mode) {
+  pipeline::ExperimentConfig cfg;
+  cfg.workload = workload::PipelineWorkloadConfig::balanced(
+      stages, 10 * kMilli, load, 100.0);
+  cfg.admission = mode;
+  cfg.seed = 7000;
+  cfg.sim_duration = 120.0;
+  cfg.warmup = 10.0;
+  return pipeline::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A3: end-to-end region vs per-stage deadline splitting\n\n");
+
+  std::printf("analytical balanced per-stage caps:\n");
+  util::Table caps({"N", "end-to-end f_inv(1/N)", "split 0.586/N", "ratio"});
+  for (std::size_t n : {2u, 3u, 5u}) {
+    const double ours = core::balanced_stage_bound(n);
+    const double split = core::uniprocessor_bound() / static_cast<double>(n);
+    caps.add_row({std::to_string(n), util::Table::fmt(ours, 4),
+                  util::Table::fmt(split, 4),
+                  util::Table::fmt(ours / split, 3)});
+  }
+  caps.print(std::cout);
+
+  std::printf("\nsimulated (exact admission in both modes):\n\n");
+  util::Table table({"N", "load %", "util (region)", "util (split)",
+                     "accept (region)", "accept (split)", "miss (split)"});
+  for (std::size_t n : {2u, 5u}) {
+    for (int load_pct : {100, 160}) {
+      const double load = load_pct / 100.0;
+      const auto ours =
+          run_cell(n, load, pipeline::AdmissionMode::kExact);
+      const auto split =
+          run_cell(n, load, pipeline::AdmissionMode::kDeadlineSplit);
+      table.add_row({std::to_string(n), std::to_string(load_pct),
+                     util::Table::fmt(ours.avg_stage_utilization, 3),
+                     util::Table::fmt(split.avg_stage_utilization, 3),
+                     util::Table::fmt(ours.acceptance_ratio, 3),
+                     util::Table::fmt(split.acceptance_ratio, 3),
+                     util::Table::fmt(split.miss_ratio, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: both sound; the end-to-end region admits more and "
+      "achieves higher utilization, and the gap persists as N grows.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Extension bench: EDF stages under the aperiodic region (beyond the paper).
+//
+// The paper's analysis covers FIXED-priority policies: a task's priority
+// must not depend on its arrival time, which excludes EDF (priority =
+// absolute deadline A_i + D_i). The framework can still EXECUTE EDF — each
+// job's priority value is fixed once the task arrives — so this bench asks
+// the empirical question the paper leaves open: if admission uses the DM
+// region (alpha = 1), does EDF scheduling keep the zero-miss guarantee in
+// practice? Since EDF dominates DM on a single resource, one expects (and
+// we observe) no misses, with the same admission decisions by construction
+// (the admission test does not depend on the executing policy).
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/experiment.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workload/pipeline_workload.h"
+#include "workload/arrival_scheduler.h"
+
+namespace {
+
+using namespace frap;
+
+struct EdfResult {
+  double util = 0;
+  double accept = 0;
+  double miss = 0;
+  double mean_response = 0;
+};
+
+EdfResult run(double load, bool edf, std::uint64_t seed) {
+  const auto wl = workload::PipelineWorkloadConfig::balanced(
+      2, 10 * kMilli, load, 100.0);
+  sim::Simulator sim;
+  workload::PipelineWorkloadGenerator gen(wl, seed);
+  core::SyntheticUtilizationTracker tracker(sim, 2);
+  pipeline::PipelineRuntime runtime(sim, 2, &tracker);
+  core::AdmissionController controller(
+      sim, tracker, core::FeasibleRegion::deadline_monotonic(2));
+
+  if (edf) {
+    // EDF: priority value = absolute deadline at admission time. Captured
+    // per task in a map the policy closure reads; the value is constant
+    // across the task's stages (the runtime queries once per task anyway).
+    auto deadlines = std::make_shared<
+        std::unordered_map<std::uint64_t, double>>();
+    runtime.set_priority_policy(
+        [deadlines](const core::TaskSpec& spec) {
+          return deadlines->at(spec.id);
+        });
+    const Duration sim_end = 120.0;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+  workload::schedule_renewal(
+      sim, sim_end, [&] { return gen.next_interarrival(); }, [&](Time) {
+        ++offered;
+        const auto spec = gen.next_task();
+        if (controller.try_admit(spec).admitted) {
+          ++admitted;
+          (*deadlines)[spec.id] = sim.now() + spec.deadline;
+          runtime.start_task(spec, sim.now() + spec.deadline);
+        }
+      });
+    sim.run();
+    EdfResult r;
+    const auto u = runtime.stage_utilizations(10.0, sim_end);
+    r.util = (u[0] + u[1]) / 2;
+    r.accept = offered ? static_cast<double>(admitted) /
+                             static_cast<double>(offered)
+                       : 0;
+    r.miss = runtime.misses().ratio();
+    r.mean_response = runtime.response_times().mean();
+    return r;
+  }
+
+  pipeline::ExperimentConfig cfg;
+  cfg.workload = wl;
+  cfg.seed = seed;
+  cfg.sim_duration = 120.0;
+  cfg.warmup = 10.0;
+  const auto res = pipeline::run_experiment(cfg);
+  EdfResult r;
+  r.util = res.avg_stage_utilization;
+  r.accept = res.acceptance_ratio;
+  r.miss = res.miss_ratio;
+  r.mean_response = res.mean_response;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: EDF stage scheduling under the DM region\n");
+  std::printf("(identical arrival streams and admission decisions; only "
+              "the executing policy differs)\n\n");
+
+  util::Table table({"load %", "DM util", "EDF util", "DM miss", "EDF miss",
+                     "DM mean resp (ms)", "EDF mean resp (ms)"});
+  for (int load_pct : {80, 120, 160, 200}) {
+    const double load = load_pct / 100.0;
+    const auto dm = run(load, false, 97);
+    const auto edf = run(load, true, 97);
+    table.add_row({std::to_string(load_pct), util::Table::fmt(dm.util, 3),
+                   util::Table::fmt(edf.util, 3),
+                   util::Table::fmt(dm.miss, 4),
+                   util::Table::fmt(edf.miss, 4),
+                   util::Table::fmt(dm.mean_response / kMilli, 1),
+                   util::Table::fmt(edf.mean_response / kMilli, 1)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: identical utilization/acceptance (same admission "
+      "trace); EDF also keeps miss = 0 and typically lowers mean "
+      "response.\n");
+  return 0;
+}

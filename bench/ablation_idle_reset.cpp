@@ -1,0 +1,56 @@
+// Ablation A1: the idle-time synthetic-utilization reset (Sec. 4).
+//
+// The paper motivates the reset with the Ci=1, Di=2 example: without it,
+// synthetic utilization never recovers before task deadlines and the
+// admission controller leaves the processor badly underutilized. This
+// ablation runs the Fig. 4 setup with the reset enabled vs disabled.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipeline/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace frap;
+
+pipeline::ExperimentResult run_cell(double load, bool idle_reset,
+                                    double resolution) {
+  pipeline::ExperimentConfig cfg;
+  cfg.workload = workload::PipelineWorkloadConfig::balanced(
+      2, 10 * kMilli, load, resolution);
+  cfg.idle_reset = idle_reset;
+  cfg.seed = 5000;
+  cfg.sim_duration = 120.0;
+  cfg.warmup = 10.0;
+  return pipeline::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A1: idle-time synthetic-utilization reset\n");
+  std::printf("(two-stage pipeline, resolution 100)\n\n");
+
+  util::Table table({"load %", "util (reset ON)", "util (reset OFF)",
+                     "accept ON", "accept OFF", "miss ON", "miss OFF"});
+  for (int load_pct = 60; load_pct <= 200; load_pct += 20) {
+    const double load = load_pct / 100.0;
+    const auto on = run_cell(load, true, 100.0);
+    const auto off = run_cell(load, false, 100.0);
+    table.add_row({std::to_string(load_pct),
+                   util::Table::fmt(on.avg_stage_utilization, 3),
+                   util::Table::fmt(off.avg_stage_utilization, 3),
+                   util::Table::fmt(on.acceptance_ratio, 3),
+                   util::Table::fmt(off.acceptance_ratio, 3),
+                   util::Table::fmt(on.miss_ratio, 4),
+                   util::Table::fmt(off.miss_ratio, 4)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: both sound (miss = 0); the reset buys a large "
+      "utilization/acceptance gain, growing with load.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 4: "Effect of Pipeline Length".
+//
+// Average real stage utilization after admission control vs input load
+// (60%-200% of stage capacity), one curve per pipeline length {1, 2, 3, 5}.
+// Paper shape: utilization rises with load and exceeds ~80% at 100% load;
+// the curves for 2, 3 and 5 stages nearly coincide (no pessimism growth
+// with depth). Setup per Sec. 4.1: balanced exponential stage demands,
+// task resolution ~100, Poisson arrivals, deadline-monotonic stages.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipeline/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace frap;
+
+pipeline::ExperimentResult run_cell(std::size_t stages, double load) {
+  pipeline::ExperimentConfig cfg;
+  cfg.workload = workload::PipelineWorkloadConfig::balanced(
+      stages, 10 * kMilli, load, /*resolution=*/100.0);
+  cfg.seed = 1000 + stages;
+  cfg.sim_duration = 150.0;
+  cfg.warmup = 15.0;
+  return pipeline::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4: Effect of Pipeline Length\n");
+  std::printf(
+      "avg real stage utilization after admission control vs input load\n\n");
+
+  const std::size_t lengths[] = {1, 2, 3, 5, 8};
+  util::Table table({"load %", "N=1", "N=2", "N=3", "N=5", "N=8",
+                     "accept(N=2)", "miss(N=2)"});
+  for (int load_pct = 60; load_pct <= 200; load_pct += 10) {
+    const double load = load_pct / 100.0;
+    std::vector<std::string> row{std::to_string(load_pct)};
+    double accept2 = 0;
+    double miss2 = 0;
+    for (std::size_t n : lengths) {
+      const auto r = run_cell(n, load);
+      row.push_back(util::Table::fmt(r.avg_stage_utilization, 3));
+      if (n == 2) {
+        accept2 = r.acceptance_ratio;
+        miss2 = r.miss_ratio;
+      }
+    }
+    row.push_back(util::Table::fmt(accept2, 3));
+    row.push_back(util::Table::fmt(miss2, 4));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: >0.8 at 100%% load; N=2/3/5 curves nearly "
+      "coincide; miss ratio identically 0 (exact admission control).\n");
+  return 0;
+}

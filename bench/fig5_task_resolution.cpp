@@ -1,0 +1,57 @@
+// Reproduces Figure 5: "Effect of Task Resolution".
+//
+// Average real per-stage utilization after admission control as a function
+// of task resolution (mean end-to-end deadline / mean total computation
+// time) for a two-stage pipeline, one curve per total load. Paper shape:
+// the higher the resolution the higher the fraction of accepted tasks —
+// it is easier to construct unschedulable workloads from large tasks.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pipeline/experiment.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace frap;
+
+pipeline::ExperimentResult run_cell(double load, double resolution) {
+  pipeline::ExperimentConfig cfg;
+  cfg.workload = workload::PipelineWorkloadConfig::balanced(
+      2, 10 * kMilli, load, resolution);
+  cfg.seed = 2000;
+  cfg.sim_duration = 150.0;
+  cfg.warmup = 15.0;
+  return pipeline::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5: Effect of Task Resolution (two-stage pipeline)\n");
+  std::printf("avg real stage utilization vs task resolution, per load\n\n");
+
+  const double loads[] = {0.9, 1.2, 1.8};
+  const double resolutions[] = {2, 5, 10, 20, 50, 100, 200, 500, 1000};
+
+  util::Table table({"resolution", "load=90%", "load=120%", "load=180%",
+                     "accept(120%)"});
+  for (double res : resolutions) {
+    std::vector<std::string> row{util::Table::fmt(res, 0)};
+    double accept_mid = 0;
+    for (double load : loads) {
+      const auto r = run_cell(load, res);
+      row.push_back(util::Table::fmt(r.avg_stage_utilization, 3));
+      if (load == 1.2) accept_mid = r.acceptance_ratio;
+    }
+    row.push_back(util::Table::fmt(accept_mid, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: utilization (and acceptance) increase with "
+      "resolution and saturate; higher loads saturate higher.\n");
+  return 0;
+}

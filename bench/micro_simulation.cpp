@@ -1,0 +1,101 @@
+// Microbenchmarks for the simulation substrate itself: event-queue
+// throughput, preemptive stage-server scheduling cost, and end-to-end
+// events/second for a full admission-controlled pipeline experiment.
+// These numbers bound how much simulated time a study can afford.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "pipeline/experiment.h"
+#include "sched/stage_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace frap;
+
+// Schedule-and-drain cost of the event queue at various backlog sizes.
+void EventQueueThroughput(benchmark::State& state) {
+  const auto backlog = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<Time> times(backlog);
+  for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (Time t : times) {
+      sim.at(t, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(backlog));
+}
+BENCHMARK(EventQueueThroughput)->RangeMultiplier(8)->Range(64, 32768);
+
+// Preemption-heavy stage-server scheduling: random-priority jobs arriving
+// into a busy server.
+void StageServerScheduling(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  struct Spec {
+    Time arrival;
+    double prio;
+    Duration len;
+  };
+  std::vector<Spec> specs(jobs);
+  Time t = 0;
+  for (auto& s : specs) {
+    t += rng.exponential(0.8);
+    s = Spec{t, rng.uniform01(), rng.exponential(1.0)};
+  }
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sched::StageServer server(sim);
+    std::vector<std::unique_ptr<sched::Job>> storage;
+    storage.reserve(jobs);
+    std::uint64_t id = 1;
+    for (const auto& s : specs) {
+      storage.push_back(std::make_unique<sched::Job>(
+          id++, s.prio,
+          std::vector<sched::Segment>{sched::Segment{s.len, sched::kNoLock}}));
+      sched::Job* j = storage.back().get();
+      sim.at(s.arrival, [&server, j] { server.submit(*j); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(server.preemptions());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(StageServerScheduling)->RangeMultiplier(4)->Range(256, 16384);
+
+// Full experiment: simulated events per wall second for the Fig. 4 cell
+// (N stages, load 1.2, resolution 100, 20 simulated seconds).
+void FullExperiment(benchmark::State& state) {
+  const auto stages = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    pipeline::ExperimentConfig cfg;
+    cfg.workload = workload::PipelineWorkloadConfig::balanced(
+        stages, 10 * kMilli, 1.2, 100.0);
+    cfg.seed = 1;
+    cfg.sim_duration = 20.0;
+    cfg.warmup = 2.0;
+    const auto r = pipeline::run_experiment(cfg);
+    events += r.events;
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(FullExperiment)->Arg(1)->Arg(2)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// Dynamic reconfiguration (Sec. 5): reservation mode changes at run time.
+//
+// The TSCE must "respond to damage or failure events or ... change mission
+// functionality". In region terms a mode change is a new reservation
+// vector: entering self-defense mode raises the critical floor (capacity
+// held for Weapon Detection/Targeting), squeezing the share available to
+// dynamic tracking load — and the admission controller adapts instantly
+// because the region test always reads the current floors.
+//
+// Timeline: cruise mode (low reservation) -> battle mode at t = 30 s
+// (full TSCE reservation, critical streams actually firing) -> back to
+// cruise at t = 60 s. A constant 800-track load runs throughout. Reported
+// per 10 s window: stage-1 utilization and tracking acceptance. Expected
+// shape: acceptance dips during battle mode and recovers after; zero
+// deadline misses everywhere.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/arrival_scheduler.h"
+#include "workload/tsce.h"
+
+namespace {
+
+using namespace frap;
+namespace tsce = workload::tsce;
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, tsce::kNumStages);
+  pipeline::PipelineRuntime runtime(sim, tsce::kNumStages, &tracker);
+  core::AdmissionController admission(
+      sim, tracker,
+      core::FeasibleRegion::deadline_monotonic(tsce::kNumStages));
+  core::WaitingAdmissionController waiting(sim, admission,
+                                           tsce::kTrackingPatience);
+  waiting.attach();
+
+  const Duration sim_end = 90.0;
+  const std::size_t kWindows = 9;
+  struct Window {
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+  std::vector<Window> windows(kWindows);
+  std::uint64_t misses = 0;
+
+  auto window_of = [&](Time t) {
+    auto w = static_cast<std::size_t>(t / 10.0);
+    return w >= kWindows ? kWindows - 1 : w;
+  };
+
+  waiting.set_decision_callback([&](const core::TaskSpec& spec, bool ok,
+                                    Time arrival, Time) {
+    auto& w = windows[window_of(arrival)];
+    if (!ok) {
+      ++w.rejected;
+      return;
+    }
+    ++w.admitted;
+    runtime.start_task(spec, arrival + spec.deadline);
+  });
+  runtime.set_on_task_complete(
+      [&](const core::TaskSpec&, Duration, bool missed) {
+        if (missed) ++misses;
+      });
+
+  // Mode schedule: cruise keeps only the UAV-video share reserved; battle
+  // reserves the full TSCE critical floor.
+  const std::vector<double> cruise{0.1, 0.02, 0.1};
+  const auto battle = tsce::reserved_utilizations();  // (0.4, 0.25, 0.1)
+  auto apply_mode = [&](const std::vector<double>& floors) {
+    for (std::size_t j = 0; j < floors.size(); ++j) {
+      tracker.set_reservation(j, floors[j]);
+    }
+  };
+  apply_mode(cruise);
+  sim.at(30.0, [&] { apply_mode(battle); });
+  sim.at(60.0, [&] { apply_mode(cruise); });
+
+  // During battle mode the critical streams actually run (pre-certified,
+  // against the raised floor): Weapon Targeting at 50 ms, UAV video at
+  // 500 ms, sporadic Weapon Detection at ~1/s.
+  {
+    auto start_periodic = [&](workload::PeriodicStreamConfig cfg,
+                              std::uint64_t id_base) {
+      for (std::size_t k = 0;; ++k) {
+        const Time release = 30.0 + static_cast<double>(k) * cfg.period;
+        if (release >= 60.0) break;
+        core::TaskSpec spec;
+        spec.id = id_base + k;
+        spec.deadline = cfg.deadline;
+        spec.importance = cfg.importance;
+        spec.stages = cfg.stages;
+        sim.at(release, [&runtime, &sim, spec] {
+          runtime.start_task(spec, sim.now() + spec.deadline);
+        });
+      }
+    };
+    start_periodic(tsce::weapon_targeting_stream(), 800'000'000ULL);
+    start_periodic(tsce::uav_video_stream(), 850'000'000ULL);
+    util::Rng threat_rng(97);
+    Time t = 30.0;
+    std::uint64_t id = 900'000'000ULL;
+    while (true) {
+      t += threat_rng.exponential(1.0);
+      if (t >= 60.0) break;
+      const auto spec = tsce::weapon_detection_task(id++);
+      sim.at(t, [&runtime, &sim, spec] {
+        runtime.start_task(spec, sim.now() + spec.deadline);
+      });
+    }
+  }
+
+  // Constant 800-track periodic load, phase-staggered.
+  util::Rng rng(41);
+  for (std::size_t i = 0; i < 800; ++i) {
+    const auto cfg = tsce::target_tracking_stream(i);
+    const Time phase = rng.uniform(0.0, cfg.period);
+    const std::uint64_t base = (i + 1) * 1'000'000ULL;
+    auto stages =
+        std::make_shared<std::vector<core::StageDemand>>(cfg.stages);
+    workload::schedule_periodic(
+        sim, cfg.period, phase, sim_end,
+        [&sim, &waiting, &windows, &window_of, stages, base](
+            Time, std::uint64_t k) {
+          core::TaskSpec spec;
+          spec.id = base + k;
+          spec.deadline = 1.0;
+          spec.importance = tsce::kImportanceTracking;
+          spec.stages = *stages;
+          ++windows[window_of(sim.now())].arrivals;
+          waiting.submit(spec);
+        });
+  }
+  sim.run();
+
+  std::printf("Mode change: reservation reconfiguration at run time\n");
+  std::printf("(800 tracks; battle mode [30 s, 60 s) runs the critical set against the full "
+              "TSCE critical floor)\n\n");
+  util::Table table({"window (s)", "mode", "stage1 util",
+                     "tracks accepted %", "rejected"});
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const Time from = static_cast<double>(w) * 10.0;
+    const Time to = from + 10.0;
+    const bool battle_mode = from >= 30.0 && from < 60.0;
+    const double u1 = runtime.stage(0).meter().utilization(from, to);
+    const auto& win = windows[w];
+    table.add_row(
+        {util::Table::fmt(from, 0) + "-" + util::Table::fmt(to, 0),
+         battle_mode ? "battle" : "cruise", util::Table::fmt(u1, 3),
+         util::Table::fmt(win.arrivals
+                              ? 100.0 * static_cast<double>(win.admitted) /
+                                    static_cast<double>(win.arrivals)
+                              : 0.0,
+                          1),
+         std::to_string(win.rejected)});
+  }
+  table.print(std::cout);
+  std::printf("\ndeadline misses across the whole run: %llu (must be 0)\n",
+              static_cast<unsigned long long>(misses));
+  std::printf(
+      "\nexpected shape: acceptance near 100%% in cruise windows, dipping "
+      "in battle mode as the raised floor squeezes the dynamic share, and "
+      "recovering instantly after the mode reverts.\n");
+  return 0;
+}

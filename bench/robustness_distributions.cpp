@@ -1,0 +1,147 @@
+// Robustness bench: the guarantee is distribution-free.
+//
+// The feasible-region argument never uses the arrival or service
+// distributions — synthetic utilization tracks actual arrivals, whatever
+// their law. This bench hammers the admission controller with traffic far
+// outside the Sec. 4 setup:
+//   * MMPP arrivals (correlated 8:1 bursts) instead of Poisson;
+//   * bounded-Pareto computation times (heavy tail, alpha = 1.3) instead
+//     of exponential;
+//   * both at once.
+// Expected shape: zero misses in EVERY cell; what varies is utilization
+// and acceptance (burstiness costs acceptance, heavy tails cost a little
+// utilization at equal offered load).
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/bursty.h"
+#include "workload/arrival_scheduler.h"
+
+namespace {
+
+using namespace frap;
+
+enum class Arrivals { kPoisson, kMmpp };
+enum class Service { kExponential, kPareto };
+
+struct Cell {
+  double util = 0;
+  double accept = 0;
+  double miss = 0;
+  std::uint64_t completed = 0;
+};
+
+Cell run(Arrivals arrivals, Service service, double load,
+         std::uint64_t seed) {
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, 2);
+  pipeline::PipelineRuntime runtime(sim, 2, &tracker);
+  core::AdmissionController controller(
+      sim, tracker, core::FeasibleRegion::deadline_monotonic(2));
+
+  util::Rng rng(seed);
+  const Duration mean_c = 10 * kMilli;
+  const double target_rate = load / mean_c;
+
+  // Arrival process.
+  std::unique_ptr<workload::MmppArrivalProcess> mmpp;
+  if (arrivals == Arrivals::kMmpp) {
+    workload::MmppArrivalProcess::Config mc;
+    mc.rate_quiet = target_rate * 0.5;
+    mc.rate_burst = target_rate * 4.0;
+    mc.mean_quiet_time = 0.6;
+    mc.mean_burst_time = 0.1;
+    // average = (0.5*0.6 + 4*0.1)/0.7 = 1.0 * target_rate: matched load.
+    mmpp = std::make_unique<workload::MmppArrivalProcess>(mc, seed ^ 0xb);
+  }
+  auto next_gap = [&]() -> Duration {
+    if (mmpp) return mmpp->next_interarrival();
+    return rng.exponential(1.0 / target_rate);
+  };
+
+  // Service times, matched to mean_c.
+  workload::BoundedParetoSampler pareto(0.8 * kMilli, 400 * kMilli, 1.3);
+  const double pareto_scale = mean_c / pareto.mean();
+  auto next_compute = [&]() -> Duration {
+    if (service == Service::kPareto) return pareto.sample(rng) * pareto_scale;
+    return rng.exponential(mean_c);
+  };
+
+  const Duration mean_deadline = 100.0 * 2 * mean_c;  // resolution 100
+  const Duration sim_end = 120.0;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t next_id = 1;
+
+  workload::schedule_renewal(
+      sim, sim_end, [&] { return next_gap(); }, [&](Time) {
+      ++offered;
+      core::TaskSpec spec;
+      spec.id = next_id++;
+      spec.deadline = rng.uniform(0.5 * mean_deadline, 1.5 * mean_deadline);
+      spec.stages.resize(2);
+      spec.stages[0].compute = next_compute();
+      spec.stages[1].compute = next_compute();
+      if (controller.try_admit(spec).admitted) {
+        ++admitted;
+        runtime.start_task(spec, sim.now() + spec.deadline);
+      }
+      });
+  sim.run();
+
+  Cell c;
+  const auto u = runtime.stage_utilizations(10.0, sim_end);
+  c.util = (u[0] + u[1]) / 2;
+  c.accept = offered ? static_cast<double>(admitted) /
+                           static_cast<double>(offered)
+                     : 0;
+  c.miss = runtime.misses().ratio();
+  c.completed = runtime.completed();
+  return c;
+}
+
+const char* name(Arrivals a) {
+  return a == Arrivals::kPoisson ? "Poisson" : "MMPP 8:1";
+}
+const char* name(Service s) {
+  return s == Service::kExponential ? "Exp" : "Pareto 1.3";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Robustness: the region guarantee is distribution-free\n");
+  std::printf("(two-stage pipeline, resolution 100, exact admission)\n\n");
+
+  util::Table table({"arrivals", "service", "load %", "util", "accept",
+                     "miss"});
+  for (auto arrivals : {Arrivals::kPoisson, Arrivals::kMmpp}) {
+    for (auto service : {Service::kExponential, Service::kPareto}) {
+      for (int load_pct : {100, 160}) {
+        const auto c =
+            run(arrivals, service, load_pct / 100.0, 17);
+        table.add_row({name(arrivals), name(service),
+                       std::to_string(load_pct), util::Table::fmt(c.util, 3),
+                       util::Table::fmt(c.accept, 3),
+                       util::Table::fmt(c.miss, 4)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: miss = 0 in every cell regardless of burstiness "
+      "or tail weight; burstiness lowers acceptance at equal average "
+      "load.\n");
+  return 0;
+}

@@ -1,0 +1,234 @@
+// Reproduces Table 1 / Sec. 5: the Total Ship Computing Environment
+// mission-execution scenario.
+//
+// Step 1 (certification): the three critical tasks (Weapon Detection,
+// Weapon Targeting, UAV Video) reserve synthetic utilization (0.4, 0.25,
+// 0.1); Eq. 13 on those reservations gives ~0.93 < 1, so the critical set
+// is schedulable end-to-end.
+//
+// Step 2 (capacity): Target Tracking tasks (1 ms of stage-1 work per track,
+// P = D = 1 s) are admitted dynamically on top via the waiting admission
+// controller (200 ms patience, as in the paper). The number of tracks is
+// increased until rejections appear. Paper result: ~550 concurrent tracks,
+// stage 1 the bottleneck at ~95% utilization, thanks to the idle-time
+// synthetic-utilization reset.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/certification.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/arrival_scheduler.h"
+#include "workload/tsce.h"
+
+namespace {
+
+using namespace frap;
+namespace tsce = workload::tsce;
+
+struct TsceResult {
+  double stage1_util = 0;
+  double stage2_util = 0;
+  double stage3_util = 0;
+  std::uint64_t track_arrivals = 0;
+  std::uint64_t track_rejections = 0;
+  std::uint64_t track_misses = 0;
+  std::uint64_t critical_misses = 0;
+  std::uint64_t completed = 0;
+};
+
+TsceResult run_tsce(std::size_t num_tracks, Duration sim_end,
+                    std::uint64_t seed) {
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, tsce::kNumStages);
+  const auto reserved = tsce::reserved_utilizations();
+  for (std::size_t j = 0; j < reserved.size(); ++j) {
+    tracker.set_reservation(j, reserved[j]);
+  }
+
+  pipeline::PipelineRuntime runtime(sim, tsce::kNumStages, &tracker);
+  core::AdmissionController admission(
+      sim, tracker, core::FeasibleRegion::deadline_monotonic(tsce::kNumStages));
+  core::WaitingAdmissionController waiting(sim, admission,
+                                           tsce::kTrackingPatience);
+  waiting.attach();
+
+  TsceResult result;
+  runtime.set_on_task_complete(
+      [&](const core::TaskSpec& spec, Duration, bool missed) {
+        ++result.completed;
+        if (!missed) return;
+        if (spec.importance >= tsce::kImportanceUavVideo) {
+          ++result.critical_misses;
+        } else {
+          ++result.track_misses;
+        }
+      });
+
+  waiting.set_decision_callback(
+      [&](const core::TaskSpec& spec, bool admitted, Time arrival, Time) {
+        if (!admitted) {
+          ++result.track_rejections;
+          return;
+        }
+        runtime.start_task(spec, arrival + spec.deadline);
+      });
+
+  // --- critical streams: pre-certified, run against the reservation ---
+  std::uint64_t next_id = 1;
+  auto start_periodic = [&](const workload::PeriodicStreamConfig& cfg) {
+    const std::uint64_t id_base = next_id;
+    next_id += 10'000'000;
+    workload::schedule_periodic(
+        sim, cfg.period, 0.0, sim_end,
+        [&runtime, &sim, cfg, id_base](Time, std::uint64_t k) {
+          core::TaskSpec spec;
+          spec.id = id_base + k;
+          spec.deadline = cfg.deadline;
+          spec.importance = cfg.importance;
+          spec.stages = cfg.stages;
+          runtime.start_task(spec, sim.now() + spec.deadline);
+        });
+  };
+  start_periodic(tsce::weapon_targeting_stream());
+  start_periodic(tsce::uav_video_stream());
+
+  // Weapon Detection: urgent aperiodic threats, Poisson at ~1/s.
+  {
+    auto rng = std::make_shared<util::Rng>(seed ^ 0xabcdef);
+    auto id_counter = std::make_shared<std::uint64_t>(900'000'000ULL);
+    workload::schedule_renewal(
+        sim, sim_end, [rng] { return rng->exponential(1.0); },
+        [&sim, &runtime, id_counter](Time) {
+          const auto spec = tsce::weapon_detection_task((*id_counter)++);
+          runtime.start_task(spec, sim.now() + spec.deadline);
+        });
+  }
+
+  // --- dynamic target-tracking load, admitted at run time ---
+  {
+    util::Rng phase_rng(seed);
+    std::uint64_t track_id_base = 100'000'000ULL;
+    for (std::size_t i = 0; i < num_tracks; ++i) {
+      const auto cfg = tsce::target_tracking_stream(i);
+      const Time phase = phase_rng.uniform(0.0, cfg.period);
+      const std::uint64_t base = track_id_base;
+      track_id_base += 1'000'000ULL;
+      auto stages =
+          std::make_shared<std::vector<core::StageDemand>>(cfg.stages);
+      const Duration deadline = cfg.deadline;
+      const double importance = cfg.importance;
+      workload::schedule_periodic(
+          sim, cfg.period, phase, sim_end,
+          [&waiting, &result, stages, base, deadline, importance](
+              Time, std::uint64_t k) {
+            core::TaskSpec spec;
+            spec.id = base + k;
+            spec.deadline = deadline;
+            spec.importance = importance;
+            spec.stages = *stages;
+            ++result.track_arrivals;
+            waiting.submit(spec);
+          });
+    }
+  }
+
+  sim.run();
+
+  const Time measure_from = 2.0;
+  result.stage1_util = runtime.stage(0).meter().utilization(measure_from,
+                                                            sim_end);
+  result.stage2_util = runtime.stage(1).meter().utilization(measure_from,
+                                                            sim_end);
+  result.stage3_util = runtime.stage(2).meter().utilization(measure_from,
+                                                            sim_end);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 1 / Sec. 5: TSCE Mission Execution System\n\n");
+
+  // ----- certification (the paper's first question) -----
+  const auto reserved = tsce::reserved_utilizations();
+  std::printf("reserved synthetic utilization: U1=%.2f U2=%.2f U3=%.2f\n",
+              reserved[0], reserved[1], reserved[2]);
+  std::printf("Eq. 13 LHS at the reservation: %.4f (paper: 0.93)\n",
+              tsce::certification_lhs());
+  std::printf("critical set schedulable: %s\n\n",
+              tsce::certification_lhs() <= 1.0 ? "YES" : "NO");
+
+  // Pre-certification matrix: every combination of the critical tasks
+  // (Sec. 5's "pre-certification of different combinations ... of task
+  // arrival scenarios").
+  {
+    using Rule = core::ReservationPlanner::StageRule;
+    core::ScenarioCertifier certifier(
+        core::FeasibleRegion::deadline_monotonic(tsce::kNumStages),
+        {Rule::kSum, Rule::kSum, Rule::kMax});
+    certifier.add({"WeaponDetection", {0.2, 0.13, 0.06}});
+    certifier.add({"WeaponTargeting", {0.1, 0.1, 0.1}});
+    certifier.add({"UavVideo", {0.1, 0.02, 0.1}});
+
+    std::printf("scenario pre-certification (all combinations):\n\n");
+    util::Table cert({"scenario", "Eq.13 LHS", "certified"});
+    for (const auto& v : certifier.certify_all_subsets()) {
+      std::string names = "{";
+      for (std::size_t i = 0; i < v.members.size(); ++i) {
+        if (i > 0) names += ", ";
+        names += certifier.entry(v.members[i]).name;
+      }
+      names += "}";
+      cert.add_row({names, util::Table::fmt(v.lhs, 3),
+                    v.certified ? "YES" : "no"});
+    }
+    cert.print(std::cout);
+    std::printf("\n");
+  }
+
+  // ----- dynamic track capacity (the paper's second question) -----
+  std::printf(
+      "Target Tracking tasks admitted dynamically (200 ms admission "
+      "wait):\n\n");
+  // The paper raises the track count "until rejections were observed" and
+  // reports ~550. With Poisson-bursty urgent aperiodics (Weapon Detection)
+  // an isolated 200 ms-wait expiry can occur at any load, so we use a
+  // rejection ratio below 1% of arrivals as "no observable rejections".
+  util::Table table({"tracks", "stage1 util", "stage2 util", "stage3 util",
+                     "reject %", "track misses", "critical misses"});
+  std::size_t max_clean_tracks = 0;
+  const Duration sim_end = 30.0;
+  for (std::size_t tracks : {100u, 200u, 300u, 400u, 500u, 550u, 600u, 650u,
+                             700u, 800u}) {
+    const auto r = run_tsce(tracks, sim_end, 77);
+    const double reject_ratio =
+        r.track_arrivals == 0
+            ? 0.0
+            : static_cast<double>(r.track_rejections) /
+                  static_cast<double>(r.track_arrivals);
+    if (reject_ratio < 0.01 && tracks > max_clean_tracks) {
+      max_clean_tracks = tracks;
+    }
+    table.add_row({std::to_string(tracks), util::Table::fmt(r.stage1_util, 3),
+                   util::Table::fmt(r.stage2_util, 3),
+                   util::Table::fmt(r.stage3_util, 3),
+                   util::Table::fmt(100.0 * reject_ratio, 2),
+                   std::to_string(r.track_misses),
+                   std::to_string(r.critical_misses)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nmax track count with <1%% rejections: %zu (paper: ~550; stage 1 "
+      "the bottleneck, approaching saturation; zero deadline misses)\n",
+      max_clean_tracks);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Run any Sec. 4-style experiment from the command line.
+//
+//   ./experiment_cli --stages=3 --load=1.5 --resolution=50 --seed=7
+//   ./experiment_cli --admission=approx --patience=200
+//   ./experiment_cli --no-idle-reset --load=2.0
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pipeline/cli.h"
+#include "pipeline/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace frap;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(pipeline::experiment_cli_usage().c_str(), stdout);
+      return 0;
+    }
+  }
+  const auto parsed = pipeline::parse_experiment_args(args);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: %s\n\n%s", parsed.error.c_str(),
+                 pipeline::experiment_cli_usage().c_str());
+    return 1;
+  }
+
+  const auto r = pipeline::run_experiment(parsed.config);
+
+  std::printf("offered arrivals:    %llu\n",
+              static_cast<unsigned long long>(r.offered));
+  std::printf("admitted:            %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(r.admitted),
+              100.0 * r.acceptance_ratio);
+  std::printf("completed:           %llu\n",
+              static_cast<unsigned long long>(r.completed));
+  std::printf("deadline miss ratio: %.4f\n", r.miss_ratio);
+  std::printf("mean response:       %.1f ms\n", r.mean_response / kMilli);
+  for (std::size_t j = 0; j < r.stage_utilization.size(); ++j) {
+    std::printf("stage %zu utilization: %.1f%%\n", j + 1,
+                100.0 * r.stage_utilization[j]);
+  }
+  std::printf("simulator events:    %llu\n",
+              static_cast<unsigned long long>(r.events));
+  return 0;
+}

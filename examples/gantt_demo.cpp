@@ -1,0 +1,52 @@
+// Visualizing a schedule: ASCII Gantt charts from captured timelines.
+//
+// Runs a small priority-inversion-free PCP scenario on one stage and
+// prints who occupied the processor when — the fastest way to see
+// preemption, inheritance, and ceiling blocking actually happen.
+#include <cstdio>
+#include <iostream>
+
+#include "sched/gantt.h"
+#include "sched/stage_server.h"
+#include "sched/timeline.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace frap;
+
+  sim::Simulator sim;
+  sched::StageServer server(sim, "demo");
+  sched::Timeline timeline;
+  server.set_timeline(&timeline);
+
+  // Classic PCP demonstration (priority values: smaller = more urgent):
+  //   t=0: LOW (prio 9) starts a 4 s critical section on lock 0.
+  //   t=1: MID (prio 5) arrives with 3 s of lock-free work.
+  //   t=2: HIGH (prio 1) arrives needing lock 0 for 1 s.
+  // Without PCP, MID could preempt LOW and extend HIGH's blocking
+  // indefinitely (unbounded priority inversion). With PCP, LOW inherits
+  // HIGH's priority while it blocks, so LOW finishes its critical section
+  // first, HIGH runs next, and MID goes last.
+  sched::Job low(1, 9.0, {sched::Segment{4.0, 0}});
+  sched::Job mid(2, 5.0, {sched::Segment{3.0, sched::kNoLock}});
+  sched::Job high(3, 1.0, {sched::Segment{1.0, 0}});
+  server.locks().set_ceiling(0, 1.0);
+
+  sim.at(0.0, [&] { server.submit(low); });
+  sim.at(1.0, [&] { server.submit(mid); });
+  sim.at(2.0, [&] { server.submit(high); });
+  sim.run();
+
+  std::printf("PCP in action (job 1 = LOW w/ lock, 2 = MID, 3 = HIGH w/ "
+              "lock), 1 cell = 0.2 s:\n\n");
+  std::cout << sched::render_ascii_gantt(timeline, 0.0, 8.0, 40);
+  std::printf(
+      "\nreading: MID preempts LOW at t=1 (PCP permits preemption of a "
+      "lock holder), but the moment HIGH blocks on the lock at t=2, LOW "
+      "INHERITS HIGH's priority, takes the processor back from MID, and "
+      "drives its critical section to completion at t=5. HIGH runs "
+      "immediately after; MID — despite arriving before HIGH — finishes "
+      "last. HIGH's blocking was bounded by one critical section, exactly "
+      "the B_ij that Eq. 15 budgets for.\n");
+  return 0;
+}

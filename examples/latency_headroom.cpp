@@ -1,0 +1,92 @@
+// Operator dashboard: live latency headroom from Theorem 1.
+//
+// Beyond accept/reject, the region gives a quantitative signal: at any
+// instant, sum_j f(U_j(t)) * D is the worst-case end-to-end delay a task
+// with deadline D could see if admitted now. This example samples that
+// predictor once per second while a diurnal-style load pattern (quiet ->
+// rush -> quiet) flows through a 3-stage pipeline, and prints the
+// worst-case-delay-to-deadline ratio ("headroom") alongside the realized
+// utilization — the number an SRE would alert on.
+#include <cstdio>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/delay_bound.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "metrics/timeseries.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/arrival_scheduler.h"
+
+int main() {
+  using namespace frap;
+
+  constexpr std::size_t kStages = 3;
+  constexpr Duration kDeadline = 2.0;  // every request: 2 s end-to-end
+
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, kStages);
+  pipeline::PipelineRuntime runtime(sim, kStages, &tracker);
+  core::AdmissionController admission(
+      sim, tracker, core::FeasibleRegion::deadline_monotonic(kStages));
+
+  // Worst-case delay for a D = 2 s task admitted right now, as a fraction
+  // of its deadline. Values near 1.0 mean the region is nearly exhausted.
+  metrics::TimeSeries headroom(sim, 1.0, [&] {
+    return core::predict_pipeline_delay(tracker.utilizations(), kDeadline) /
+           kDeadline;
+  });
+
+  auto rng = std::make_shared<util::Rng>(515);
+  std::uint64_t next_id = 1;
+  auto arrival = [&, rng](Time) {
+    core::TaskSpec req;
+    req.id = next_id++;
+    req.deadline = kDeadline;
+    req.stages.resize(kStages);
+    for (auto& s : req.stages) s.compute = rng->exponential(10 * kMilli);
+    if (admission.try_admit(req).admitted) {
+      runtime.start_task(req, sim.now() + req.deadline);
+    }
+  };
+
+  // Diurnal pattern: a 60% base load throughout, plus a rush pump adding
+  // another 110% during [30 s, 60 s) — 170% of capacity at the peak.
+  const double base_rate = 1.0 / (10 * kMilli);
+  workload::schedule_poisson(sim, 0.6 * base_rate, 90.0, 1, arrival);
+  sim.at(30.0, [&] {
+    workload::schedule_poisson(sim, 1.1 * base_rate, 60.0, 2, arrival);
+  });
+  headroom.start(90.0);
+  sim.run();
+
+  std::printf("latency headroom monitor (3-stage pipeline, D = 2 s)\n");
+  std::printf("worst-case-delay / deadline, per phase:\n\n");
+  struct Phase {
+    const char* name;
+    Time from, to;
+  };
+  for (const Phase& p : {Phase{"quiet (60% load)", 5.0, 30.0},
+                         Phase{"rush (170% load)", 35.0, 60.0},
+                         Phase{"quiet again", 65.0, 90.0}}) {
+    const auto u = runtime.stage_utilizations(p.from, p.to);
+    double avg_u = 0;
+    for (double v : u) avg_u += v;
+    avg_u /= static_cast<double>(u.size());
+    std::printf("  %-18s headroom mean %.2f  peak %.2f   real util %.2f\n",
+                p.name, headroom.mean(p.from, p.to),
+                headroom.max(p.from, p.to), avg_u);
+  }
+  std::printf("\nadmitted %llu of %llu requests, deadline misses: %llu\n",
+              static_cast<unsigned long long>(admission.admitted()),
+              static_cast<unsigned long long>(admission.attempts()),
+              static_cast<unsigned long long>(runtime.misses().hits()));
+  std::printf(
+      "\nreading: the predictor always stays below 1.0 — the admission "
+      "controller refuses any arrival that would push it past the "
+      "deadline; during the rush it hovers near 1.0 (region nearly "
+      "exhausted) and recovers instantly after.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Record/replay: comparing admission policies on the identical workload.
+//
+// A capacity planner wants to know what switching from exact to
+// approximate admission (or turning off the idle reset) would have done to
+// yesterday's traffic. This example records an arrival trace once, saves
+// it to disk in the frap-trace v1 text format, reloads it, and replays the
+// SAME arrivals through three differently-configured controllers.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "workload/pipeline_workload.h"
+#include "workload/replay.h"
+
+namespace {
+
+using namespace frap;
+
+struct ReplayResult {
+  double accept = 0;
+  double util = 0;
+  double miss = 0;
+};
+
+ReplayResult replay(const workload::ArrivalTrace& trace, bool approximate,
+                    bool idle_reset,
+                    const std::vector<Duration>& means) {
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, trace.num_stages());
+  tracker.set_idle_reset_enabled(idle_reset);
+  pipeline::PipelineRuntime runtime(sim, trace.num_stages(), &tracker);
+  core::AdmissionController controller(
+      sim, tracker,
+      core::FeasibleRegion::deadline_monotonic(trace.num_stages()));
+  if (approximate) controller.set_approximate_means(means);
+
+  std::uint64_t admitted = 0;
+  for (const auto& rec : trace.records()) {
+    sim.at(rec.time, [&] {
+      if (controller.try_admit(rec.task).admitted) {
+        ++admitted;
+        runtime.start_task(rec.task, sim.now() + rec.task.deadline);
+      }
+    });
+  }
+  sim.run();
+
+  ReplayResult r;
+  r.accept = static_cast<double>(admitted) /
+             static_cast<double>(trace.size());
+  const Time horizon = trace.records().back().time;
+  const auto u = runtime.stage_utilizations(0.0, horizon);
+  for (double v : u) r.util += v;
+  r.util /= static_cast<double>(u.size());
+  r.miss = runtime.misses().ratio();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Record a trace: two-stage pipeline at 140% load, 60 s of traffic.
+  const auto cfg =
+      workload::PipelineWorkloadConfig::balanced(2, 10 * kMilli, 1.4, 100.0);
+  workload::PipelineWorkloadGenerator gen(cfg, 777);
+  workload::ArrivalTrace trace;
+  Time t = 0;
+  while (true) {
+    t += gen.next_interarrival();
+    if (t > 60.0) break;
+    trace.append(t, gen.next_task());
+  }
+  std::printf("recorded %zu arrivals over 60 s (offered load on stage 1: "
+              "%.2f)\n",
+              trace.size(), trace.offered_load(0));
+
+  // 2. Save and reload (round-trip through the text format).
+  const char* path = "/tmp/frap_example_trace.txt";
+  {
+    std::ofstream out(path);
+    trace.save(out);
+  }
+  workload::ArrivalTrace loaded;
+  {
+    std::ifstream in(path);
+    if (!loaded.load(in)) {
+      std::fprintf(stderr, "failed to reload trace from %s\n", path);
+      return 1;
+    }
+  }
+  std::printf("saved to %s and reloaded: %zu arrivals\n\n", path,
+              loaded.size());
+
+  // 3. Replay under three configurations.
+  const auto exact = replay(loaded, false, true, cfg.mean_compute);
+  const auto approx = replay(loaded, true, true, cfg.mean_compute);
+  const auto no_reset = replay(loaded, false, false, cfg.mean_compute);
+
+  std::printf("%-28s %9s %9s %9s\n", "configuration", "accept", "util",
+              "miss");
+  std::printf("%-28s %8.1f%% %8.1f%% %9.4f\n", "exact admission",
+              100 * exact.accept, 100 * exact.util, exact.miss);
+  std::printf("%-28s %8.1f%% %8.1f%% %9.4f\n", "approximate (mean-based)",
+              100 * approx.accept, 100 * approx.util, approx.miss);
+  std::printf("%-28s %8.1f%% %8.1f%% %9.4f\n", "exact, idle reset OFF",
+              100 * no_reset.accept, 100 * no_reset.util, no_reset.miss);
+  std::printf(
+      "\nsame arrivals in every row — differences are purely the admission "
+      "configuration.\n");
+  return 0;
+}

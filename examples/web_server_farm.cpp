@@ -1,0 +1,135 @@
+// A multi-tier web service with response-time guarantees — the motivating
+// server scenario of the paper's introduction.
+//
+// Requests traverse front-end -> business logic -> database. Three request
+// classes with different deadlines and demands share the pipeline:
+//   * "interactive" page loads   (tight deadline, light),
+//   * "checkout" transactions    (medium deadline, DB-heavy),
+//   * "report" generation        (loose deadline, heavy everywhere).
+// Exact computation times are unknown at arrival, so the operator runs
+// APPROXIMATE admission control on per-class mean demands (Sec. 4.4) — and
+// because each class mixes thousands of small requests (high task
+// resolution), the realized miss ratio stays near zero.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace frap;
+
+struct RequestClass {
+  std::string name;
+  double arrival_rate;                  // requests / s
+  std::vector<Duration> mean_compute;   // per tier
+  Duration deadline;
+  std::uint64_t id_base;
+  // live stats
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t missed = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTiers = 3;  // front-end, app, database
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, kTiers);
+  pipeline::PipelineRuntime runtime(sim, kTiers, &tracker);
+  core::AdmissionController admission(
+      sim, tracker, core::FeasibleRegion::deadline_monotonic(kTiers));
+
+  std::vector<RequestClass> classes{
+      {"interactive", 150.0, {1 * kMilli, 2 * kMilli, 1 * kMilli},
+       250 * kMilli, 1'000'000},
+      {"checkout", 40.0, {1 * kMilli, 4 * kMilli, 8 * kMilli}, 800 * kMilli,
+       2'000'000},
+      {"report", 4.0, {2 * kMilli, 25 * kMilli, 40 * kMilli}, 5.0 * kSec,
+       3'000'000},
+  };
+
+  // The admission controller only knows the blended per-tier mean demand.
+  std::vector<Duration> blended(kTiers, 0);
+  double total_rate = 0;
+  for (const auto& c : classes) total_rate += c.arrival_rate;
+  for (std::size_t j = 0; j < kTiers; ++j) {
+    for (const auto& c : classes) {
+      blended[j] += c.mean_compute[j] * (c.arrival_rate / total_rate);
+    }
+  }
+  admission.set_approximate_means(blended);
+
+  // Per-class completion accounting.
+  runtime.set_on_task_complete(
+      [&](const core::TaskSpec& spec, Duration, bool missed) {
+        for (auto& c : classes) {
+          if (spec.id >= c.id_base && spec.id < c.id_base + 1'000'000) {
+            ++c.completed;
+            if (missed) ++c.missed;
+            return;
+          }
+        }
+      });
+
+  const Duration horizon = 60.0;
+  util::Rng rng(7);
+  std::vector<std::uint64_t> next_id(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    next_id[i] = classes[i].id_base;
+  }
+
+  std::vector<std::function<void()>> pumps(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    pumps[i] = [&, i] {
+      const Time t =
+          sim.now() + rng.exponential(1.0 / classes[i].arrival_rate);
+      if (t > horizon) return;
+      sim.at(t, [&, i] {
+        auto& cls = classes[i];
+        ++cls.offered;
+        core::TaskSpec req;
+        req.id = next_id[i]++;
+        req.deadline = cls.deadline;
+        req.stages.resize(kTiers);
+        for (std::size_t j = 0; j < kTiers; ++j) {
+          req.stages[j].compute = rng.exponential(cls.mean_compute[j]);
+        }
+        if (admission.try_admit(req).admitted) {
+          ++cls.admitted;
+          runtime.start_task(req, sim.now() + req.deadline);
+        }
+        pumps[i]();
+      });
+    };
+    pumps[i]();
+  }
+  sim.run();
+
+  std::printf("web server farm: 3 tiers, approximate admission control\n\n");
+  std::printf("%-12s %9s %9s %10s %7s\n", "class", "offered", "admitted",
+              "completed", "missed");
+  for (const auto& c : classes) {
+    std::printf("%-12s %9llu %9llu %10llu %7llu\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.offered),
+                static_cast<unsigned long long>(c.admitted),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.missed));
+  }
+  const auto u = runtime.stage_utilizations(5.0, horizon);
+  std::printf("\ntier utilization: front-end %.1f%%, app %.1f%%, db %.1f%%\n",
+              100 * u[0], 100 * u[1], 100 * u[2]);
+  std::printf("overall miss ratio: %.4f (high resolution keeps the "
+              "mean-based test accurate)\n",
+              runtime.misses().ratio());
+  return 0;
+}

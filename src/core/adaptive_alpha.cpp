@@ -1,0 +1,45 @@
+#include "core/adaptive_alpha.h"
+
+#include "core/stage_delay.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::core {
+
+AdaptiveAlphaAdmissionController::AdaptiveAlphaAdmissionController(
+    sim::Simulator& sim, SyntheticUtilizationTracker& tracker)
+    : sim_(sim), tracker_(tracker) {}
+
+AdaptiveDecision AdaptiveAlphaAdmissionController::try_admit(
+    const TaskSpec& spec, sched::PriorityValue priority) {
+  ++attempts_;
+  FRAP_EXPECTS(spec.valid());
+  FRAP_EXPECTS(spec.num_stages() == tracker_.num_stages());
+
+  const sched::TaskUrgency urgency{priority, spec.deadline};
+  AdaptiveDecision d;
+  d.alpha_used = estimator_.preview(urgency);
+
+  const auto add = spec.contributions();
+  auto u = tracker_.utilizations();
+  double lhs = 0;
+  for (std::size_t j = 0; j < u.size(); ++j) {
+    const double uj = u[j] + add[j];
+    if (uj >= 1.0) {
+      lhs = util::kInf;
+      break;
+    }
+    lhs += stage_delay_factor(uj);
+  }
+  d.lhs = lhs;
+  d.admitted = lhs <= d.alpha_used;
+
+  if (d.admitted) {
+    ++admitted_;
+    estimator_.observe(urgency);
+    tracker_.add(spec.id, add, sim_.now() + spec.deadline);
+  }
+  return d;
+}
+
+}  // namespace frap::core

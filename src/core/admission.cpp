@@ -1,0 +1,202 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::core {
+
+// ---------------------------------------------------------------- exact ---
+
+AdmissionController::AdmissionController(sim::Simulator& sim,
+                                         SyntheticUtilizationTracker& tracker,
+                                         FeasibleRegion region)
+    : sim_(sim), tracker_(tracker), region_(std::move(region)) {
+  FRAP_EXPECTS(tracker_.num_stages() == region_.num_stages());
+}
+
+void AdmissionController::set_approximate_means(
+    std::vector<Duration> mean_compute) {
+  FRAP_EXPECTS(mean_compute.size() == region_.num_stages());
+  for (Duration c : mean_compute) FRAP_EXPECTS(c >= 0);
+  mean_compute_ = std::move(mean_compute);
+}
+
+std::vector<double> AdmissionController::contributions_for(
+    const TaskSpec& spec) const {
+  FRAP_EXPECTS(spec.valid());
+  FRAP_EXPECTS(spec.num_stages() == region_.num_stages());
+  if (mean_compute_.empty()) return spec.contributions();
+  std::vector<double> c;
+  c.reserve(mean_compute_.size());
+  for (Duration m : mean_compute_) c.push_back(m / spec.deadline);
+  return c;
+}
+
+bool AdmissionController::test(const TaskSpec& spec) const {
+  const auto add = contributions_for(spec);
+  auto u = tracker_.utilizations();
+  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
+  return region_.contains(u);
+}
+
+AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec) {
+  return try_admit(spec, sim_.now() + spec.deadline);
+}
+
+AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
+                                                 Time absolute_deadline) {
+  ++attempts_;
+  const auto add = contributions_for(spec);
+  auto u = tracker_.utilizations();
+
+  AdmissionDecision d;
+  d.lhs_before = region_.lhs(u);
+  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
+  d.lhs_with_task = region_.lhs(u);
+  d.admitted = d.lhs_with_task <= region_.bound();
+
+  if (d.admitted) {
+    ++admitted_;
+    tracker_.add(spec.id, add, absolute_deadline);
+  }
+  if (audit_ != nullptr) {
+    audit_->record(AuditRecord{sim_.now(), spec.id, d.admitted,
+                               d.lhs_before, d.lhs_with_task,
+                               region_.bound()});
+  }
+  return d;
+}
+
+// -------------------------------------------------------------- waiting ---
+
+WaitingAdmissionController::WaitingAdmissionController(
+    sim::Simulator& sim, AdmissionController& inner, Duration patience)
+    : sim_(sim), inner_(inner), patience_(patience) {
+  FRAP_EXPECTS(patience >= 0);
+}
+
+void WaitingAdmissionController::attach() {
+  inner_.tracker().set_on_decrease([this] { retry(); });
+}
+
+void WaitingAdmissionController::decide(const Pending& p, bool admitted) {
+  if (decide_) decide_(p.spec, admitted, p.arrival, sim_.now());
+}
+
+void WaitingAdmissionController::submit(const TaskSpec& spec) {
+  const Time arrival = sim_.now();
+  // FIFO: while earlier arrivals wait, newcomers queue behind them even if
+  // they would fit — otherwise small tasks would starve large waiting ones.
+  if (queue_.empty()) {
+    const auto d = inner_.try_admit(spec, arrival + spec.deadline);
+    if (d.admitted) {
+      if (decide_) decide_(spec, true, arrival, arrival);
+      return;
+    }
+  }
+  if (patience_ <= 0) {
+    if (decide_) decide_(spec, false, arrival, arrival);
+    return;
+  }
+  const std::uint64_t id = spec.id;
+  Pending p{spec, arrival, sim::kInvalidEventId};
+  p.timeout_event = sim_.after(patience_, [this, id] { timeout(id); });
+  queue_.push_back(std::move(p));
+}
+
+void WaitingAdmissionController::retry() {
+  // The inner try_admit commits to the tracker, which may fire another
+  // decrease notification synchronously (it does not, but guard anyway);
+  // suppress re-entrant retries.
+  if (retrying_) return;
+  retrying_ = true;
+  while (!queue_.empty()) {
+    Pending& p = queue_.front();
+    const auto d = inner_.try_admit(p.spec, p.arrival + p.spec.deadline);
+    if (!d.admitted) break;  // FIFO: later tasks wait their turn
+    sim_.cancel(p.timeout_event);
+    Pending done = std::move(p);
+    queue_.pop_front();
+    decide(done, true);
+  }
+  retrying_ = false;
+}
+
+void WaitingAdmissionController::timeout(std::uint64_t task_id) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Pending& p) { return p.spec.id == task_id; });
+  if (it == queue_.end()) return;  // already admitted
+  Pending done = std::move(*it);
+  queue_.erase(it);
+  ++timed_out_;
+  decide(done, false);
+}
+
+// ------------------------------------------------------------- shedding ---
+
+SheddingAdmissionController::SheddingAdmissionController(
+    AdmissionController& inner, ShedCallback shed)
+    : inner_(inner), shed_(std::move(shed)) {
+  FRAP_EXPECTS(shed_ != nullptr);
+}
+
+AdmissionDecision SheddingAdmissionController::try_admit(
+    const TaskSpec& spec) {
+  AdmissionDecision d = inner_.try_admit(spec);
+  if (!d.admitted) {
+    // Shed in increasing importance, but never a task at least as important
+    // as the newcomer.
+    auto it = admitted_by_importance_.begin();
+    while (it != admitted_by_importance_.end() &&
+           it->first < spec.importance) {
+      const std::uint64_t victim = it->second;
+      if (filter_ && !filter_(victim)) {
+        // Not sheddable (e.g. already executing) — and it never will be,
+        // so drop it from the candidate pool.
+        it = admitted_by_importance_.erase(it);
+        continue;
+      }
+      it = admitted_by_importance_.erase(it);
+      if (!inner_.tracker().is_live(victim)) continue;  // already gone
+      inner_.tracker().remove_task(victim);
+      shed_(victim);
+      ++tasks_shed_;
+      d = inner_.try_admit(spec);
+      if (d.admitted) break;
+    }
+  }
+  if (d.admitted) {
+    admitted_by_importance_.emplace(spec.importance, spec.id);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------- graph ---
+
+GraphAdmissionController::GraphAdmissionController(
+    sim::Simulator& sim, SyntheticUtilizationTracker& tracker,
+    GraphRegionEvaluator evaluator)
+    : sim_(sim), tracker_(tracker), evaluator_(std::move(evaluator)) {}
+
+AdmissionDecision GraphAdmissionController::try_admit(
+    const GraphTaskSpec& spec) {
+  ++attempts_;
+  FRAP_EXPECTS(spec.valid(tracker_.num_stages()));
+  const auto add = spec.resource_contributions(tracker_.num_stages());
+  auto u = tracker_.utilizations();
+
+  AdmissionDecision d;
+  d.lhs_before = evaluator_.lhs(spec, u);
+  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
+  d.lhs_with_task = evaluator_.lhs(spec, u);
+  d.admitted = d.lhs_with_task <= evaluator_.bound(spec);
+
+  if (d.admitted) {
+    ++admitted_;
+    tracker_.add(spec.id, add, sim_.now() + spec.deadline);
+  }
+  return d;
+}
+
+}  // namespace frap::core

@@ -1,0 +1,197 @@
+// Admission control against the feasible region (Sec. 4 and Sec. 5).
+//
+// The base controller implements the O(N) test: tentatively add the
+// arriving task's per-stage contributions to the tracked synthetic
+// utilizations and admit iff the result stays inside the feasible region.
+// Costs are independent of how many tasks are in the system — the paper's
+// headline complexity claim, exercised by bench/micro_admission.
+//
+// Variants layered on top:
+//   * approximate admission (Sec. 4.4): the test uses per-stage MEAN
+//     computation times instead of the task's actual ones (the actual values
+//     still execute), modelling operators who only know averages;
+//   * waiting admission (Sec. 5): a rejected task may wait a bounded
+//     patience for the region to drain (it retries on every utilization
+//     decrease) before being finally rejected;
+//   * shedding admission (Sec. 5): when an important task does not fit,
+//     less important admitted tasks are shed (their contributions removed
+//     and their execution aborted) in increasing order of importance until
+//     the newcomer fits;
+//   * graph admission (Thm 2): the region is evaluated per task over its
+//     DAG's critical path instead of the pipeline sum.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/admission_audit.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "core/task_graph.h"
+#include "sim/simulator.h"
+
+namespace frap::core {
+
+struct AdmissionDecision {
+  bool admitted = false;
+  double lhs_before = 0;     // region LHS before the task
+  double lhs_with_task = 0;  // region LHS including the task (tested value)
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(sim::Simulator& sim,
+                      SyntheticUtilizationTracker& tracker,
+                      FeasibleRegion region);
+
+  // Switches to approximate admission: contributions are computed as
+  // mean_compute[j] / D_i instead of C_ij / D_i.
+  void set_approximate_means(std::vector<Duration> mean_compute);
+  bool approximate() const { return !mean_compute_.empty(); }
+
+  // Tests the task at the current instant; on admission its contribution is
+  // committed to the tracker with expiry at `absolute_deadline` (defaults to
+  // now + spec.deadline).
+  AdmissionDecision try_admit(const TaskSpec& spec);
+  AdmissionDecision try_admit(const TaskSpec& spec, Time absolute_deadline);
+
+  // Would the task be admitted right now? No state change.
+  bool test(const TaskSpec& spec) const;
+
+  const FeasibleRegion& region() const { return region_; }
+  SyntheticUtilizationTracker& tracker() { return tracker_; }
+
+  // Optional decision auditing; the audit must outlive the controller.
+  void set_audit(AdmissionAudit* audit) { audit_ = audit; }
+
+  std::uint64_t attempts() const { return attempts_; }
+  std::uint64_t admitted() const { return admitted_; }
+  double acceptance_ratio() const {
+    return attempts_ == 0
+               ? 0.0
+               : static_cast<double>(admitted_) /
+                     static_cast<double>(attempts_);
+  }
+
+ private:
+  std::vector<double> contributions_for(const TaskSpec& spec) const;
+
+  sim::Simulator& sim_;
+  SyntheticUtilizationTracker& tracker_;
+  FeasibleRegion region_;
+  std::vector<Duration> mean_compute_;  // empty = exact admission
+  AdmissionAudit* audit_ = nullptr;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+// Sec. 5 waiting behaviour: an arrival that does not fit immediately is
+// parked for up to `patience`; every utilization decrease retries the queue
+// in FIFO order. The absolute deadline stays anchored at the original
+// arrival time, so waiting consumes the task's own slack.
+class WaitingAdmissionController {
+ public:
+  // Decision callback: admitted flag, the task's original arrival time
+  // (its deadline stays anchored there), and the decision time (== the
+  // current simulation time; arrival + waiting).
+  using DecisionCallback = std::function<void(
+      const TaskSpec&, bool admitted, Time arrival, Time decision_time)>;
+
+  WaitingAdmissionController(sim::Simulator& sim, AdmissionController& inner,
+                             Duration patience);
+
+  // Call once; the controller hooks the tracker's decrease notifications.
+  // Any previously installed on-decrease callback is replaced.
+  void attach();
+
+  void set_decision_callback(DecisionCallback cb) { decide_ = std::move(cb); }
+
+  // Submits an arrival at the current time. May decide synchronously (fits
+  // now, or patience == 0) or later.
+  void submit(const TaskSpec& spec);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t timed_out() const { return timed_out_; }
+
+ private:
+  struct Pending {
+    TaskSpec spec;
+    Time arrival;
+    sim::EventId timeout_event;
+  };
+
+  void retry();
+  void timeout(std::uint64_t task_id);
+  void decide(const Pending& p, bool admitted);
+
+  sim::Simulator& sim_;
+  AdmissionController& inner_;
+  Duration patience_;
+  std::deque<Pending> queue_;
+  DecisionCallback decide_;
+  std::uint64_t timed_out_ = 0;
+  bool retrying_ = false;
+};
+
+// Sec. 5 load shedding: admitted tasks register with their semantic
+// importance; when a more important arrival does not fit, victims are shed
+// in increasing importance order until it does. The shed callback must
+// abort the victim's execution in the runtime (its contributions are
+// removed here).
+class SheddingAdmissionController {
+ public:
+  using ShedCallback = std::function<void(std::uint64_t task_id)>;
+  // Returns true when the task may be shed. SOUNDNESS: a task that has
+  // already consumed processor time must NOT be shed — its past
+  // interference is real while its synthetic-utilization contribution
+  // would vanish, which can make later admissions optimistic enough to
+  // miss deadlines (observed in tests). Wire this to
+  // PipelineRuntime::task_started_executing (negated). Without a filter
+  // every victim is fair game (the paper's unrestricted formulation).
+  using ShedFilter = std::function<bool(std::uint64_t task_id)>;
+
+  SheddingAdmissionController(AdmissionController& inner, ShedCallback shed);
+
+  void set_shed_filter(ShedFilter filter) { filter_ = std::move(filter); }
+
+  AdmissionDecision try_admit(const TaskSpec& spec);
+
+  std::uint64_t tasks_shed() const { return tasks_shed_; }
+
+ private:
+  AdmissionController& inner_;
+  ShedCallback shed_;
+  ShedFilter filter_;
+  // importance -> live task ids at that importance (multimap: FIFO within
+  // one importance level).
+  std::multimap<double, std::uint64_t> admitted_by_importance_;
+  std::uint64_t tasks_shed_ = 0;
+};
+
+// Theorem 2: admission for DAG-structured tasks. The region is evaluated
+// per task over its graph; contributions are per-resource sums.
+class GraphAdmissionController {
+ public:
+  GraphAdmissionController(sim::Simulator& sim,
+                           SyntheticUtilizationTracker& tracker,
+                           GraphRegionEvaluator evaluator);
+
+  AdmissionDecision try_admit(const GraphTaskSpec& spec);
+
+  std::uint64_t attempts() const { return attempts_; }
+  std::uint64_t admitted() const { return admitted_; }
+
+ private:
+  sim::Simulator& sim_;
+  SyntheticUtilizationTracker& tracker_;
+  GraphRegionEvaluator evaluator_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace frap::core

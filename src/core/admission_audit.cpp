@@ -1,0 +1,39 @@
+#include "core/admission_audit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace frap::core {
+
+void AdmissionAudit::record(const AuditRecord& r) {
+  acceptance_.record(r.admitted);
+  if (r.admitted) {
+    admitted_margin_.add(r.remaining_margin());
+  } else if (std::isfinite(r.lhs_with_task)) {
+    rejected_lhs_.add(r.lhs_with_task);
+  }
+  if (capacity_ == 0 || records_.size() < capacity_) {
+    records_.push_back(r);
+    return;
+  }
+  records_[head_] = r;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+const AuditRecord& AdmissionAudit::operator[](std::size_t i) const {
+  FRAP_EXPECTS(i < records_.size());
+  return records_[(head_ + i) % records_.size()];
+}
+
+void AdmissionAudit::dump(std::ostream& os) const {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const AuditRecord& r = (*this)[i];
+    os << r.time << '\t' << r.task_id << '\t'
+       << (r.admitted ? "admit" : "reject") << '\t' << r.lhs_before << '\t'
+       << r.lhs_with_task << '\t' << r.bound << '\n';
+  }
+}
+
+}  // namespace frap::core

@@ -1,0 +1,68 @@
+// Structured admission-decision history.
+//
+// Operators debugging "why was this task rejected at 14:03?" need the
+// decision record: the region LHS before and with the task, and the margin
+// to the bound at that instant. The audit attaches to an
+// AdmissionController and keeps a (optionally bounded) log plus running
+// summaries.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "util/time.h"
+
+namespace frap::core {
+
+struct AuditRecord {
+  Time time = kTimeZero;
+  std::uint64_t task_id = 0;
+  bool admitted = false;
+  double lhs_before = 0;
+  double lhs_with_task = 0;
+  double bound = 0;
+
+  // Slack that remained after the decision: bound - lhs_with_task for
+  // admissions, bound - lhs_before for rejections (the state kept).
+  double remaining_margin() const {
+    return bound - (admitted ? lhs_with_task : lhs_before);
+  }
+};
+
+class AdmissionAudit {
+ public:
+  // capacity 0 = unbounded; otherwise a ring keeping the newest records.
+  explicit AdmissionAudit(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void record(const AuditRecord& r);
+
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  // i = 0 is the OLDEST retained record.
+  const AuditRecord& operator[](std::size_t i) const;
+
+  // Rolling summaries over everything ever recorded (not just retained).
+  const metrics::RatioTracker& acceptance() const { return acceptance_; }
+  const metrics::RunningStats& admitted_margin() const {
+    return admitted_margin_;
+  }
+  // LHS values that rejections were tested at — how far over the boundary
+  // demand was pushing.
+  const metrics::RunningStats& rejected_lhs() const { return rejected_lhs_; }
+
+  // Tab-separated dump: time, task, verdict, lhs_before, lhs_with, bound.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::vector<AuditRecord> records_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+  metrics::RatioTracker acceptance_;
+  metrics::RunningStats admitted_margin_;
+  metrics::RunningStats rejected_lhs_;
+};
+
+}  // namespace frap::core

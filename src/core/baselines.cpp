@@ -1,0 +1,82 @@
+#include "core/baselines.h"
+
+#include <cmath>
+
+#include "core/stage_delay.h"
+#include "util/check.h"
+
+namespace frap::core {
+
+double liu_layland_bound(std::size_t n) {
+  FRAP_EXPECTS(n >= 1);
+  const double nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool liu_layland_schedulable(std::span<const double> task_utilizations) {
+  double total = 0;
+  for (double u : task_utilizations) {
+    FRAP_EXPECTS(u >= 0);
+    total += u;
+  }
+  if (task_utilizations.empty()) return true;
+  return total <= liu_layland_bound(task_utilizations.size());
+}
+
+bool hyperbolic_schedulable(std::span<const double> task_utilizations) {
+  double prod = 1.0;
+  for (double u : task_utilizations) {
+    FRAP_EXPECTS(u >= 0);
+    prod *= u + 1.0;
+  }
+  return prod <= 2.0;
+}
+
+DeadlineSplitAdmissionController::DeadlineSplitAdmissionController(
+    sim::Simulator& sim, SyntheticUtilizationTracker& tracker)
+    : sim_(sim), tracker_(tracker) {}
+
+AdmissionDecision DeadlineSplitAdmissionController::try_admit(
+    const TaskSpec& spec) {
+  ++attempts_;
+  FRAP_EXPECTS(spec.valid());
+  const std::size_t n = tracker_.num_stages();
+  FRAP_EXPECTS(spec.num_stages() == n);
+
+  // Intermediate deadline D_i / N per stage: the stage-local contribution is
+  // C_ij / (D_i / N).
+  std::vector<double> add;
+  add.reserve(n);
+  const double nd = static_cast<double>(n);
+  for (const auto& s : spec.stages) {
+    add.push_back(s.compute * nd / spec.deadline);
+  }
+
+  const double cap = uniprocessor_bound();
+  auto u = tracker_.utilizations();
+
+  AdmissionDecision d;
+  // Report the worst per-stage margin consumption through the lhs fields so
+  // experiments can log comparable quantities (scaled so that 1.0 = at the
+  // bound, like the region controllers).
+  double worst_before = 0;
+  double worst_after = 0;
+  bool ok = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    worst_before = std::max(worst_before, u[j] / cap);
+    const double after = u[j] + add[j];
+    worst_after = std::max(worst_after, after / cap);
+    if (after > cap) ok = false;
+  }
+  d.lhs_before = worst_before;
+  d.lhs_with_task = worst_after;
+  d.admitted = ok;
+
+  if (ok) {
+    ++admitted_;
+    tracker_.add(spec.id, add, sim_.now() + spec.deadline);
+  }
+  return d;
+}
+
+}  // namespace frap::core

@@ -1,0 +1,35 @@
+#include "core/region_geometry.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/stage_delay.h"
+#include "util/check.h"
+
+namespace frap::core {
+
+double region_volume_mc(const FeasibleRegion& region, std::size_t samples,
+                        util::Rng& rng) {
+  FRAP_EXPECTS(samples >= 1);
+  const std::size_t n = region.num_stages();
+  std::vector<double> point(n);
+  std::size_t inside = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (auto& x : point) x = rng.uniform01();
+    if (region.contains(point)) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(samples);
+}
+
+double deadline_split_volume(std::size_t num_stages) {
+  FRAP_EXPECTS(num_stages >= 1);
+  return std::pow(uniprocessor_bound() / static_cast<double>(num_stages),
+                  static_cast<double>(num_stages));
+}
+
+double single_resource_volume(const FeasibleRegion& region) {
+  FRAP_EXPECTS(region.num_stages() == 1);
+  return stage_delay_factor_inverse(region.bound());
+}
+
+}  // namespace frap::core

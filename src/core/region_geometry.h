@@ -1,0 +1,32 @@
+// Geometry of the feasible region: how much of the utilization space the
+// admission controller can actually use.
+//
+// The region { U in [0,1)^N : sum f(U_j) <= B } is convex; its volume is a
+// policy-independent measure of admissible operating points, handy for
+// comparing against baselines (the per-stage deadline-splitting region is
+// the box [0, 0.586/N]^N in the same coordinates — strictly smaller).
+// Volume is estimated by Monte Carlo over [0,1]^N (exact in N = 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/feasible_region.h"
+#include "util/rng.h"
+
+namespace frap::core {
+
+// Monte Carlo estimate of the region's volume within the unit hypercube.
+// Deterministic given the rng's seed. `samples` >= 1.
+double region_volume_mc(const FeasibleRegion& region, std::size_t samples,
+                        util::Rng& rng);
+
+// Volume of the per-stage deadline-splitting admissible set in synthetic-
+// utilization coordinates: each stage independently requires
+// U_j <= uniprocessor_bound()/N, a box of volume (0.586/N)^N.
+double deadline_split_volume(std::size_t num_stages);
+
+// Exact volume for a single resource: the interval [0, f_inv(bound)].
+double single_resource_volume(const FeasibleRegion& region);
+
+}  // namespace frap::core

@@ -1,0 +1,56 @@
+#include "core/reservation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::core {
+
+ReservationPlanner::ReservationPlanner(std::vector<StageRule> rules)
+    : rules_(std::move(rules)),
+      sum_(rules_.size(), 0.0),
+      max_(rules_.size(), 0.0) {
+  FRAP_EXPECTS(!rules_.empty());
+}
+
+void ReservationPlanner::add_contributions(
+    const std::vector<double>& per_stage) {
+  FRAP_EXPECTS(per_stage.size() == rules_.size());
+  for (std::size_t j = 0; j < rules_.size(); ++j) {
+    FRAP_EXPECTS(per_stage[j] >= 0);
+    sum_[j] += per_stage[j];
+    max_[j] = std::max(max_[j], per_stage[j]);
+  }
+}
+
+void ReservationPlanner::add_task(const TaskSpec& spec) {
+  FRAP_EXPECTS(spec.valid());
+  add_contributions(spec.contributions());
+}
+
+std::vector<double> ReservationPlanner::reserved() const {
+  std::vector<double> r(rules_.size());
+  for (std::size_t j = 0; j < rules_.size(); ++j) {
+    r[j] = rules_[j] == StageRule::kSum ? sum_[j] : max_[j];
+  }
+  return r;
+}
+
+double ReservationPlanner::certification_lhs(
+    const FeasibleRegion& region) const {
+  return region.lhs(reserved());
+}
+
+bool ReservationPlanner::certifies(const FeasibleRegion& region) const {
+  return region.contains(reserved());
+}
+
+void ReservationPlanner::apply(SyntheticUtilizationTracker& tracker) const {
+  FRAP_EXPECTS(tracker.num_stages() == rules_.size());
+  const auto r = reserved();
+  for (std::size_t j = 0; j < rules_.size(); ++j) {
+    tracker.set_reservation(j, r[j]);
+  }
+}
+
+}  // namespace frap::core

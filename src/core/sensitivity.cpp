@@ -1,0 +1,41 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/stage_delay.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::core {
+
+std::vector<double> stage_pressures(std::span<const double> utilizations) {
+  std::vector<double> p;
+  p.reserve(utilizations.size());
+  for (double u : utilizations) {
+    FRAP_EXPECTS(u >= 0);
+    p.push_back(u >= 1.0 ? util::kInf : stage_delay_factor_derivative(u));
+  }
+  return p;
+}
+
+std::vector<std::size_t> upgrade_priority(
+    std::span<const double> utilizations) {
+  const auto pressures = stage_pressures(utilizations);
+  std::vector<std::size_t> order(pressures.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return pressures[a] > pressures[b];
+                   });
+  return order;
+}
+
+double lhs_delta_estimate(std::span<const double> utilizations,
+                          std::size_t stage, double delta_u) {
+  FRAP_EXPECTS(stage < utilizations.size());
+  const auto pressures = stage_pressures(utilizations);
+  return pressures[stage] * delta_u;
+}
+
+}  // namespace frap::core

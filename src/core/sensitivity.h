@@ -1,0 +1,29 @@
+// Sensitivity analysis over the feasible region.
+//
+// The region LHS is sum f(U_j); its gradient f'(U_j) = (1 - U + U^2/2) /
+// (1 - U)^2 tells an operator where the region is being consumed fastest:
+// the stage with the largest "pressure" is where shaving demand (or adding
+// hardware) buys the most admission headroom per unit of synthetic
+// utilization. Pure analysis — no simulator involvement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace frap::core {
+
+// f'(U_j) per stage. Saturated stages (U >= 1) get +infinity.
+std::vector<double> stage_pressures(std::span<const double> utilizations);
+
+// Stage indices ordered by descending pressure (ties by lower index):
+// element 0 is the stage where relief is most valuable.
+std::vector<std::size_t> upgrade_priority(
+    std::span<const double> utilizations);
+
+// First-order estimate of the LHS change if stage `stage` shifted by
+// `delta_u` (can be negative): f'(U_stage) * delta_u.
+double lhs_delta_estimate(std::span<const double> utilizations,
+                          std::size_t stage, double delta_u);
+
+}  // namespace frap::core

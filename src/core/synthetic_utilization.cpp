@@ -1,0 +1,126 @@
+#include "core/synthetic_utilization.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::core {
+
+SyntheticUtilizationTracker::SyntheticUtilizationTracker(
+    sim::Simulator& sim, std::size_t num_stages)
+    : sim_(sim), stage_(num_stages) {
+  FRAP_EXPECTS(num_stages >= 1);
+}
+
+void SyntheticUtilizationTracker::set_reservation(std::size_t stage,
+                                                  double value) {
+  FRAP_EXPECTS(stage < stage_.size());
+  FRAP_EXPECTS(value >= 0 && value < 1.0);
+  stage_[stage].reserved = value;
+}
+
+double SyntheticUtilizationTracker::reservation(std::size_t stage) const {
+  FRAP_EXPECTS(stage < stage_.size());
+  return stage_[stage].reserved;
+}
+
+double SyntheticUtilizationTracker::utilization(std::size_t stage) const {
+  FRAP_EXPECTS(stage < stage_.size());
+  const StageState& s = stage_[stage];
+  // Floating-point cancellation can leave a tiny negative residue after many
+  // add/remove cycles; clamp so region tests never see U < reserved.
+  return s.reserved + std::max(0.0, s.dynamic);
+}
+
+std::vector<double> SyntheticUtilizationTracker::utilizations() const {
+  std::vector<double> u;
+  u.reserve(stage_.size());
+  for (std::size_t j = 0; j < stage_.size(); ++j) u.push_back(utilization(j));
+  return u;
+}
+
+void SyntheticUtilizationTracker::add(std::uint64_t task_id,
+                                      std::span<const double> per_stage,
+                                      Time absolute_deadline) {
+  FRAP_EXPECTS(per_stage.size() == stage_.size());
+  FRAP_EXPECTS(absolute_deadline >= sim_.now());
+  FRAP_EXPECTS(tasks_.find(task_id) == tasks_.end());
+
+  TaskRecord rec;
+  rec.contribution.assign(per_stage.begin(), per_stage.end());
+  rec.departed.assign(stage_.size(), false);
+  for (std::size_t j = 0; j < stage_.size(); ++j) {
+    FRAP_EXPECTS(rec.contribution[j] >= 0);
+    stage_[j].dynamic += rec.contribution[j];
+  }
+  rec.expiry_event =
+      sim_.at(absolute_deadline, [this, task_id] { expire(task_id); });
+  tasks_.emplace(task_id, std::move(rec));
+}
+
+double SyntheticUtilizationTracker::strip_stage(TaskRecord& rec,
+                                                std::size_t stage) {
+  const double c = rec.contribution[stage];
+  if (c > 0) {
+    stage_[stage].dynamic -= c;
+    rec.contribution[stage] = 0;
+  }
+  return c;
+}
+
+void SyntheticUtilizationTracker::expire(std::uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  bool decreased = false;
+  for (std::size_t j = 0; j < stage_.size(); ++j) {
+    if (strip_stage(it->second, j) > 0) decreased = true;
+  }
+  tasks_.erase(it);
+  if (decreased) notify_decrease();
+}
+
+void SyntheticUtilizationTracker::mark_departed(std::uint64_t task_id,
+                                                std::size_t stage) {
+  FRAP_EXPECTS(stage < stage_.size());
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;  // contribution already expired
+  if (!it->second.departed[stage]) {
+    it->second.departed[stage] = true;
+    stage_[stage].departed_queue.push_back(task_id);
+  }
+}
+
+void SyntheticUtilizationTracker::on_stage_idle(std::size_t stage) {
+  FRAP_EXPECTS(stage < stage_.size());
+  if (!idle_reset_) {
+    return;
+  }
+  bool decreased = false;
+  // Remove contributions of all tasks that have departed this stage: they
+  // cannot affect its future schedule (Sec. 4).
+  for (std::uint64_t id : stage_[stage].departed_queue) {
+    auto it = tasks_.find(id);
+    if (it == tasks_.end()) continue;  // expired in the meantime
+    if (strip_stage(it->second, stage) > 0) decreased = true;
+  }
+  stage_[stage].departed_queue.clear();
+  if (decreased) notify_decrease();
+}
+
+void SyntheticUtilizationTracker::remove_task(std::uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  bool decreased = false;
+  for (std::size_t j = 0; j < stage_.size(); ++j) {
+    if (strip_stage(it->second, j) > 0) decreased = true;
+  }
+  sim_.cancel(it->second.expiry_event);
+  tasks_.erase(it);
+  if (decreased) notify_decrease();
+}
+
+void SyntheticUtilizationTracker::notify_decrease() {
+  if (on_decrease_) on_decrease_();
+}
+
+}  // namespace frap::core

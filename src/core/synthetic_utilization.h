@@ -1,0 +1,112 @@
+// Per-stage synthetic-utilization accounting (Sec. 2 and Sec. 4).
+//
+// U_j(t) = sum over current tasks of C_ij / D_i. The tracker maintains this
+// quantity per stage with three mutations:
+//   * add(): a task is admitted; its contribution joins every stage it
+//     touches and an expiry event is scheduled at its absolute deadline.
+//   * expiry: at A_i + D_i the contribution leaves S(t) automatically.
+//   * idle reset (Sec. 4): when a stage goes idle, contributions of tasks
+//     that already *departed* the stage (finished their subtask there) are
+//     removed early — they can no longer affect that stage's schedule. This
+//     is the key pessimism-reducing device of the paper's admission
+//     controller and can be disabled for the ablation study (A1).
+//
+// Reservations (Sec. 5): each stage carries a floor U_j^res representing
+// capacity set aside for critical tasks; the reported utilization never
+// drops below the floor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace frap::core {
+
+class SyntheticUtilizationTracker {
+ public:
+  SyntheticUtilizationTracker(sim::Simulator& sim, std::size_t num_stages);
+
+  std::size_t num_stages() const { return stage_.size(); }
+
+  // Disables the idle-reset rule (ablation A1). Default: enabled.
+  void set_idle_reset_enabled(bool enabled) { idle_reset_ = enabled; }
+
+  // Sets the reserved floor for a stage (Sec. 5). The floor contributes to
+  // utilization() immediately and permanently.
+  void set_reservation(std::size_t stage, double value);
+  double reservation(std::size_t stage) const;
+
+  // Current synthetic utilization of one stage (includes the reserved
+  // floor).
+  double utilization(std::size_t stage) const;
+
+  // Snapshot across stages, in stage order.
+  std::vector<double> utilizations() const;
+
+  // Registers an admitted task's contribution: per_stage[j] is C_ij / D_i
+  // (zero entries are allowed and ignored). Expires automatically at
+  // `absolute_deadline`. Task ids must be unique among live tasks.
+  void add(std::uint64_t task_id, std::span<const double> per_stage,
+           Time absolute_deadline);
+
+  // Marks that the task finished its work on `stage` (subtask departure).
+  // Safe to call for tasks the tracker no longer knows (already expired).
+  void mark_departed(std::uint64_t task_id, std::size_t stage);
+
+  // Signals that `stage` went idle: under the idle-reset rule all departed
+  // contributions at that stage are removed early.
+  void on_stage_idle(std::size_t stage);
+
+  // Removes the task's remaining contributions everywhere (used by load
+  // shedding and by aborted tasks). No-op for unknown ids.
+  void remove_task(std::uint64_t task_id);
+
+  // Callback fired after any utilization decrease (expiry, idle reset,
+  // removal); waiting admission controllers retry from here.
+  void set_on_decrease(std::function<void()> cb) {
+    on_decrease_ = std::move(cb);
+  }
+
+  // Number of tasks with live (unexpired, unremoved) contributions.
+  std::size_t live_tasks() const { return tasks_.size(); }
+
+  // True while the task's contribution record exists (not yet expired or
+  // removed).
+  bool is_live(std::uint64_t task_id) const {
+    return tasks_.find(task_id) != tasks_.end();
+  }
+
+ private:
+  struct TaskRecord {
+    std::vector<double> contribution;  // per stage; 0 = none/removed
+    std::vector<bool> departed;        // subtask finished at stage
+    sim::EventId expiry_event = sim::kInvalidEventId;
+  };
+
+  struct StageState {
+    double dynamic = 0;  // sum of live contributions
+    double reserved = 0; // floor
+    // Tasks that departed this stage since it last went idle; drained (and
+    // their contributions stripped) on the next idle event. Keeps the idle
+    // reset O(#departures) instead of O(#live tasks).
+    std::vector<std::uint64_t> departed_queue;
+  };
+
+  void expire(std::uint64_t task_id);
+  // Removes the task's contribution from one stage; returns the amount.
+  double strip_stage(TaskRecord& rec, std::size_t stage);
+  void notify_decrease();
+
+  sim::Simulator& sim_;
+  std::vector<StageState> stage_;
+  std::unordered_map<std::uint64_t, TaskRecord> tasks_;
+  bool idle_reset_ = true;
+  std::function<void()> on_decrease_;
+};
+
+}  // namespace frap::core

@@ -1,0 +1,157 @@
+#include "core/task_graph.h"
+
+#include <algorithm>
+
+#include "core/stage_delay.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::core {
+
+namespace {
+
+// Kahn's algorithm; returns empty when a cycle exists (distinguishable from
+// the empty graph by the caller).
+std::vector<std::size_t> topo_sort(std::size_t n,
+                                   const std::vector<GraphEdge>& edges) {
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> out(n);
+  for (const auto& e : edges) {
+    out[e.from].push_back(e.to);
+    ++indegree[e.to];
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  // Pop smallest index first for deterministic order.
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end(), std::greater<>());
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (std::size_t w : out[v]) {
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) order.clear();  // cycle
+  return order;
+}
+
+}  // namespace
+
+bool GraphTaskSpec::valid(std::size_t num_resources) const {
+  if (deadline <= 0 || nodes.empty()) return false;
+  for (const auto& n : nodes) {
+    if (n.resource >= num_resources) return false;
+    if (!n.demand.valid()) return false;
+  }
+  for (const auto& e : edges) {
+    if (e.from >= nodes.size() || e.to >= nodes.size()) return false;
+    if (e.from == e.to) return false;
+  }
+  return !topo_sort(nodes.size(), edges).empty();
+}
+
+std::vector<std::size_t> GraphTaskSpec::topological_order() const {
+  auto order = topo_sort(nodes.size(), edges);
+  FRAP_EXPECTS(!order.empty() || nodes.empty());
+  return order;
+}
+
+std::vector<std::size_t> GraphTaskSpec::sources() const {
+  std::vector<bool> has_pred(nodes.size(), false);
+  for (const auto& e : edges) has_pred[e.to] = true;
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!has_pred[i]) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::size_t> GraphTaskSpec::sinks() const {
+  std::vector<bool> has_succ(nodes.size(), false);
+  for (const auto& e : edges) has_succ[e.from] = true;
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!has_succ[i]) result.push_back(i);
+  }
+  return result;
+}
+
+double GraphTaskSpec::critical_path(
+    std::span<const double> node_weights) const {
+  FRAP_EXPECTS(node_weights.size() == nodes.size());
+  const auto order = topological_order();
+  std::vector<std::vector<std::size_t>> in(nodes.size());
+  for (const auto& e : edges) in[e.to].push_back(e.from);
+
+  // dist[v] = max path weight ending at v (inclusive).
+  std::vector<double> dist(nodes.size(), 0);
+  double best = 0;
+  for (std::size_t v : order) {
+    double longest_pred = 0;
+    for (std::size_t p : in[v]) longest_pred = std::max(longest_pred, dist[p]);
+    dist[v] = longest_pred + node_weights[v];
+    best = std::max(best, dist[v]);
+  }
+  return best;
+}
+
+std::vector<double> GraphTaskSpec::resource_contributions(
+    std::size_t num_resources) const {
+  FRAP_EXPECTS(deadline > 0);
+  std::vector<double> c(num_resources, 0);
+  for (const auto& n : nodes) {
+    FRAP_EXPECTS(n.resource < num_resources);
+    c[n.resource] += n.demand.compute / deadline;
+  }
+  return c;
+}
+
+GraphTaskSpec GraphTaskSpec::from_pipeline(const TaskSpec& spec) {
+  GraphTaskSpec g;
+  g.id = spec.id;
+  g.deadline = spec.deadline;
+  g.importance = spec.importance;
+  g.nodes.reserve(spec.stages.size());
+  for (std::size_t j = 0; j < spec.stages.size(); ++j) {
+    g.nodes.push_back(GraphNode{j, spec.stages[j]});
+    if (j > 0) g.edges.push_back(GraphEdge{j - 1, j});
+  }
+  return g;
+}
+
+GraphRegionEvaluator::GraphRegionEvaluator(double alpha,
+                                           std::vector<double> beta)
+    : alpha_(alpha), beta_(std::move(beta)) {
+  FRAP_EXPECTS(alpha_ > 0 && alpha_ <= 1.0);
+  for (double b : beta_) FRAP_EXPECTS(b >= 0);
+}
+
+double GraphRegionEvaluator::lhs(const GraphTaskSpec& task,
+                                 std::span<const double> utilizations) const {
+  std::vector<double> w(task.nodes.size());
+  for (std::size_t i = 0; i < task.nodes.size(); ++i) {
+    const std::size_t r = task.nodes[i].resource;
+    FRAP_EXPECTS(r < utilizations.size());
+    if (utilizations[r] >= 1.0) return util::kInf;
+    w[i] = stage_delay_factor(utilizations[r]);
+  }
+  return task.critical_path(w);
+}
+
+double GraphRegionEvaluator::bound(const GraphTaskSpec& task) const {
+  if (beta_.empty()) return alpha_;
+  std::vector<double> w(task.nodes.size());
+  for (std::size_t i = 0; i < task.nodes.size(); ++i) {
+    const std::size_t r = task.nodes[i].resource;
+    w[i] = r < beta_.size() ? beta_[r] : 0.0;
+  }
+  const double blocking_path = task.critical_path(w);
+  return alpha_ * (1.0 - blocking_path);
+}
+
+}  // namespace frap::core

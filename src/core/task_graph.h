@@ -1,0 +1,98 @@
+// Arbitrary directed-acyclic task graphs (Sec. 3.3, Theorem 2).
+//
+// A graph task is a DAG of subtasks, each mapped to a resource. Its
+// end-to-end delay is the critical path of per-subtask stage delays:
+// d(L_1..L_M) = max over source->sink paths of sum(L_i). Substituting
+// Theorem 1 gives the per-task feasible region. With PCP blocking the
+// sufficient condition implemented here is
+//
+//     d(f(U_{k_i}))  <=  alpha * (1 - d(beta_{k_i})),
+//
+// which follows from d's subadditivity (max-of-sums) plus D_n/D_max >= alpha
+// and reduces exactly to Eq. 15 for a chain. Multiple subtasks may share a
+// resource (they then read the same U_k), matching the paper's observation
+// after Theorem 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task.h"
+
+namespace frap::core {
+
+struct GraphNode {
+  std::size_t resource = 0;  // index of the resource (stage server) used
+  StageDemand demand;
+};
+
+struct GraphEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+struct GraphTaskSpec {
+  std::uint64_t id = 0;
+  Duration deadline = 0;
+  double importance = 0;
+  std::vector<GraphNode> nodes;
+  std::vector<GraphEdge> edges;
+
+  std::size_t num_nodes() const { return nodes.size(); }
+
+  // True when edges reference valid nodes and the graph is acyclic.
+  bool valid(std::size_t num_resources) const;
+
+  // Topological order of node indices. Requires valid().
+  std::vector<std::size_t> topological_order() const;
+
+  // Nodes with no predecessors / successors.
+  std::vector<std::size_t> sources() const;
+  std::vector<std::size_t> sinks() const;
+
+  // Critical path: max over paths of the sum of node_weights[i].
+  // node_weights.size() must equal num_nodes(). Requires acyclicity.
+  double critical_path(std::span<const double> node_weights) const;
+
+  // End-to-end delay for given per-node residence times (same computation
+  // as critical_path; named for readability at call sites).
+  Duration end_to_end_delay(std::span<const Duration> node_delays) const {
+    return critical_path(node_delays);
+  }
+
+  // Synthetic-utilization contribution per resource: sum of C on that
+  // resource divided by D (subtasks sharing a resource accumulate).
+  std::vector<double> resource_contributions(std::size_t num_resources) const;
+
+  // Convenience: builds a chain-shaped (pipeline) graph task from a
+  // pipeline TaskSpec with stage j on resource j.
+  static GraphTaskSpec from_pipeline(const TaskSpec& spec);
+};
+
+// Evaluates Theorem 2 for one task shape against a utilization snapshot.
+class GraphRegionEvaluator {
+ public:
+  // beta_per_resource may be empty (treated as all zeros).
+  GraphRegionEvaluator(double alpha, std::vector<double> beta_per_resource);
+
+  // d(f(U_{k_i})) over the task's graph. +infinity if any touched U >= 1.
+  double lhs(const GraphTaskSpec& task,
+             std::span<const double> utilizations) const;
+
+  // alpha * (1 - d(beta_{k_i})) for this task's graph.
+  double bound(const GraphTaskSpec& task) const;
+
+  bool feasible(const GraphTaskSpec& task,
+                std::span<const double> utilizations) const {
+    return lhs(task, utilizations) <= bound(task);
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> beta_;
+};
+
+}  // namespace frap::core

@@ -1,0 +1,60 @@
+// Simple event-counting metrics used by experiments: acceptance ratio of the
+// admission controller, deadline-miss ratio of admitted tasks, etc.
+#pragma once
+
+#include <cstdint>
+
+namespace frap::metrics {
+
+// Tracks a numerator over a denominator (e.g., misses over completions).
+class RatioTracker {
+ public:
+  void record(bool hit) {
+    ++total_;
+    if (hit) ++hits_;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t total() const { return total_; }
+
+  // hits/total; 0 when nothing recorded yet.
+  double ratio() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(hits_) /
+                                   static_cast<double>(total_);
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Streaming mean/variance/min/max (Welford's algorithm), for response-time
+// style observations where storing every sample would be wasteful.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace frap::metrics

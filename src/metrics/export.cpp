@@ -1,0 +1,45 @@
+#include "metrics/export.h"
+
+namespace frap::metrics {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv(const util::Table& table, std::ostream& os) {
+  auto emit_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(table.header());
+  for (std::size_t r = 0; r < table.rows(); ++r) emit_row(table.row(r));
+}
+
+void write_csv(const TimeSeries& series, std::ostream& os) {
+  os << "time,value\n";
+  for (const auto& s : series.samples()) {
+    os << s.time << ',' << s.value << '\n';
+  }
+}
+
+void write_csv(const Histogram& histogram, std::ostream& os) {
+  os << "bucket_lo,bucket_hi,count\n";
+  for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
+    os << histogram.bucket_lo(i) << ',' << histogram.bucket_hi(i) << ','
+       << histogram.bucket(i) << '\n';
+  }
+}
+
+}  // namespace frap::metrics

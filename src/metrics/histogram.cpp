@@ -1,0 +1,52 @@
+#include "metrics/histogram.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace frap::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  FRAP_EXPECTS(hi > lo);
+  FRAP_EXPECTS(buckets >= 1);
+}
+
+void Histogram::add(double x) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge case at hi_
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  FRAP_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  FRAP_EXPECTS(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  FRAP_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return bucket_lo(i) + width_;
+  }
+  return hi_;
+}
+
+}  // namespace frap::metrics

@@ -1,0 +1,38 @@
+// Fixed-range linear histogram for distribution-shaped metrics (response
+// times, stage delays). Out-of-range samples are clamped into the edge
+// buckets so totals always match the number of samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace frap::metrics {
+
+class Histogram {
+ public:
+  // Buckets partition [lo, hi) evenly. Requires hi > lo and buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::uint64_t total() const { return total_; }
+
+  // Left / right edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  // Smallest value v such that at least q (in [0,1]) of the mass lies in
+  // buckets whose right edge is <= v. Approximate (bucket resolution).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace frap::metrics

@@ -1,0 +1,49 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::metrics {
+
+TimeSeries::TimeSeries(sim::Simulator& sim, Duration interval,
+                       std::function<double()> probe)
+    : sim_(sim), interval_(interval), probe_(std::move(probe)) {
+  FRAP_EXPECTS(interval_ > 0);
+  FRAP_EXPECTS(probe_ != nullptr);
+}
+
+void TimeSeries::start(Time until) {
+  FRAP_EXPECTS(until >= sim_.now());
+  until_ = until;
+  tick();
+}
+
+void TimeSeries::tick() {
+  samples_.push_back(Sample{sim_.now(), probe_()});
+  const Time next = sim_.now() + interval_;
+  if (next > until_) return;
+  sim_.at(next, [this] { tick(); });
+}
+
+double TimeSeries::mean(Time from, Time to) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.time >= from && s.time <= to) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::max(Time from, Time to) const {
+  double best = 0;
+  for (const auto& s : samples_) {
+    if (s.time >= from && s.time <= to) best = std::max(best, s.value);
+  }
+  return best;
+}
+
+}  // namespace frap::metrics

@@ -1,0 +1,47 @@
+// Periodic sampling of a runtime quantity into a (time, value) series —
+// e.g. synthetic utilization over time, queue lengths, or live-task counts.
+// Drives itself with simulator events.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace frap::metrics {
+
+class TimeSeries {
+ public:
+  struct Sample {
+    Time time;
+    double value;
+  };
+
+  // Samples `probe` every `interval` from the moment start() is called
+  // until `until` (inclusive of the first tick at the start time).
+  TimeSeries(sim::Simulator& sim, Duration interval,
+             std::function<double()> probe);
+
+  // Begins sampling now; stops after `until` (absolute time).
+  void start(Time until);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Mean of sample values in [from, to]; 0 when no samples fall inside.
+  double mean(Time from, Time to) const;
+
+  // Largest sample value in [from, to]; 0 when none.
+  double max(Time from, Time to) const;
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  Duration interval_;
+  std::function<double()> probe_;
+  Time until_ = kTimeZero;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace frap::metrics

@@ -1,0 +1,43 @@
+#include "metrics/utilization_meter.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::metrics {
+
+void UtilizationMeter::set_busy(Time t) {
+  FRAP_EXPECTS(!busy_);
+  FRAP_EXPECTS(intervals_.empty() || t >= intervals_.back().end);
+  busy_ = true;
+  busy_since_ = t;
+}
+
+void UtilizationMeter::set_idle(Time t) {
+  FRAP_EXPECTS(busy_);
+  FRAP_EXPECTS(t >= busy_since_);
+  intervals_.push_back(Interval{busy_since_, t});
+  busy_ = false;
+}
+
+Duration UtilizationMeter::busy_time(Time from, Time to) const {
+  FRAP_EXPECTS(to >= from);
+  Duration total = 0;
+  for (const auto& iv : intervals_) {
+    const Time b = std::max(iv.begin, from);
+    const Time e = std::min(iv.end, to);
+    if (e > b) total += e - b;
+  }
+  if (busy_) {
+    const Time b = std::max(busy_since_, from);
+    if (to > b) total += to - b;
+  }
+  return total;
+}
+
+double UtilizationMeter::utilization(Time from, Time to) const {
+  FRAP_EXPECTS(to > from);
+  return busy_time(from, to) / (to - from);
+}
+
+}  // namespace frap::metrics

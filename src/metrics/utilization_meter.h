@@ -1,0 +1,47 @@
+// Measures *real* utilization of a resource: the fraction of wall (virtual)
+// time the resource spent busy. This is the y-axis of the paper's Figures
+// 4-6 ("average real stage utilization ... the percentage of time the
+// processor is busy"), as opposed to synthetic utilization, which is an
+// analytical quantity.
+#pragma once
+
+#include <vector>
+
+#include "util/time.h"
+
+namespace frap::metrics {
+
+class UtilizationMeter {
+ public:
+  // Marks the transition to busy at time t. Calling while already busy is an
+  // error (transitions must alternate).
+  void set_busy(Time t);
+
+  // Marks the transition to idle at time t (>= the busy transition).
+  void set_idle(Time t);
+
+  bool busy() const { return busy_; }
+
+  // Total busy time accumulated in [from, to]; the interval may cut through
+  // busy periods. `to` is typically the simulation end; if the meter is
+  // still busy, the open interval is counted up to `to`.
+  Duration busy_time(Time from, Time to) const;
+
+  // busy_time(from, to) / (to - from). Requires to > from.
+  double utilization(Time from, Time to) const;
+
+ private:
+  struct Interval {
+    Time begin;
+    Time end;
+  };
+  // Closed intervals are appended in order; we only need aggregate sums per
+  // query window, so we keep a prefix-style accumulation instead of the full
+  // list: total busy time before `window_from` queries is rare, and the
+  // experiments query once at the end, so a simple vector is fine.
+  std::vector<Interval> intervals_;
+  bool busy_ = false;
+  Time busy_since_ = kTimeZero;
+};
+
+}  // namespace frap::metrics

@@ -1,0 +1,153 @@
+#include "pipeline/cli.h"
+
+#include <cstdlib>
+
+namespace frap::pipeline {
+
+namespace {
+
+// Splits "--key=value" into key/value; flags without '=' get empty value.
+bool split_flag(const std::string& arg, std::string& key,
+                std::string& value) {
+  if (arg.rfind("--", 0) != 0) return false;
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) {
+    key = arg.substr(2);
+    value.clear();
+  } else {
+    key = arg.substr(2, eq - 2);
+    value = arg.substr(eq + 1);
+  }
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+CliParseResult parse_experiment_args(const std::vector<std::string>& args) {
+  CliParseResult r;
+  std::size_t stages = 2;
+  double load = 1.0;
+  double resolution = 100.0;
+  double mean_compute_ms = 10.0;
+  double imbalance = 1.0;
+  double duration = 120.0;
+  double warmup = 10.0;
+  double patience_ms = 0.0;
+  std::uint64_t seed = 1;
+  auto admission = AdmissionMode::kExact;
+  auto policy = PriorityMode::kDeadlineMonotonic;
+  bool idle_reset = true;
+
+  for (const auto& arg : args) {
+    std::string key;
+    std::string value;
+    if (!split_flag(arg, key, value)) {
+      r.error = "expected --key[=value], got: " + arg;
+      return r;
+    }
+    double d = 0;
+    std::uint64_t u = 0;
+    if (key == "stages" && parse_u64(value, u) && u >= 1) {
+      stages = static_cast<std::size_t>(u);
+    } else if (key == "load" && parse_double(value, d) && d > 0) {
+      load = d;
+    } else if (key == "resolution" && parse_double(value, d) && d > 0) {
+      resolution = d;
+    } else if (key == "mean-compute" && parse_double(value, d) && d > 0) {
+      mean_compute_ms = d;
+    } else if (key == "imbalance" && parse_double(value, d) && d > 0) {
+      imbalance = d;
+    } else if (key == "duration" && parse_double(value, d) && d > 0) {
+      duration = d;
+    } else if (key == "warmup" && parse_double(value, d) && d >= 0) {
+      warmup = d;
+    } else if (key == "patience" && parse_double(value, d) && d >= 0) {
+      patience_ms = d;
+    } else if (key == "seed" && parse_u64(value, u)) {
+      seed = u;
+    } else if (key == "admission") {
+      if (value == "exact") {
+        admission = AdmissionMode::kExact;
+      } else if (value == "approx") {
+        admission = AdmissionMode::kApproximate;
+      } else if (value == "none") {
+        admission = AdmissionMode::kNone;
+      } else if (value == "split") {
+        admission = AdmissionMode::kDeadlineSplit;
+      } else {
+        r.error = "unknown admission mode: " + value;
+        return r;
+      }
+    } else if (key == "policy") {
+      if (value == "dm") {
+        policy = PriorityMode::kDeadlineMonotonic;
+      } else if (value == "random") {
+        policy = PriorityMode::kRandom;
+      } else {
+        r.error = "unknown policy: " + value;
+        return r;
+      }
+    } else if (key == "no-idle-reset" && value.empty()) {
+      idle_reset = false;
+    } else {
+      r.error = "unknown or malformed flag: " + arg;
+      return r;
+    }
+  }
+
+  if (warmup >= duration) {
+    r.error = "--warmup must be smaller than --duration";
+    return r;
+  }
+
+  auto& cfg = r.config;
+  cfg.workload.mean_compute.assign(stages, mean_compute_ms * kMilli);
+  // Imbalance skews the LAST stage's mean relative to the first.
+  if (stages >= 2) {
+    cfg.workload.mean_compute.back() = mean_compute_ms * kMilli * imbalance;
+  }
+  cfg.workload.input_load = load;
+  cfg.workload.resolution = resolution;
+  cfg.seed = seed;
+  cfg.sim_duration = duration;
+  cfg.warmup = warmup;
+  cfg.admission = admission;
+  cfg.priority = policy;
+  cfg.idle_reset = idle_reset;
+  cfg.patience = patience_ms * kMilli;
+  r.ok = true;
+  return r;
+}
+
+std::string experiment_cli_usage() {
+  return
+      "usage: experiment_cli [--flag=value ...]\n"
+      "  --stages=N          pipeline length (default 2)\n"
+      "  --load=F            input load, fraction of stage capacity (1.0)\n"
+      "  --resolution=F      mean deadline / mean total compute (100)\n"
+      "  --mean-compute=MS   per-stage mean computation, ms (10)\n"
+      "  --imbalance=F       last-stage mean = F * first-stage mean (1.0)\n"
+      "  --duration=S        arrival horizon, seconds (120)\n"
+      "  --warmup=S          measurement start, seconds (10)\n"
+      "  --seed=N            RNG seed (1)\n"
+      "  --admission=MODE    exact | approx | none | split (exact)\n"
+      "  --policy=P          dm | random (dm)\n"
+      "  --patience=MS       waiting-admission patience, ms (0)\n"
+      "  --no-idle-reset     disable the idle reset (ablation)\n";
+}
+
+}  // namespace frap::pipeline

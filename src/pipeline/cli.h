@@ -1,0 +1,42 @@
+// Command-line configuration for the experiment driver.
+//
+// Parses `--key=value` / `--flag` arguments into an ExperimentConfig so a
+// single binary (examples/experiment_cli) can run any Sec. 4-style
+// experiment without recompiling. Unknown flags and malformed values are
+// reported, not ignored.
+//
+// Flags:
+//   --stages=N            pipeline length                (default 2)
+//   --load=F              input load, fraction of stage capacity (1.0)
+//   --resolution=F        mean deadline / mean total compute     (100)
+//   --mean-compute=MS     per-stage mean computation, milliseconds (10)
+//   --imbalance=F         stage-N mean = F * stage-1 mean        (1.0)
+//   --duration=S          arrival horizon, seconds               (120)
+//   --warmup=S            measurement start, seconds             (10)
+//   --seed=N              RNG seed                               (1)
+//   --admission=MODE      exact | approx | none | split          (exact)
+//   --policy=P            dm | random                            (dm)
+//   --patience=MS         waiting-admission patience, ms         (0)
+//   --no-idle-reset       disable the idle reset (ablation)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/experiment.h"
+
+namespace frap::pipeline {
+
+struct CliParseResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  ExperimentConfig config;
+};
+
+// Parses the given arguments (NOT including argv[0]).
+CliParseResult parse_experiment_args(const std::vector<std::string>& args);
+
+// The flag reference above, for --help output.
+std::string experiment_cli_usage();
+
+}  // namespace frap::pipeline

@@ -1,0 +1,166 @@
+#include "pipeline/dag_runtime.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace frap::pipeline {
+
+DagRuntime::DagRuntime(sim::Simulator& sim, std::size_t num_resources,
+                       core::SyntheticUtilizationTracker* tracker)
+    : sim_(sim),
+      tracker_(tracker),
+      policy_([](const core::GraphTaskSpec& s) { return s.deadline; }) {
+  FRAP_EXPECTS(num_resources >= 1);
+  FRAP_EXPECTS(tracker_ == nullptr ||
+               tracker_->num_stages() == num_resources);
+  servers_.reserve(num_resources);
+  for (std::size_t k = 0; k < num_resources; ++k) {
+    auto server = std::make_unique<sched::StageServer>(
+        sim_, "resource-" + std::to_string(k));
+    server->set_on_complete(
+        [this](sched::Job& job) { on_node_complete(job); });
+    if (tracker_ != nullptr) {
+      server->set_on_idle([this, k] { tracker_->on_stage_idle(k); });
+    }
+    servers_.push_back(std::move(server));
+  }
+}
+
+void DagRuntime::set_priority_policy(
+    std::function<sched::PriorityValue(const core::GraphTaskSpec&)> policy) {
+  FRAP_EXPECTS(policy != nullptr);
+  policy_ = std::move(policy);
+}
+
+void DagRuntime::start_task(const core::GraphTaskSpec& spec,
+                            Time absolute_deadline) {
+  FRAP_EXPECTS(spec.valid(servers_.size()));
+  FRAP_EXPECTS(execs_.find(spec.id) == execs_.end());
+
+  Exec exec;
+  exec.spec = spec;
+  exec.release = sim_.now();
+  exec.absolute_deadline = absolute_deadline;
+  exec.priority = policy_(spec);
+  exec.nodes_remaining = spec.nodes.size();
+  exec.pending_preds.assign(spec.nodes.size(), 0);
+  exec.successors.assign(spec.nodes.size(), {});
+  exec.jobs.resize(spec.nodes.size());
+  exec.nodes_left_on_resource.assign(servers_.size(), 0);
+  for (const auto& e : spec.edges) {
+    ++exec.pending_preds[e.to];
+    exec.successors[e.from].push_back(e.to);
+  }
+  for (const auto& n : spec.nodes) {
+    ++exec.nodes_left_on_resource[n.resource];
+  }
+
+  auto [it, inserted] = execs_.emplace(spec.id, std::move(exec));
+  FRAP_ASSERT(inserted);
+  ++started_;
+  if (trace_ != nullptr) {
+    trace_->record(sim_.now(), TraceEventKind::kRelease, spec.id);
+  }
+
+  // Release all sources. Collect first: release_node submits to servers,
+  // which can complete zero-length nodes synchronously-in-time via events,
+  // but never re-enters this Exec during the loop.
+  for (std::size_t i = 0; i < it->second.spec.nodes.size(); ++i) {
+    if (it->second.pending_preds[i] == 0) release_node(it->second, i);
+  }
+}
+
+void DagRuntime::release_node(Exec& exec, std::size_t node) {
+  const std::uint64_t job_id = next_job_id_++;
+  exec.jobs[node] = std::make_unique<sched::Job>(
+      job_id, exec.priority, exec.spec.nodes[node].demand.make_segments());
+  job_context_.emplace(job_id, JobContext{exec.spec.id, node});
+  servers_[exec.spec.nodes[node].resource]->submit(*exec.jobs[node]);
+}
+
+void DagRuntime::on_node_complete(sched::Job& job) {
+  auto jt = job_context_.find(job.id);
+  FRAP_ASSERT(jt != job_context_.end());
+  const JobContext ctx = jt->second;
+  job_context_.erase(jt);
+
+  auto et = execs_.find(ctx.task_id);
+  FRAP_ASSERT(et != execs_.end());
+  Exec& exec = et->second;
+
+  const std::size_t resource = exec.spec.nodes[ctx.node].resource;
+  FRAP_ASSERT(exec.nodes_left_on_resource[resource] > 0);
+  if (--exec.nodes_left_on_resource[resource] == 0) {
+    if (tracker_ != nullptr) tracker_->mark_departed(ctx.task_id, resource);
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), TraceEventKind::kStageDeparture,
+                     ctx.task_id, resource);
+    }
+  }
+
+  FRAP_ASSERT(exec.nodes_remaining > 0);
+  --exec.nodes_remaining;
+  for (std::size_t succ : exec.successors[ctx.node]) {
+    FRAP_ASSERT(exec.pending_preds[succ] > 0);
+    if (--exec.pending_preds[succ] == 0) release_node(exec, succ);
+  }
+
+  if (exec.nodes_remaining == 0) {
+    const Duration response = sim_.now() - exec.release;
+    const bool missed = sim_.now() > exec.absolute_deadline + 1e-12;
+    if (trace_ != nullptr) {
+      trace_->record(sim_.now(), TraceEventKind::kComplete, ctx.task_id,
+                     missed ? 1 : 0);
+    }
+    ++completed_;
+    misses_.record(missed);
+    response_.add(response);
+    if (on_complete_) {
+      core::GraphTaskSpec spec = std::move(exec.spec);
+      execs_.erase(et);
+      on_complete_(spec, response, missed);
+    } else {
+      execs_.erase(et);
+    }
+  }
+}
+
+void DagRuntime::abort_task(std::uint64_t task_id) {
+  auto et = execs_.find(task_id);
+  if (et == execs_.end()) return;
+  Exec& exec = et->second;
+  for (std::size_t node = 0; node < exec.jobs.size(); ++node) {
+    auto& job = exec.jobs[node];
+    if (job == nullptr) continue;  // node never released
+    if (job->on_server) {
+      servers_[exec.spec.nodes[node].resource]->abort(*job);
+    }
+    job_context_.erase(job->id);
+  }
+  execs_.erase(et);
+  ++aborted_;
+}
+
+bool DagRuntime::task_started_executing(std::uint64_t task_id) const {
+  auto et = execs_.find(task_id);
+  if (et == execs_.end()) return true;  // conservative
+  const Exec& exec = et->second;
+  if (exec.nodes_remaining < exec.spec.nodes.size()) return true;
+  for (const auto& job : exec.jobs) {
+    if (job != nullptr && job->has_started) return true;
+  }
+  return false;
+}
+
+std::vector<double> DagRuntime::resource_utilizations(Time from,
+                                                      Time to) const {
+  std::vector<double> u;
+  u.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    u.push_back(s->meter().utilization(from, to));
+  }
+  return u;
+}
+
+}  // namespace frap::pipeline

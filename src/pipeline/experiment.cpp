@@ -1,0 +1,170 @@
+#include "pipeline/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/admission.h"
+#include "core/baselines.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace frap::pipeline {
+
+namespace {
+
+// Shared mutable state of one experiment run, wired together by
+// run_experiment below.
+struct Harness {
+  explicit Harness(const ExperimentConfig& config)
+      : cfg(config),
+        gen(config.workload, config.seed),
+        tracker(sim, config.workload.num_stages()),
+        runtime(sim, config.workload.num_stages(), &tracker) {
+    tracker.set_idle_reset_enabled(cfg.idle_reset);
+
+    const std::size_t n = cfg.workload.num_stages();
+    switch (cfg.priority) {
+      case PriorityMode::kDeadlineMonotonic:
+        alpha = 1.0;
+        runtime.set_priority_policy(deadline_monotonic_policy());
+        break;
+      case PriorityMode::kRandom: {
+        // Fixed random priorities; the worst-case urgency inversion over
+        // the uniform deadline range is D_min / D_max.
+        alpha = cfg.workload.deadline_min() / cfg.workload.deadline_max();
+        runtime.set_priority_policy([this](const core::TaskSpec&) {
+          return gen.aux_rng().uniform01();
+        });
+        break;
+      }
+    }
+
+    switch (cfg.admission) {
+      case AdmissionMode::kExact:
+        controller.emplace(sim, tracker,
+                           core::FeasibleRegion::with_alpha(n, alpha));
+        break;
+      case AdmissionMode::kApproximate:
+        controller.emplace(sim, tracker,
+                           core::FeasibleRegion::with_alpha(n, alpha));
+        controller->set_approximate_means(cfg.workload.mean_compute);
+        break;
+      case AdmissionMode::kDeadlineSplit:
+        split_controller.emplace(sim, tracker);
+        break;
+      case AdmissionMode::kNone:
+        break;
+    }
+
+    // The waiting controller's decision callback is installed by
+    // run_experiment (it needs the admitted counter).
+    if (cfg.patience > 0 && controller.has_value()) {
+      waiting.emplace(sim, *controller, cfg.patience);
+      waiting->attach();
+    }
+  }
+
+  // Admission decision + release for one arrival at the current time.
+  void handle_arrival(const core::TaskSpec& spec) {
+    ++offered;
+    const Time now = sim.now();
+    switch (cfg.admission) {
+      case AdmissionMode::kNone:
+        runtime.start_task(spec, now + spec.deadline);
+        ++admitted;
+        return;
+      case AdmissionMode::kDeadlineSplit: {
+        const auto d = split_controller->try_admit(spec);
+        if (d.admitted) {
+          ++admitted;
+          runtime.start_task(spec, now + spec.deadline);
+        }
+        return;
+      }
+      case AdmissionMode::kExact:
+      case AdmissionMode::kApproximate:
+        break;
+    }
+    if (waiting.has_value()) {
+      waiting->submit(spec);  // counts admitted via decision callback
+      return;
+    }
+    const auto d = controller->try_admit(spec);
+    if (d.admitted) {
+      ++admitted;
+      runtime.start_task(spec, now + spec.deadline);
+    }
+  }
+
+  void schedule_next_arrival() {
+    const Duration gap = gen.next_interarrival();
+    const Time t = sim.now() + gap;
+    if (t > cfg.sim_duration) return;  // arrivals stop; pipeline drains
+    sim.at(t, [this] {
+      handle_arrival(gen.next_task());
+      schedule_next_arrival();
+    });
+  }
+
+  const ExperimentConfig& cfg;
+  sim::Simulator sim;
+  workload::PipelineWorkloadGenerator gen;
+  core::SyntheticUtilizationTracker tracker;
+  PipelineRuntime runtime;
+  double alpha = 1.0;
+
+  std::optional<core::AdmissionController> controller;
+  std::optional<core::DeadlineSplitAdmissionController> split_controller;
+  std::optional<core::WaitingAdmissionController> waiting;
+
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  FRAP_EXPECTS(config.workload.valid());
+  FRAP_EXPECTS(config.warmup >= 0 && config.warmup < config.sim_duration);
+
+  Harness h(config);
+  if (h.waiting.has_value()) {
+    // Count admissions through the waiting path; deadlines stay anchored at
+    // the original arrival so waiting consumes the task's own slack.
+    h.waiting->set_decision_callback(
+        [&h](const core::TaskSpec& spec, bool admitted, Time arrival, Time) {
+          if (!admitted) return;
+          ++h.admitted;
+          h.runtime.start_task(spec, arrival + spec.deadline);
+        });
+  }
+  h.schedule_next_arrival();
+  h.sim.run();
+
+  ExperimentResult r;
+  r.stage_utilization =
+      h.runtime.stage_utilizations(config.warmup, config.sim_duration);
+  for (double u : r.stage_utilization) {
+    r.avg_stage_utilization += u;
+    r.bottleneck_utilization = std::max(r.bottleneck_utilization, u);
+  }
+  r.avg_stage_utilization /= static_cast<double>(r.stage_utilization.size());
+  r.offered = h.offered;
+  r.admitted = h.admitted;
+  r.completed = h.runtime.completed();
+  r.acceptance_ratio =
+      h.offered == 0 ? 0.0
+                     : static_cast<double>(h.admitted) /
+                           static_cast<double>(h.offered);
+  r.miss_ratio = h.runtime.misses().ratio();
+  r.mean_response = h.runtime.response_times().mean();
+  r.events = h.sim.events_executed();
+  return r;
+}
+
+}  // namespace frap::pipeline

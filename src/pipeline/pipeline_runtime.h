@@ -1,0 +1,125 @@
+// End-to-end execution of admitted pipeline tasks.
+//
+// The runtime owns one StageServer per stage and moves each task through
+// them in order (precedence-constrained chain): the departure from stage j
+// is the arrival at stage j+1, exactly the model of Sec. 2. It also feeds
+// the synthetic-utilization tracker the two runtime signals the admission
+// scheme needs — subtask departures and stage-idle transitions — and
+// records end-to-end response times and deadline misses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "metrics/counters.h"
+#include "pipeline/trace.h"
+#include "sched/stage_server.h"
+#include "sim/simulator.h"
+
+namespace frap::pipeline {
+
+// Maps a task to its fixed priority value (smaller = more urgent). Must not
+// depend on arrival time (fixed-priority assumption of the paper).
+using PriorityPolicy = std::function<sched::PriorityValue(const core::TaskSpec&)>;
+
+// Deadline-monotonic: priority value = relative deadline (optimal
+// fixed-priority policy for aperiodic tasks; alpha = 1).
+PriorityPolicy deadline_monotonic_policy();
+
+class PipelineRuntime {
+ public:
+  // `tracker` may be null (no admission bookkeeping, e.g. no-admission
+  // baselines). If given, it must have num_stages() == `stages`.
+  PipelineRuntime(sim::Simulator& sim, std::size_t stages,
+                  core::SyntheticUtilizationTracker* tracker);
+
+  PipelineRuntime(const PipelineRuntime&) = delete;
+  PipelineRuntime& operator=(const PipelineRuntime&) = delete;
+
+  std::size_t num_stages() const { return servers_.size(); }
+  sched::StageServer& stage(std::size_t j) { return *servers_[j]; }
+  const sched::StageServer& stage(std::size_t j) const { return *servers_[j]; }
+
+  void set_priority_policy(PriorityPolicy policy);
+
+  // Optional lifecycle tracing (Release / StageDeparture / Complete / Shed
+  // events). The log must outlive the runtime; pass nullptr to detach.
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Callback at task completion: (spec, response_time, missed_deadline).
+  using CompletionCallback =
+      std::function<void(const core::TaskSpec&, Duration, bool)>;
+  void set_on_task_complete(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  // Releases an admitted task into stage 1 now. `absolute_deadline` is the
+  // miss threshold (arrival + D for immediate admission; still anchored at
+  // the original arrival for tasks admitted after waiting).
+  void start_task(const core::TaskSpec& spec, Time absolute_deadline);
+
+  // Aborts a task wherever it currently is (load shedding). No-op when the
+  // task already completed. Does not touch the tracker — the shedding
+  // controller removes contributions itself.
+  void abort_task(std::uint64_t task_id);
+
+  // True while the task is still executing in the pipeline.
+  bool task_in_flight(std::uint64_t task_id) const {
+    return execs_.find(task_id) != execs_.end();
+  }
+
+  // True once the task has consumed ANY processor time. Shedding a task
+  // that already executed is unsound (its past interference is real but
+  // its synthetic-utilization contribution would vanish), so shedding
+  // filters use this predicate. Unknown/completed tasks report true
+  // (conservative: not sheddable).
+  bool task_started_executing(std::uint64_t task_id) const;
+
+  // --- statistics ---
+  std::uint64_t started() const { return started_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t aborted() const { return aborted_; }
+  const metrics::RatioTracker& misses() const { return misses_; }
+  const metrics::RunningStats& response_times() const { return response_; }
+
+  // Real utilization of each stage over [from, to].
+  std::vector<double> stage_utilizations(Time from, Time to) const;
+
+ private:
+  struct Exec {
+    core::TaskSpec spec;
+    Time release = kTimeZero;
+    Time absolute_deadline = kTimeZero;
+    sched::PriorityValue priority = 0;
+    std::size_t current_stage = 0;
+    std::unique_ptr<sched::Job> job;  // job on the current stage
+  };
+
+  void on_stage_complete(std::size_t stage, sched::Job& job);
+  void submit_to_stage(Exec& exec, std::size_t stage);
+
+  sim::Simulator& sim_;
+  core::SyntheticUtilizationTracker* tracker_;
+  std::vector<std::unique_ptr<sched::StageServer>> servers_;
+  PriorityPolicy policy_;
+  CompletionCallback on_complete_;
+  TraceLog* trace_ = nullptr;
+
+  // Job ids are globally unique per runtime; map back to the owning task.
+  std::unordered_map<std::uint64_t, std::uint64_t> job_to_task_;
+  std::unordered_map<std::uint64_t, Exec> execs_;  // by task id
+  std::uint64_t next_job_id_ = 1;
+
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
+  metrics::RatioTracker misses_;
+  metrics::RunningStats response_;
+};
+
+}  // namespace frap::pipeline

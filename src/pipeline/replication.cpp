@@ -1,0 +1,37 @@
+#include "pipeline/replication.h"
+
+#include "util/check.h"
+
+namespace frap::pipeline {
+
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                const std::vector<std::uint64_t>& seeds) {
+  FRAP_EXPECTS(!seeds.empty());
+  ReplicatedResult out;
+  out.runs.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    ExperimentConfig cfg = config;
+    cfg.seed = seed;
+    const auto r = run_experiment(cfg);
+    out.avg_stage_utilization.add(r.avg_stage_utilization);
+    out.bottleneck_utilization.add(r.bottleneck_utilization);
+    out.acceptance_ratio.add(r.acceptance_ratio);
+    out.miss_ratio.add(r.miss_ratio);
+    out.mean_response.add(r.mean_response);
+    out.runs.push_back(r);
+  }
+  return out;
+}
+
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                std::uint64_t seed_base, std::size_t count) {
+  FRAP_EXPECTS(count >= 1);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(seed_base + i);
+  }
+  return run_replicated(config, seeds);
+}
+
+}  // namespace frap::pipeline

@@ -1,0 +1,32 @@
+// Replicated experiment runs: the same configuration across independent
+// seeds, with summary statistics per metric. Reproduction claims should be
+// made from means with spread, not single draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "pipeline/experiment.h"
+
+namespace frap::pipeline {
+
+struct ReplicatedResult {
+  metrics::RunningStats avg_stage_utilization;
+  metrics::RunningStats bottleneck_utilization;
+  metrics::RunningStats acceptance_ratio;
+  metrics::RunningStats miss_ratio;
+  metrics::RunningStats mean_response;
+  std::vector<ExperimentResult> runs;  // per-seed details, in seed order
+};
+
+// Runs `config` once per seed in `seeds` (each run gets config.seed
+// replaced). Requires at least one seed.
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                const std::vector<std::uint64_t>& seeds);
+
+// Convenience: seeds base, base+1, ..., base+count-1.
+ReplicatedResult run_replicated(const ExperimentConfig& config,
+                                std::uint64_t seed_base, std::size_t count);
+
+}  // namespace frap::pipeline

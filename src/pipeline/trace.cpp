@@ -1,0 +1,66 @@
+#include "pipeline/trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::pipeline {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kArrival: return "arrival";
+    case TraceEventKind::kAdmit: return "admit";
+    case TraceEventKind::kReject: return "reject";
+    case TraceEventKind::kRelease: return "release";
+    case TraceEventKind::kStageDeparture: return "stage_departure";
+    case TraceEventKind::kComplete: return "complete";
+    case TraceEventKind::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+void TraceLog::record(Time t, TraceEventKind kind, std::uint64_t task_id,
+                      std::uint64_t detail) {
+  const TraceEvent e{t, kind, task_id, detail};
+  if (capacity_ == 0 || events_.size() < capacity_) {
+    events_.push_back(e);
+    return;
+  }
+  // Ring mode: overwrite the oldest.
+  events_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceLog::for_task(std::uint64_t task_id) const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = events_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[(head_ + i) % n];
+    if (e.task_id == task_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+void TraceLog::dump(std::ostream& os) const {
+  const std::size_t n = events_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[(head_ + i) % n];
+    os << e.time << '\t' << to_string(e.kind) << '\t' << e.task_id << '\t'
+       << e.detail << '\n';
+  }
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace frap::pipeline

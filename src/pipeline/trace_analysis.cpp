@@ -1,0 +1,71 @@
+#include "pipeline/trace_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace frap::pipeline {
+
+namespace {
+
+struct TaskRecord {
+  Time release = kTimeZero;
+  bool has_release = false;
+  std::vector<Time> departures;  // by stage; NaN-free: guarded by flags
+  std::vector<bool> has_departure;
+};
+
+}  // namespace
+
+std::vector<Duration> stage_residence_times(const TraceLog& log,
+                                            std::uint64_t task_id,
+                                            std::size_t num_stages) {
+  FRAP_EXPECTS(num_stages >= 1);
+  TaskRecord rec;
+  rec.departures.assign(num_stages, kTimeZero);
+  rec.has_departure.assign(num_stages, false);
+  for (const auto& e : log.for_task(task_id)) {
+    if (e.kind == TraceEventKind::kRelease) {
+      rec.release = e.time;
+      rec.has_release = true;
+    } else if (e.kind == TraceEventKind::kStageDeparture) {
+      if (e.detail < num_stages) {
+        rec.departures[e.detail] = e.time;
+        rec.has_departure[e.detail] = true;
+      }
+    }
+  }
+  if (!rec.has_release) return {};
+  for (bool has : rec.has_departure) {
+    if (!has) return {};
+  }
+  std::vector<Duration> residence(num_stages);
+  Time prev = rec.release;
+  for (std::size_t j = 0; j < num_stages; ++j) {
+    residence[j] = rec.departures[j] - prev;
+    prev = rec.departures[j];
+  }
+  return residence;
+}
+
+std::vector<Duration> max_stage_residence(const TraceLog& log,
+                                          std::size_t num_stages) {
+  FRAP_EXPECTS(num_stages >= 1);
+  // Collect ids with a Complete event, then analyze each.
+  std::vector<Duration> max_residence(num_stages, 0);
+  std::unordered_map<std::uint64_t, bool> seen;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& e = log[i];
+    if (e.kind != TraceEventKind::kComplete) continue;
+    if (!seen.emplace(e.task_id, true).second) continue;
+    const auto residence =
+        stage_residence_times(log, e.task_id, num_stages);
+    for (std::size_t j = 0; j < residence.size(); ++j) {
+      max_residence[j] = std::max(max_residence[j], residence[j]);
+    }
+  }
+  return max_residence;
+}
+
+}  // namespace frap::pipeline

@@ -1,0 +1,33 @@
+// Offline analysis over captured lifecycle traces.
+//
+// The trace records Release and per-stage StageDeparture instants, which is
+// exactly the data Theorem 1 speaks about: the residence time of a task on
+// stage j is L_0 = departure_0 - release, L_j = departure_j -
+// departure_{j-1}. These helpers recover the L_j — per task, and as
+// per-stage maxima over a whole run — so experiments can check the
+// stage-delay bound L_j <= f(U_j) * D_max directly rather than only its
+// end-to-end sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/trace.h"
+#include "util/time.h"
+
+namespace frap::pipeline {
+
+// Residence time per stage for one task. Returns an empty vector when the
+// trace does not contain a complete Release + all-departures record for
+// the task (e.g. it was shed, is still in flight, or the ring dropped
+// events).
+std::vector<Duration> stage_residence_times(const TraceLog& log,
+                                            std::uint64_t task_id,
+                                            std::size_t num_stages);
+
+// Maximum residence observed per stage across all tasks with complete
+// records. Zeros when nothing completed.
+std::vector<Duration> max_stage_residence(const TraceLog& log,
+                                          std::size_t num_stages);
+
+}  // namespace frap::pipeline

@@ -1,0 +1,51 @@
+#include "sched/gantt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace frap::sched {
+
+std::string render_ascii_gantt(const Timeline& timeline, Time from, Time to,
+                               std::size_t width) {
+  FRAP_EXPECTS(to > from);
+  FRAP_EXPECTS(width >= 1);
+  if (timeline.intervals().empty()) return {};
+
+  // Job rows in order of first execution.
+  std::vector<std::uint64_t> order;
+  std::map<std::uint64_t, std::vector<const RunInterval*>> by_job;
+  for (const auto& iv : timeline.intervals()) {
+    auto [it, inserted] = by_job.try_emplace(iv.job_id);
+    if (inserted || it->second.empty()) {
+      // order by first appearance in the interval list
+    }
+    if (it->second.empty()) order.push_back(iv.job_id);
+    it->second.push_back(&iv);
+  }
+
+  const Duration cell = (to - from) / static_cast<double>(width);
+  std::string out;
+  for (std::uint64_t id : order) {
+    std::string row(width, '.');
+    for (const RunInterval* iv : by_job[id]) {
+      const Time b = std::max(iv->start, from);
+      const Time e = std::min(iv->end, to);
+      if (e <= b) continue;
+      auto lo = static_cast<std::size_t>((b - from) / cell);
+      // The end is exclusive: an interval ending exactly on a cell
+      // boundary must not mark the next cell.
+      auto hi = static_cast<std::size_t>(std::ceil((e - from) / cell)) - 1;
+      if (lo >= width) continue;
+      if (hi >= width) hi = width - 1;
+      for (std::size_t c = lo; c <= hi; ++c) row[c] = '#';
+    }
+    out += "job " + std::to_string(id) + " |" + row + "|\n";
+  }
+  return out;
+}
+
+}  // namespace frap::sched

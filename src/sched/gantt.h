@@ -1,0 +1,23 @@
+// ASCII rendering of execution timelines — a quick visual check of who ran
+// when, straight from a Timeline capture:
+//
+//   job 1 |##....####|
+//   job 2 |..####....|
+//
+// Each row is one job; '#' marks wall time where the job executed (any
+// coverage within a cell), '.' marks time it did not.
+#pragma once
+
+#include <string>
+
+#include "sched/timeline.h"
+
+namespace frap::sched {
+
+// Renders all jobs in the timeline over [from, to] using `width` character
+// cells. Rows are ordered by first execution. Requires to > from and
+// width >= 1. Returns an empty string for an empty timeline.
+std::string render_ascii_gantt(const Timeline& timeline, Time from, Time to,
+                               std::size_t width = 60);
+
+}  // namespace frap::sched

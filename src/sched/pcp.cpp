@@ -1,0 +1,82 @@
+#include "sched/pcp.h"
+
+#include "sched/job.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::sched {
+
+void PcpLockManager::set_ceiling(int lock, PriorityValue ceiling) {
+  FRAP_EXPECTS(lock >= 0);
+  auto [it, inserted] = ceiling_.try_emplace(lock, ceiling);
+  if (!inserted && ceiling < it->second) it->second = ceiling;
+}
+
+void PcpLockManager::note_user(int lock, PriorityValue user_priority) {
+  FRAP_EXPECTS(lock >= 0);
+  auto [it, inserted] = ceiling_.try_emplace(lock, user_priority);
+  if (!inserted && user_priority < it->second) {
+    it->second = user_priority;
+    ++ceiling_violations_;
+  }
+}
+
+bool PcpLockManager::can_acquire(const Job& job, int lock) const {
+  FRAP_EXPECTS(lock >= 0);
+  if (is_locked(lock)) return false;
+  for (const auto& [held, holder] : holder_of_) {
+    if (holder == &job) continue;  // (no nesting, so this cannot happen)
+    const auto it = ceiling_.find(held);
+    FRAP_ASSERT(it != ceiling_.end());
+    // Blocked unless strictly more urgent than the ceiling.
+    if (!(job.priority_value < it->second)) return false;
+  }
+  return true;
+}
+
+Job* PcpLockManager::blocker(const Job& job, int lock) const {
+  FRAP_EXPECTS(lock >= 0);
+  // Direct blocking: someone holds the very lock we want.
+  Job* best = nullptr;
+  PriorityValue best_ceiling = util::kInf;
+  if (auto it = holder_of_.find(lock); it != holder_of_.end()) {
+    best = it->second;
+    const auto c = ceiling_.find(lock);
+    FRAP_ASSERT(c != ceiling_.end());
+    best_ceiling = c->second;
+  }
+  // Ceiling blocking: another job holds a lock whose ceiling is at least as
+  // urgent as us. Report the holder of the most urgent such ceiling, since
+  // that is the ceiling the job fails against.
+  for (const auto& [held, holder] : holder_of_) {
+    if (holder == &job) continue;
+    const auto c = ceiling_.find(held);
+    FRAP_ASSERT(c != ceiling_.end());
+    if (!(job.priority_value < c->second) && c->second < best_ceiling) {
+      best = holder;
+      best_ceiling = c->second;
+    }
+  }
+  return best;
+}
+
+void PcpLockManager::acquire(Job& job, int lock) {
+  FRAP_EXPECTS(can_acquire(job, lock));
+  FRAP_EXPECTS(job.held_lock == kNoLock);  // no nesting
+  holder_of_[lock] = &job;
+  job.held_lock = lock;
+}
+
+void PcpLockManager::release(Job& job, int lock) {
+  auto it = holder_of_.find(lock);
+  FRAP_EXPECTS(it != holder_of_.end() && it->second == &job);
+  holder_of_.erase(it);
+  job.held_lock = kNoLock;
+}
+
+Job* PcpLockManager::holder(int lock) const {
+  auto it = holder_of_.find(lock);
+  return it == holder_of_.end() ? nullptr : it->second;
+}
+
+}  // namespace frap::sched

@@ -1,0 +1,65 @@
+// Priority Ceiling Protocol (PCP) lock manager for one stage.
+//
+// Classic PCP (Sha/Rajkumar/Lehoczky): a job may acquire a lock only if its
+// priority is strictly higher than the ceilings of all locks held by other
+// jobs; the holder of the blocking lock executes with the blocked job's
+// (inherited) priority. Consequences we rely on and test:
+//   * a job is blocked at most once per stage, and
+//   * the blocking time is bounded by one lower-priority critical section,
+// which is exactly the B_ij term of the paper's Eq. 15.
+//
+// Ceilings: PCP needs ceiling(R) <= priority value (i.e. at least as urgent)
+// of every job that will ever lock R. With aperiodic arrivals the exact
+// future is unknown, so ceilings come from workload configuration via
+// set_ceiling(); as a safety net the manager also tightens a ceiling if a
+// submitted job turns out to be more urgent than configured (and reports it
+// through ceiling_violations() so experiments can detect misconfiguration).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sched/priority.h"
+
+namespace frap::sched {
+
+struct Job;
+
+class PcpLockManager {
+ public:
+  // Declares (or tightens) the priority ceiling of a lock. Smaller value =
+  // more urgent ceiling.
+  void set_ceiling(int lock, PriorityValue ceiling);
+
+  // Tightens the ceiling if this user is more urgent than the configured
+  // ceiling; counts a violation when that happens.
+  void note_user(int lock, PriorityValue user_priority);
+
+  // True if `job` may acquire `lock` under PCP right now: the lock is free
+  // and the job's priority is strictly higher (smaller value) than every
+  // ceiling of locks held by *other* jobs. FIFO tie-break is not used here:
+  // PCP's strict-inequality rule is on the priority value itself.
+  bool can_acquire(const Job& job, int lock) const;
+
+  // Records acquisition. Requires can_acquire().
+  void acquire(Job& job, int lock);
+
+  // Releases a held lock. Requires the job to hold it.
+  void release(Job& job, int lock);
+
+  // The job currently preventing `job` from acquiring `lock` under PCP:
+  // the holder of the most urgent ceiling among locks held by others.
+  // Returns nullptr if nothing blocks (i.e. can_acquire would be true).
+  Job* blocker(const Job& job, int lock) const;
+
+  bool is_locked(int lock) const { return holder_of_.count(lock) > 0; }
+  Job* holder(int lock) const;
+  std::uint64_t ceiling_violations() const { return ceiling_violations_; }
+
+ private:
+  std::unordered_map<int, PriorityValue> ceiling_;
+  std::unordered_map<int, Job*> holder_of_;
+  std::uint64_t ceiling_violations_ = 0;
+};
+
+}  // namespace frap::sched

@@ -1,0 +1,164 @@
+#include "sched/pooled_stage_server.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::sched {
+
+PooledStageServer::PooledStageServer(sim::Simulator& sim,
+                                     std::size_t num_processors,
+                                     std::string name)
+    : sim_(sim), name_(std::move(name)), procs_(num_processors) {
+  FRAP_EXPECTS(num_processors >= 1);
+}
+
+void PooledStageServer::submit(Job& job) {
+  FRAP_EXPECTS(!job.on_server);
+  FRAP_EXPECTS(!job.segments.empty());
+  for (const auto& seg : job.segments) {
+    FRAP_EXPECTS(seg.lock == kNoLock);  // PCP is uniprocessor-only
+  }
+  job.on_server = true;
+  job.segment_index = 0;
+  job.remaining = job.segments[0].length;
+  job.held_lock = kNoLock;
+  job.key = PriorityKey{job.priority_value, next_seq_++};
+  active_.push_back(&job);
+  dispatch();
+}
+
+void PooledStageServer::abort(Job& job) {
+  if (!job.on_server) return;
+  auto it = std::find(active_.begin(), active_.end(), &job);
+  if (it == active_.end()) return;
+  for (auto& p : procs_) {
+    if (p.running == &job) {
+      stop_processor(p);
+      break;
+    }
+  }
+  remove_active(job);
+  dispatch();
+  if (idle() && on_idle_) on_idle_();
+}
+
+void PooledStageServer::set_speed(double speed) {
+  FRAP_EXPECTS(speed > 0);
+  if (speed == speed_) return;
+  for (auto& p : procs_) {
+    if (p.running != nullptr) stop_processor(p);
+  }
+  speed_ = speed;
+  if (!active_.empty()) dispatch();
+}
+
+void PooledStageServer::stop_processor(Processor& p) {
+  FRAP_ASSERT(p.running != nullptr);
+  const Duration elapsed = (sim_.now() - p.started) * speed_;
+  p.running->remaining = std::max(0.0, p.running->remaining - elapsed);
+  if (timeline_ != nullptr) {
+    timeline_->record(p.running->id, p.started, sim_.now(),
+                      p.running->segment_index);
+  }
+  sim_.cancel(p.completion);
+  p.completion = sim::kInvalidEventId;
+  p.running = nullptr;
+}
+
+void PooledStageServer::dispatch() {
+  // Desired set: the m most urgent active jobs.
+  const std::size_t m = procs_.size();
+  std::vector<Job*> desired(active_);
+  if (desired.size() > m) {
+    std::partial_sort(desired.begin(),
+                      desired.begin() + static_cast<std::ptrdiff_t>(m),
+                      desired.end(),
+                      [](const Job* a, const Job* b) { return a->key < b->key; });
+    desired.resize(m);
+  }
+
+  auto in_desired = [&](const Job* j) {
+    return std::find(desired.begin(), desired.end(), j) != desired.end();
+  };
+
+  // Preempt processors running jobs that fell out of the top-m.
+  for (auto& p : procs_) {
+    if (p.running != nullptr && !in_desired(p.running)) {
+      stop_processor(p);
+      ++preemptions_;
+    }
+  }
+  // Start desired jobs that are not running anywhere.
+  for (Job* j : desired) {
+    const bool running = std::any_of(
+        procs_.begin(), procs_.end(),
+        [&](const Processor& p) { return p.running == j; });
+    if (running) continue;
+    auto free_proc = std::find_if(
+        procs_.begin(), procs_.end(),
+        [](const Processor& p) { return p.running == nullptr; });
+    FRAP_ASSERT(free_proc != procs_.end());
+    free_proc->running = j;
+    j->has_started = true;
+    free_proc->started = sim_.now();
+    const std::size_t index =
+        static_cast<std::size_t>(free_proc - procs_.begin());
+    free_proc->completion = sim_.after(
+        j->remaining / speed_, [this, index] { handle_completion(index); });
+  }
+  // Meter edges per processor.
+  for (auto& p : procs_) {
+    if (p.running != nullptr && !p.meter_busy) {
+      p.meter.set_busy(sim_.now());
+      p.meter_busy = true;
+    } else if (p.running == nullptr && p.meter_busy) {
+      p.meter.set_idle(sim_.now());
+      p.meter_busy = false;
+    }
+  }
+}
+
+void PooledStageServer::handle_completion(std::size_t processor) {
+  Processor& p = procs_[processor];
+  Job* job = p.running;
+  FRAP_ASSERT(job != nullptr);
+  p.completion = sim::kInvalidEventId;
+  p.running = nullptr;
+  job->remaining = 0;
+  if (timeline_ != nullptr) {
+    timeline_->record(job->id, p.started, sim_.now(), job->segment_index);
+  }
+
+  bool finished = false;
+  if (job->segment_index + 1 < job->segments.size()) {
+    ++job->segment_index;
+    job->remaining = job->segments[job->segment_index].length;
+  } else {
+    remove_active(*job);
+    finished = true;
+  }
+
+  dispatch();
+
+  if (finished) {
+    if (on_complete_) on_complete_(*job);
+    if (idle() && on_idle_) on_idle_();
+  }
+}
+
+void PooledStageServer::remove_active(Job& job) {
+  auto it = std::find(active_.begin(), active_.end(), &job);
+  FRAP_ASSERT(it != active_.end());
+  active_.erase(it);
+  job.on_server = false;
+}
+
+double PooledStageServer::pool_utilization(Time from, Time to) const {
+  FRAP_EXPECTS(to > from);
+  Duration busy = 0;
+  for (const auto& p : procs_) busy += p.meter.busy_time(from, to);
+  return busy / (static_cast<double>(procs_.size()) * (to - from));
+}
+
+}  // namespace frap::sched

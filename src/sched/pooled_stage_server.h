@@ -1,0 +1,96 @@
+// A pipeline stage backed by a POOL of m identical processors under global
+// preemptive fixed-priority scheduling: at any instant the m highest-
+// priority active jobs run, one per processor (work-conserving, migration
+// allowed at preemption points, zero migration cost).
+//
+// This extends the paper's single-resource-per-stage model toward the
+// multiprocessor setting of the authors' companion work on liquid tasks
+// [Abdelzaher et al., RTAS 2002]; bench/multiproc_stage uses it to map the
+// empirical schedulable-utilization frontier as m grows. Critical sections
+// are not supported here (PCP is defined for uniprocessors); jobs must be
+// lock-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/utilization_meter.h"
+#include "sched/job.h"
+#include "sched/timeline.h"
+#include "sim/simulator.h"
+
+namespace frap::sched {
+
+class PooledStageServer {
+ public:
+  PooledStageServer(sim::Simulator& sim, std::size_t num_processors,
+                    std::string name = {});
+
+  PooledStageServer(const PooledStageServer&) = delete;
+  PooledStageServer& operator=(const PooledStageServer&) = delete;
+
+  std::size_t num_processors() const { return procs_.size(); }
+
+  void set_on_complete(std::function<void(Job&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+  void set_on_idle(std::function<void()> cb) { on_idle_ = std::move(cb); }
+
+  // Admits a lock-free job to the pool.
+  void submit(Job& job);
+
+  // Removes a job (running or queued). No-op if not on this server.
+  void abort(Job& job);
+
+  bool idle() const { return active_.empty(); }
+  std::size_t active_jobs() const { return active_.size(); }
+
+  // Busy fraction of the whole pool over [from, to]: total processor busy
+  // time divided by m * (to - from).
+  double pool_utilization(Time from, Time to) const;
+
+  const metrics::UtilizationMeter& meter(std::size_t processor) const {
+    return procs_[processor].meter;
+  }
+
+  std::uint64_t preemptions() const { return preemptions_; }
+
+  // Optional Gantt capture across the pool (intervals from different
+  // processors may legitimately overlap in time).
+  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+
+  // Uniform speed factor for all processors in the pool (> 0, default 1);
+  // see StageServer::set_speed for semantics.
+  void set_speed(double speed);
+  double speed() const { return speed_; }
+
+ private:
+  struct Processor {
+    Job* running = nullptr;
+    Time started = kTimeZero;
+    sim::EventId completion = sim::kInvalidEventId;
+    metrics::UtilizationMeter meter;
+    bool meter_busy = false;
+  };
+
+  // Reconciles the processors with the current top-m job set.
+  void dispatch();
+  void stop_processor(Processor& p);
+  void handle_completion(std::size_t processor);
+  void remove_active(Job& job);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::vector<Processor> procs_;
+  std::vector<Job*> active_;
+  std::function<void(Job&)> on_complete_;
+  std::function<void()> on_idle_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t preemptions_ = 0;
+  Timeline* timeline_ = nullptr;
+  double speed_ = 1.0;
+};
+
+}  // namespace frap::sched

@@ -1,0 +1,39 @@
+// Fixed task priorities.
+//
+// The paper's analysis covers any *fixed-priority* policy: a task's priority
+// is the same at every pipeline stage and does not depend on its arrival
+// time (so EDF is out of scope, deadline-monotonic is the canonical optimal
+// choice). We encode priority as a double where SMALLER VALUE = MORE URGENT;
+// deadline-monotonic is then simply `value = relative deadline`.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace frap::sched {
+
+using PriorityValue = double;
+
+// Total order on (priority, submission sequence): lower value wins; ties are
+// broken FIFO by a monotonically increasing sequence number so simulations
+// are deterministic.
+struct PriorityKey {
+  PriorityValue value;
+  std::uint64_t seq;
+
+  friend bool operator<(const PriorityKey& a, const PriorityKey& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.seq < b.seq;
+  }
+  friend bool operator==(const PriorityKey& a, const PriorityKey& b) {
+    return a.value == b.value && a.seq == b.seq;
+  }
+};
+
+// True when a is strictly more urgent than b.
+inline bool higher_priority(const PriorityKey& a, const PriorityKey& b) {
+  return a < b;
+}
+
+}  // namespace frap::sched

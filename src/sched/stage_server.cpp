@@ -1,0 +1,148 @@
+#include "sched/stage_server.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::sched {
+
+StageServer::StageServer(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void StageServer::submit(Job& job) {
+  FRAP_EXPECTS(!job.on_server);
+  FRAP_EXPECTS(!job.segments.empty());
+  job.on_server = true;
+  job.segment_index = 0;
+  job.remaining = job.segments[0].length;
+  job.held_lock = kNoLock;
+  job.key = PriorityKey{job.priority_value, next_seq_++};
+  for (const auto& seg : job.segments) {
+    if (seg.lock != kNoLock) locks_.note_user(seg.lock, job.priority_value);
+  }
+  active_.push_back(&job);
+  dispatch();
+}
+
+void StageServer::abort(Job& job) {
+  if (!job.on_server) return;
+  auto it = std::find(active_.begin(), active_.end(), &job);
+  if (it == active_.end()) return;  // on some other server
+  if (running_ == &job) preempt_running();
+  if (job.held_lock != kNoLock) locks_.release(job, job.held_lock);
+  remove_active(job);
+  dispatch();
+  if (idle() && on_idle_) on_idle_();
+}
+
+Job* StageServer::pick_next() {
+  if (active_.empty()) return nullptr;
+  Job* best = *std::min_element(
+      active_.begin(), active_.end(),
+      [](const Job* a, const Job* b) { return a->key < b->key; });
+  const Segment& seg = best->segments[best->segment_index];
+  if (seg.lock != kNoLock && best->held_lock != seg.lock &&
+      !locks_.can_acquire(*best, seg.lock)) {
+    // Priority inheritance: the holder blocking `best` runs in its place.
+    Job* blk = locks_.blocker(*best, seg.lock);
+    FRAP_ASSERT(blk != nullptr && blk != best);
+    FRAP_ASSERT(blk->on_server);
+    return blk;
+  }
+  return best;
+}
+
+void StageServer::set_speed(double speed) {
+  FRAP_EXPECTS(speed > 0);
+  if (speed == speed_) return;
+  // Bank the running job's progress at the old speed, switch, redispatch
+  // (the same job resumes with its completion event recomputed).
+  Job* resumed = running_;
+  if (resumed != nullptr) preempt_running();
+  speed_ = speed;
+  if (resumed != nullptr || !active_.empty()) dispatch();
+}
+
+void StageServer::preempt_running() {
+  FRAP_ASSERT(running_ != nullptr);
+  const Duration elapsed = (sim_.now() - run_started_) * speed_;
+  running_->remaining = std::max(0.0, running_->remaining - elapsed);
+  if (timeline_ != nullptr) {
+    timeline_->record(running_->id, run_started_, sim_.now(),
+                      running_->segment_index);
+  }
+  sim_.cancel(completion_event_);
+  completion_event_ = sim::kInvalidEventId;
+  running_ = nullptr;
+}
+
+void StageServer::dispatch() {
+  Job* next = pick_next();
+  if (next != running_) {
+    if (running_ != nullptr) {
+      preempt_running();
+      ++preemptions_;
+    }
+    if (next != nullptr) {
+      running_ = next;
+      next->has_started = true;
+      run_started_ = sim_.now();
+      Segment& seg = next->segments[next->segment_index];
+      if (seg.lock != kNoLock && next->held_lock != seg.lock) {
+        locks_.acquire(*next, seg.lock);
+      }
+      completion_event_ = sim_.after(next->remaining / speed_,
+                                     [this] { handle_segment_completion(); });
+    }
+  }
+  // Meter transitions only on busy <-> idle edges.
+  if (running_ != nullptr && !meter_busy_) {
+    meter_.set_busy(sim_.now());
+    meter_busy_ = true;
+  } else if (running_ == nullptr && meter_busy_) {
+    meter_.set_idle(sim_.now());
+    meter_busy_ = false;
+  }
+}
+
+void StageServer::handle_segment_completion() {
+  Job* job = running_;
+  FRAP_ASSERT(job != nullptr);
+  completion_event_ = sim::kInvalidEventId;
+  running_ = nullptr;
+  job->remaining = 0;
+  if (timeline_ != nullptr) {
+    timeline_->record(job->id, run_started_, sim_.now(),
+                      job->segment_index);
+  }
+
+  Segment& seg = job->segments[job->segment_index];
+  if (seg.lock != kNoLock && job->held_lock == seg.lock) {
+    locks_.release(*job, seg.lock);
+  }
+
+  bool finished = false;
+  if (job->segment_index + 1 < job->segments.size()) {
+    ++job->segment_index;
+    job->remaining = job->segments[job->segment_index].length;
+  } else {
+    remove_active(*job);
+    finished = true;
+  }
+
+  dispatch();
+
+  if (finished) {
+    if (on_complete_) on_complete_(*job);
+    if (idle() && on_idle_) on_idle_();
+  }
+}
+
+void StageServer::remove_active(Job& job) {
+  auto it = std::find(active_.begin(), active_.end(), &job);
+  FRAP_ASSERT(it != active_.end());
+  active_.erase(it);
+  job.on_server = false;
+}
+
+}  // namespace frap::sched

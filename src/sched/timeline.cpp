@@ -1,0 +1,34 @@
+#include "sched/timeline.h"
+
+#include <algorithm>
+
+namespace frap::sched {
+
+Duration Timeline::executed(std::uint64_t job_id) const {
+  Duration total = 0;
+  for (const auto& iv : intervals_) {
+    if (iv.job_id == job_id) total += iv.end - iv.start;
+  }
+  return total;
+}
+
+bool Timeline::non_overlapping() const {
+  std::vector<RunInterval> sorted = intervals_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RunInterval& a, const RunInterval& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].start < sorted[i - 1].end - 1e-12) return false;
+  }
+  return true;
+}
+
+void Timeline::dump(std::ostream& os) const {
+  for (const auto& iv : intervals_) {
+    os << iv.job_id << '\t' << iv.start << '\t' << iv.end << '\t'
+       << iv.segment << '\n';
+  }
+}
+
+}  // namespace frap::sched

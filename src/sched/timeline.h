@@ -1,0 +1,52 @@
+// Execution timeline (Gantt) recording for stage servers.
+//
+// When attached, the server reports every contiguous run interval of every
+// job: (job id, start, end, segment index). Tests use it to assert exact
+// schedules (no two jobs overlap on one processor, preemptions happen at
+// the right instants, per-job runtime sums to its demand); tools can dump
+// it for visual debugging.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/time.h"
+
+namespace frap::sched {
+
+struct RunInterval {
+  std::uint64_t job_id = 0;
+  Time start = kTimeZero;
+  Time end = kTimeZero;
+  std::size_t segment = 0;
+};
+
+class Timeline {
+ public:
+  void record(std::uint64_t job_id, Time start, Time end,
+              std::size_t segment) {
+    intervals_.push_back(RunInterval{job_id, start, end, segment});
+  }
+
+  std::size_t size() const { return intervals_.size(); }
+  const RunInterval& operator[](std::size_t i) const { return intervals_[i]; }
+  const std::vector<RunInterval>& intervals() const { return intervals_; }
+
+  // Total executed time of one job across all its intervals.
+  Duration executed(std::uint64_t job_id) const;
+
+  // True when no two intervals overlap (single-processor consistency).
+  // Zero-length intervals never overlap anything.
+  bool non_overlapping() const;
+
+  // Tab-separated dump: job, start, end, segment.
+  void dump(std::ostream& os) const;
+
+  void clear() { intervals_.clear(); }
+
+ private:
+  std::vector<RunInterval> intervals_;
+};
+
+}  // namespace frap::sched

@@ -1,0 +1,80 @@
+#include "sched/urgency.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::sched {
+
+double compute_alpha(std::span<const TaskUrgency> tasks) {
+  // Sort by priority (most urgent first). For each task, the worst pairing
+  // is against the largest deadline among tasks of equal-or-higher priority.
+  std::vector<TaskUrgency> sorted(tasks.begin(), tasks.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TaskUrgency& a, const TaskUrgency& b) {
+              return a.priority < b.priority;
+            });
+
+  double alpha = 1.0;
+  Duration max_d_so_far = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    // Process one equal-priority group at a time: members of a group are at
+    // "equal or higher" priority relative to each other, so the group's own
+    // max deadline participates in the prefix max before ratios are taken.
+    std::size_t j = i;
+    Duration group_max = 0;
+    while (j < sorted.size() && sorted[j].priority == sorted[i].priority) {
+      FRAP_EXPECTS(sorted[j].deadline > 0);
+      group_max = std::max(group_max, sorted[j].deadline);
+      ++j;
+    }
+    max_d_so_far = std::max(max_d_so_far, group_max);
+    for (std::size_t k = i; k < j; ++k) {
+      alpha = std::min(alpha, sorted[k].deadline / max_d_so_far);
+    }
+    i = j;
+  }
+  FRAP_ENSURES(alpha > 0 && alpha <= 1.0);
+  return alpha;
+}
+
+double OnlineAlphaEstimator::preview(const TaskUrgency& t) const {
+  FRAP_EXPECTS(t.deadline > 0);
+  // Pair the newcomer as the LOW-priority side against all equal-or-higher
+  // priority history, and as the HIGH-priority side against all
+  // equal-or-lower priority history.
+  Duration max_d_higher = 0;  // max deadline among priority <= t.priority
+  Duration min_d_lower = 0;   // min deadline among priority >= t.priority
+  bool have_lower = false;
+  for (const auto& [prio, range] : by_priority_) {
+    if (prio <= t.priority) {
+      max_d_higher = std::max(max_d_higher, range.max_d);
+    }
+    if (prio >= t.priority) {
+      min_d_lower = have_lower ? std::min(min_d_lower, range.min_d)
+                               : range.min_d;
+      have_lower = true;
+    }
+  }
+  double alpha = alpha_;
+  if (max_d_higher > 0) {
+    alpha = std::min(alpha, t.deadline / max_d_higher);
+  }
+  if (have_lower) {
+    alpha = std::min(alpha, min_d_lower / t.deadline);
+  }
+  return alpha;
+}
+
+void OnlineAlphaEstimator::observe(const TaskUrgency& t) {
+  alpha_ = preview(t);
+  auto [it, inserted] =
+      by_priority_.try_emplace(t.priority, Range{t.deadline, t.deadline});
+  if (!inserted) {
+    it->second.min_d = std::min(it->second.min_d, t.deadline);
+    it->second.max_d = std::max(it->second.max_d, t.deadline);
+  }
+}
+
+}  // namespace frap::sched

@@ -1,0 +1,57 @@
+// Urgency-inversion analysis: the alpha parameter of Eq. 2 / Eq. 12.
+//
+// alpha = min over priority-sorted task pairs (T_hi at least as high
+// priority as T_lo) of D_lo / D_hi. An *urgency inversion* is a pair where a
+// task with a longer relative deadline got equal-or-higher priority; alpha
+// measures the worst such inversion and scales the feasible region:
+//   sum_j f(U_j) <= alpha.
+// For deadline-monotonic scheduling alpha = 1; for random priorities over a
+// deadline range [D_least, D_most], alpha = D_least / D_most.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "sched/priority.h"
+#include "util/time.h"
+
+namespace frap::sched {
+
+struct TaskUrgency {
+  PriorityValue priority;  // smaller = more urgent (scheduler's view)
+  Duration deadline;       // relative end-to-end deadline (true urgency)
+};
+
+// Exact alpha for a closed task set. Returns 1 for empty or singleton sets
+// (no pair can invert), and is always in (0, 1].
+double compute_alpha(std::span<const TaskUrgency> tasks);
+
+// Conservative online alpha for an open (aperiodic) system: tasks are
+// reported as they are admitted and alpha only ratchets down. The estimate
+// pairs every new task against the extreme deadlines of all tasks ever seen
+// at equal-or-higher / equal-or-lower priority, so it converges to the exact
+// alpha of the arrival history.
+class OnlineAlphaEstimator {
+ public:
+  void observe(const TaskUrgency& t);
+
+  // The alpha that WOULD result from observing `t`, without mutating the
+  // estimator. Used by adaptive admission to test a candidate task against
+  // the alpha its own arrival would induce.
+  double preview(const TaskUrgency& t) const;
+
+  // Current conservative estimate; 1 until an inversion is observed.
+  double alpha() const { return alpha_; }
+
+ private:
+  // For each distinct priority value: the largest and smallest deadline seen.
+  struct Range {
+    Duration min_d;
+    Duration max_d;
+  };
+  std::map<PriorityValue, Range> by_priority_;
+  double alpha_ = 1.0;
+};
+
+}  // namespace frap::sched

@@ -1,0 +1,61 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::sim {
+
+EventId EventQueue::push(Time t, std::function<void()> fn) {
+  FRAP_EXPECTS(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as the id; both are unique
+  heap_.push_back(Entry{t, seq, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  // Acts only on a genuinely pending event; cancelling something that already
+  // fired (or was cancelled) is a no-op.
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  pending_.erase(it);
+  cancelled_.insert(id);
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() {
+  skim();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  skim();
+  FRAP_EXPECTS(!heap_.empty());
+  return heap_.front().time;
+}
+
+std::function<void()> EventQueue::pop(Time& t) {
+  skim();
+  FRAP_EXPECTS(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  t = e.time;
+  return std::move(e.fn);
+}
+
+}  // namespace frap::sim

@@ -1,0 +1,67 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence number). The sequence number makes
+// same-time events fire in scheduling order, which keeps simulations fully
+// deterministic. Cancellation is lazy: cancelled entries stay in the heap
+// and are discarded on pop, which keeps cancel() O(1) — preemptive
+// schedulers cancel completion events constantly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace frap::sim {
+
+// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Schedules fn at absolute time t. Returns a handle for cancellation.
+  EventId push(Time t, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a harmless no-op, so callers need not track firing themselves.
+  void cancel(EventId id);
+
+  bool empty();
+
+  // Time of the earliest live event. Requires !empty().
+  Time next_time();
+
+  // Removes and returns the earliest live event's action. Requires !empty().
+  // Also reports the event's time through `t`.
+  std::function<void()> pop(Time& t);
+
+  // Live (non-cancelled) events still pending.
+  std::size_t size() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the heap top.
+  void skim();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled and not yet fired
+  std::unordered_set<EventId> cancelled_;  // lazily removed from heap_
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace frap::sim

@@ -1,0 +1,58 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator advances a virtual clock from event to event. Components
+// (stage servers, workload generators, admission controllers) interact only
+// through scheduled callbacks, so a whole experiment is a single-threaded,
+// perfectly reproducible computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace frap::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time. Starts at 0.
+  Time now() const { return now_; }
+
+  // Schedules fn at absolute time t (>= now()).
+  EventId at(Time t, std::function<void()> fn);
+
+  // Schedules fn after a non-negative delay.
+  EventId after(Duration d, std::function<void()> fn);
+
+  // Cancels a pending event (no-op if it already fired or was cancelled).
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs until the event queue drains.
+  void run();
+
+  // Runs events with time <= t, then sets the clock to exactly t.
+  // Events scheduled at exactly t DO fire.
+  void run_until(Time t);
+
+  // Executes at most `n` further events (for tests); returns how many ran.
+  std::size_t step(std::size_t n = 1);
+
+  // Events executed since construction.
+  std::uint64_t events_executed() const { return executed_; }
+
+  std::size_t pending_events() { return queue_.size(); }
+
+ private:
+  void dispatch_next();
+
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace frap::sim

@@ -1,0 +1,37 @@
+// Precondition / postcondition / invariant checking in the spirit of the
+// C++ Core Guidelines' Expects()/Ensures() (I.6, I.8). Violations indicate
+// programming errors inside frap or misuse of its API, so they abort with a
+// diagnostic rather than throwing: callers are never expected to recover.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace frap::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "frap: %s violation: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace frap::util
+
+// Precondition on a public API entry point.
+#define FRAP_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::frap::util::contract_failure("precondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// Postcondition / result sanity check.
+#define FRAP_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::frap::util::contract_failure("postcondition", #cond, __FILE__, \
+                                           __LINE__))
+
+// Internal invariant that must hold between calls.
+#define FRAP_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::frap::util::contract_failure("invariant", #cond, __FILE__,  \
+                                           __LINE__))

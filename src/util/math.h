@@ -1,0 +1,39 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace frap::util {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relative-or-absolute closeness test for analytical results.
+inline bool almost_equal(double a, double b, double rel = 1e-9,
+                         double abs = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  return diff <= rel * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+// Clamp helper that tolerates lo > hi inputs from floating-point noise by
+// preferring lo.
+inline double clamp(double x, double lo, double hi) {
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+// Arithmetic mean of a container of doubles; 0 for empty input.
+template <typename C>
+double mean_of(const C& c) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (double v : c) {
+    sum += v;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace frap::util

@@ -1,0 +1,37 @@
+// Column-aligned plain-text tables, used by the benchmark harness to print
+// the paper's figures/tables as terminal output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace frap::util {
+
+// Usage:
+//   Table t({"load %", "N=1", "N=2"});
+//   t.add_row({"60", "0.58", "0.57"});
+//   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace frap::util

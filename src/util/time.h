@@ -1,0 +1,32 @@
+// Simulation time types and unit helpers.
+//
+// Simulated time is a double measured in seconds. A double mantissa gives
+// sub-nanosecond resolution over multi-year horizons, which is far beyond
+// what the experiments need, and keeps the arithmetic in the analytical
+// expressions (which are real-valued anyway) free of conversions.
+#pragma once
+
+namespace frap {
+
+using Time = double;      // absolute simulated time, seconds
+using Duration = double;  // time difference, seconds
+
+inline constexpr Time kTimeZero = 0.0;
+
+// Unit constructors: write `20 * kMilli` for 20 ms.
+inline constexpr Duration kSec = 1.0;
+inline constexpr Duration kMilli = 1e-3;
+inline constexpr Duration kMicro = 1e-6;
+
+namespace util {
+
+// True when |a - b| is within an absolute tolerance. The simulator produces
+// times by summing durations, so equality comparisons in tests must allow
+// rounding slack.
+inline constexpr bool time_close(Time a, Time b, Duration tol = 1e-9) {
+  const Duration d = a - b;
+  return (d < 0 ? -d : d) <= tol;
+}
+
+}  // namespace util
+}  // namespace frap

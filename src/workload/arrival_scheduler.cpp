@@ -1,0 +1,70 @@
+#include "workload/arrival_scheduler.h"
+
+#include "util/check.h"
+
+namespace frap::workload {
+
+void schedule_renewal(sim::Simulator& sim, Time until, GapFn gap,
+                      ArrivalFn on_arrival) {
+  FRAP_EXPECTS(gap != nullptr);
+  FRAP_EXPECTS(on_arrival != nullptr);
+  // The loop owns itself: the shared_ptr'd closure is captured by value in
+  // every event it schedules. The self-reference cycle is broken when the
+  // loop declines to schedule a successor (past `until`), releasing the
+  // last owner after that event runs.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&sim, until, gap = std::move(gap),
+           on_arrival = std::move(on_arrival), pump]() mutable {
+    const Duration g = gap();
+    FRAP_EXPECTS(g >= 0);
+    const Time t = sim.now() + g;
+    if (t > until) {
+      // Break the self-ownership cycle. The caller invoked us through a
+      // COPY of *pump (see below), so clearing the stored function does
+      // not destroy the closure currently executing.
+      *pump = nullptr;
+      return;
+    }
+    sim.at(t, [t, on_arrival, pump] {
+      on_arrival(t);
+      auto fn = *pump;  // copy: survives a self-clear inside the call
+      fn();
+    });
+  };
+  auto fn = *pump;
+  fn();
+}
+
+void schedule_poisson(sim::Simulator& sim, double rate, Time until,
+                      std::uint64_t seed, ArrivalFn on_arrival) {
+  FRAP_EXPECTS(rate > 0);
+  auto rng = std::make_shared<util::Rng>(seed);
+  schedule_renewal(
+      sim, until, [rng, rate] { return rng->exponential(1.0 / rate); },
+      std::move(on_arrival));
+}
+
+void schedule_periodic(sim::Simulator& sim, Duration period, Time phase,
+                       Time until, PeriodicFn on_release) {
+  FRAP_EXPECTS(period > 0);
+  FRAP_EXPECTS(phase >= sim.now());
+  FRAP_EXPECTS(on_release != nullptr);
+  auto pump = std::make_shared<std::function<void(std::uint64_t)>>();
+  *pump = [&sim, period, phase, until, on_release = std::move(on_release),
+           pump](std::uint64_t k) mutable {
+    const Time t = phase + static_cast<double>(k) * period;
+    if (t > until) {
+      *pump = nullptr;  // safe: callers invoke through a copy
+      return;
+    }
+    sim.at(t, [t, k, on_release, pump] {
+      on_release(t, k);
+      auto fn = *pump;
+      fn(k + 1);
+    });
+  };
+  auto fn = *pump;
+  fn(0);
+}
+
+}  // namespace frap::workload

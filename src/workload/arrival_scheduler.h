@@ -1,0 +1,50 @@
+// Self-owning arrival loops over a Simulator.
+//
+// Experiments keep writing the same "pump" pattern: an event that fires an
+// arrival, then schedules its own successor, and must own itself so the
+// closure outlives the scope that created it. These helpers package that
+// safely:
+//
+//   schedule_poisson(sim, rate, until, seed, [&](Time t){ ... });
+//   schedule_renewal(sim, until, gap_fn, [&](Time t){ ... });
+//   schedule_periodic(sim, period, phase, until, [&](Time t, k){ ... });
+//
+// Each returns immediately; the loop lives inside the simulator's event
+// graph and stops itself after `until`. Callbacks receive the arrival time
+// (== sim.now()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace frap::workload {
+
+// Arrival callback: invoked at each arrival instant.
+using ArrivalFn = std::function<void(Time)>;
+
+// Periodic callback: arrival instant plus the invocation index.
+using PeriodicFn = std::function<void(Time, std::uint64_t)>;
+
+// Interarrival generator for schedule_renewal.
+using GapFn = std::function<Duration()>;
+
+// Poisson process at `rate` (>0) arrivals/s from now until `until`.
+void schedule_poisson(sim::Simulator& sim, double rate, Time until,
+                      std::uint64_t seed, ArrivalFn on_arrival);
+
+// General renewal process: `gap()` supplies successive interarrival times
+// (must be >= 0). Stops once the next arrival would land past `until`.
+void schedule_renewal(sim::Simulator& sim, Time until, GapFn gap,
+                      ArrivalFn on_arrival);
+
+// Strictly periodic releases at phase + k*period, k = 0, 1, ...
+// (period > 0, phase >= now). Stops after `until`.
+void schedule_periodic(sim::Simulator& sim, Duration period, Time phase,
+                       Time until, PeriodicFn on_release);
+
+}  // namespace frap::workload

@@ -1,0 +1,79 @@
+// Bursty and heavy-tailed workload generators.
+//
+// The paper's guarantee is distribution-free: the feasible region bounds
+// delays for ANY aperiodic arrival pattern, because synthetic utilization
+// is tracked per actual arrival. These generators stress that property:
+//
+//   * MmppArrivalProcess — a two-state Markov-modulated Poisson process
+//     ("quiet" / "burst" states with different rates), the standard model
+//     for correlated, bursty traffic;
+//   * BoundedParetoSampler — heavy-tailed computation times (the classic
+//     web/server service-time model), truncated so means stay finite and
+//     configurable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace frap::workload {
+
+// Two-state MMPP. In state 0 ("quiet") arrivals are Poisson(rate_quiet);
+// in state 1 ("burst") Poisson(rate_burst). State sojourn times are
+// exponential with the given means.
+class MmppArrivalProcess {
+ public:
+  struct Config {
+    double rate_quiet = 50.0;        // arrivals/s in the quiet state
+    double rate_burst = 400.0;       // arrivals/s in the burst state
+    Duration mean_quiet_time = 1.0;  // mean sojourn in quiet
+    Duration mean_burst_time = 0.1;  // mean sojourn in burst
+
+    bool valid() const {
+      return rate_quiet > 0 && rate_burst > 0 && mean_quiet_time > 0 &&
+             mean_burst_time > 0;
+    }
+    // Long-run average arrival rate (stationary state probabilities).
+    double average_rate() const;
+  };
+
+  MmppArrivalProcess(Config config, std::uint64_t seed);
+
+  // Time from the previous arrival to the next one, advancing the
+  // modulating chain as needed.
+  Duration next_interarrival();
+
+  bool in_burst() const { return burst_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+  bool burst_ = false;
+  Duration state_remaining_;  // time left in the current state
+};
+
+// Bounded Pareto on [lo, hi] with tail index alpha (heavier tail for
+// smaller alpha; alpha <= 2 gives very high variance).
+class BoundedParetoSampler {
+ public:
+  // Requires 0 < lo < hi and alpha > 0.
+  BoundedParetoSampler(double lo, double hi, double alpha);
+
+  double sample(util::Rng& rng) const;
+
+  // Analytical mean of the bounded Pareto (alpha != 1).
+  double mean() const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double alpha_;
+};
+
+}  // namespace frap::workload

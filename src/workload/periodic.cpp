@@ -1,0 +1,74 @@
+#include "workload/periodic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace frap::workload {
+
+bool PeriodicStreamConfig::valid() const {
+  if (period <= 0 || deadline <= 0) return false;
+  if (jitter < 0) return false;
+  if (stages.empty()) return false;
+  for (const auto& s : stages) {
+    if (!s.valid()) return false;
+  }
+  return true;
+}
+
+PeriodicStream::PeriodicStream(PeriodicStreamConfig config,
+                               std::uint64_t id_base, std::uint64_t seed)
+    : config_(std::move(config)), id_base_(id_base), rng_(seed) {
+  FRAP_EXPECTS(config_.valid());
+}
+
+Time PeriodicStream::next_release() {
+  const Time nominal =
+      static_cast<double>(invocation_) * config_.period;
+  ++invocation_;
+  const Duration j =
+      config_.jitter > 0 ? rng_.uniform(0.0, config_.jitter) : 0.0;
+  return nominal + j;
+}
+
+core::TaskSpec PeriodicStream::current_invocation() const {
+  FRAP_EXPECTS(invocation_ > 0);
+  core::TaskSpec spec;
+  spec.id = id_base_ + (invocation_ - 1);
+  spec.deadline = config_.deadline;
+  spec.importance = config_.importance;
+  spec.stages = config_.stages;
+  FRAP_ENSURES(spec.valid());
+  return spec;
+}
+
+std::vector<double> PeriodicStream::invocation_contributions() const {
+  std::vector<double> c;
+  c.reserve(config_.stages.size());
+  for (const auto& s : config_.stages) {
+    c.push_back(s.compute / config_.deadline);
+  }
+  return c;
+}
+
+std::size_t max_concurrent_invocations(const PeriodicStreamConfig& config) {
+  FRAP_EXPECTS(config.valid());
+  const double window = (config.deadline + config.jitter) / config.period;
+  // Half-open release window of relative length `window` contains at most
+  // ceil(window) release instants spaced one period apart.
+  const double c = std::ceil(window);
+  return static_cast<std::size_t>(c);
+}
+
+std::vector<double> worst_case_contributions(
+    const PeriodicStreamConfig& config) {
+  const auto m = static_cast<double>(max_concurrent_invocations(config));
+  std::vector<double> c;
+  c.reserve(config.stages.size());
+  for (const auto& s : config.stages) {
+    c.push_back(m * s.compute / config.deadline);
+  }
+  return c;
+}
+
+}  // namespace frap::workload

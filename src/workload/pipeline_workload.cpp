@@ -1,0 +1,71 @@
+#include "workload/pipeline_workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::workload {
+
+Duration PipelineWorkloadConfig::mean_total_compute() const {
+  Duration total = 0;
+  for (Duration c : mean_compute) total += c;
+  return total;
+}
+
+double PipelineWorkloadConfig::arrival_rate() const {
+  const Duration bottleneck =
+      *std::max_element(mean_compute.begin(), mean_compute.end());
+  FRAP_EXPECTS(bottleneck > 0);
+  return input_load / bottleneck;
+}
+
+PipelineWorkloadConfig PipelineWorkloadConfig::balanced(
+    std::size_t stages, Duration mean_compute_per_stage, double input_load,
+    double resolution) {
+  PipelineWorkloadConfig c;
+  c.mean_compute.assign(stages, mean_compute_per_stage);
+  c.input_load = input_load;
+  c.resolution = resolution;
+  return c;
+}
+
+bool PipelineWorkloadConfig::valid() const {
+  if (mean_compute.empty()) return false;
+  for (Duration c : mean_compute) {
+    if (c <= 0) return false;
+  }
+  if (input_load <= 0) return false;
+  if (resolution <= 0) return false;
+  if (deadline_spread < 0 || deadline_spread >= 1.0) return false;
+  return true;
+}
+
+PipelineWorkloadGenerator::PipelineWorkloadGenerator(
+    PipelineWorkloadConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      arrival_rng_(seed),
+      demand_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+      aux_rng_(seed ^ 0xdeadbeefcafef00dULL) {
+  FRAP_EXPECTS(config_.valid());
+}
+
+Duration PipelineWorkloadGenerator::next_interarrival() {
+  return arrival_rng_.exponential(1.0 / config_.arrival_rate());
+}
+
+core::TaskSpec PipelineWorkloadGenerator::next_task() {
+  core::TaskSpec spec;
+  spec.id = next_id_++;
+  spec.deadline =
+      demand_rng_.uniform(config_.deadline_min(), config_.deadline_max());
+  spec.stages.reserve(config_.num_stages());
+  for (Duration mean : config_.mean_compute) {
+    core::StageDemand d;
+    d.compute = demand_rng_.exponential(mean);
+    spec.stages.push_back(std::move(d));
+  }
+  FRAP_ENSURES(spec.valid());
+  return spec;
+}
+
+}  // namespace frap::workload

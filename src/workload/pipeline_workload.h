@@ -1,0 +1,86 @@
+// The synthetic aperiodic pipeline workload of Sec. 4.
+//
+//   * Poisson arrivals;
+//   * per-stage computation times drawn independently from exponential
+//     distributions (one mean per stage — unequal means model the load
+//     imbalance of Sec. 4.3);
+//   * end-to-end deadlines uniform over a range that grows linearly with
+//     the number of stages (via the mean total computation time);
+//   * "task resolution" (Sec. 4.2) = mean end-to-end deadline / mean total
+//     computation time;
+//   * "input load" = arrival rate x mean computation time of the bottleneck
+//     stage, expressed as a fraction of that stage's capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace frap::workload {
+
+struct PipelineWorkloadConfig {
+  // Mean exponential computation time per stage; size = pipeline length.
+  std::vector<Duration> mean_compute;
+
+  // Offered load on the bottleneck (largest-mean) stage, as a fraction of
+  // its capacity: lambda = input_load / max_j mean_compute[j].
+  double input_load = 1.0;
+
+  // Mean end-to-end deadline / mean total computation time. The paper's
+  // Fig. 4 uses ~100 ("liquid-like"); Fig. 5 sweeps it.
+  double resolution = 100.0;
+
+  // Deadlines are uniform in mean_deadline * [1 - spread, 1 + spread].
+  double deadline_spread = 0.5;
+
+  std::size_t num_stages() const { return mean_compute.size(); }
+  Duration mean_total_compute() const;
+  Duration mean_deadline() const { return resolution * mean_total_compute(); }
+  Duration deadline_min() const {
+    return mean_deadline() * (1.0 - deadline_spread);
+  }
+  Duration deadline_max() const {
+    return mean_deadline() * (1.0 + deadline_spread);
+  }
+
+  // Poisson arrival rate implied by input_load.
+  double arrival_rate() const;
+
+  // Convenience: balanced pipeline with `stages` stages of the given mean.
+  static PipelineWorkloadConfig balanced(std::size_t stages,
+                                         Duration mean_compute_per_stage,
+                                         double input_load,
+                                         double resolution = 100.0);
+
+  bool valid() const;
+};
+
+class PipelineWorkloadGenerator {
+ public:
+  PipelineWorkloadGenerator(PipelineWorkloadConfig config,
+                            std::uint64_t seed);
+
+  // Time until the next arrival (exponential with the configured rate).
+  Duration next_interarrival();
+
+  // Draws the next task (ids are sequential and unique per generator).
+  core::TaskSpec next_task();
+
+  const PipelineWorkloadConfig& config() const { return config_; }
+
+  // Exposes the generator's RNG for auxiliary draws (e.g. random-priority
+  // policies) without perturbing arrival/demand streams.
+  util::Rng& aux_rng() { return aux_rng_; }
+
+ private:
+  PipelineWorkloadConfig config_;
+  util::Rng arrival_rng_;
+  util::Rng demand_rng_;
+  util::Rng aux_rng_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace frap::workload

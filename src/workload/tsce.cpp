@@ -1,0 +1,102 @@
+#include "workload/tsce.h"
+
+#include <algorithm>
+
+#include "core/reservation.h"
+#include "core/stage_delay.h"
+#include "util/check.h"
+
+namespace frap::workload::tsce {
+
+namespace {
+
+core::StageDemand demand(Duration c) {
+  core::StageDemand d;
+  d.compute = c;
+  return d;
+}
+
+// Contribution vectors of the three critical tasks (C_j / D).
+struct CriticalTask {
+  Duration deadline;
+  Duration c1, c2, c3;
+};
+
+constexpr CriticalTask kWeaponDetection{500 * kMilli, 100 * kMilli,
+                                        65 * kMilli, 30 * kMilli};
+constexpr CriticalTask kWeaponTargeting{50 * kMilli, 5 * kMilli, 5 * kMilli,
+                                        5 * kMilli};
+// UAV video distributor: 5 ms/console x 2 consoles = 10 ms on stage 2;
+// 50 ms of video on stages 1 and 3.
+constexpr CriticalTask kUavVideo{500 * kMilli, 50 * kMilli, 10 * kMilli,
+                                 50 * kMilli};
+
+}  // namespace
+
+PeriodicStreamConfig weapon_targeting_stream() {
+  PeriodicStreamConfig c;
+  c.name = "WeaponTargeting";
+  c.period = 50 * kMilli;
+  c.deadline = kWeaponTargeting.deadline;
+  c.importance = kImportanceWeaponTargeting;
+  c.stages = {demand(kWeaponTargeting.c1), demand(kWeaponTargeting.c2),
+              demand(kWeaponTargeting.c3)};
+  return c;
+}
+
+PeriodicStreamConfig uav_video_stream() {
+  PeriodicStreamConfig c;
+  c.name = "UavVideo";
+  c.period = 500 * kMilli;
+  c.deadline = kUavVideo.deadline;
+  c.importance = kImportanceUavVideo;
+  c.stages = {demand(kUavVideo.c1), demand(kUavVideo.c2),
+              demand(kUavVideo.c3)};
+  return c;
+}
+
+core::TaskSpec weapon_detection_task(std::uint64_t id) {
+  core::TaskSpec spec;
+  spec.id = id;
+  spec.deadline = kWeaponDetection.deadline;
+  spec.importance = kImportanceWeaponDetection;
+  spec.stages = {demand(kWeaponDetection.c1), demand(kWeaponDetection.c2),
+                 demand(kWeaponDetection.c3)};
+  FRAP_ENSURES(spec.valid());
+  return spec;
+}
+
+PeriodicStreamConfig target_tracking_stream(std::size_t track_index) {
+  PeriodicStreamConfig c;
+  c.name = "TargetTracking#" + std::to_string(track_index);
+  c.period = 1.0 * kSec;
+  c.deadline = 1.0 * kSec;
+  c.importance = kImportanceTracking;
+  // 1 ms of per-track stage-1 work; the shared distributor/display work is
+  // not per-track (Sec. 5), so stages 2-3 carry no per-track demand.
+  c.stages = {demand(1 * kMilli), demand(0), demand(0)};
+  return c;
+}
+
+std::vector<double> reserved_utilizations() {
+  // Stages 1 and 2 are shared (contributions add); stage 3 is partitioned
+  // across consoles, so only the largest user counts (Sec. 5).
+  using Rule = core::ReservationPlanner::StageRule;
+  core::ReservationPlanner planner({Rule::kSum, Rule::kSum, Rule::kMax});
+  for (const CriticalTask* t :
+       {&kWeaponDetection, &kWeaponTargeting, &kUavVideo}) {
+    planner.add_contributions({t->c1 / t->deadline, t->c2 / t->deadline,
+                               t->c3 / t->deadline});
+  }
+  return planner.reserved();
+}
+
+double certification_lhs() {
+  double lhs = 0;
+  for (double u : reserved_utilizations()) {
+    lhs += core::stage_delay_factor(u);
+  }
+  return lhs;
+}
+
+}  // namespace frap::workload::tsce

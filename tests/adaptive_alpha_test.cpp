@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/adaptive_alpha.h"
+#include "core/stage_delay.h"
+#include "core/synthetic_utilization.h"
+#include "sim/simulator.h"
+
+namespace frap::core {
+namespace {
+
+TaskSpec make_task(std::uint64_t id, Duration deadline,
+                   std::vector<Duration> computes) {
+  TaskSpec spec;
+  spec.id = id;
+  spec.deadline = deadline;
+  for (Duration c : computes) {
+    StageDemand d;
+    d.compute = c;
+    spec.stages.push_back(d);
+  }
+  return spec;
+}
+
+class AdaptiveAlphaTest : public ::testing::Test {
+ protected:
+  AdaptiveAlphaTest() : tracker_(sim_, 2), controller_(sim_, tracker_) {}
+
+  sim::Simulator sim_;
+  SyntheticUtilizationTracker tracker_;
+  AdaptiveAlphaAdmissionController controller_;
+};
+
+TEST_F(AdaptiveAlphaTest, StartsWithAlphaOne) {
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 1.0);
+  // Deadline-monotonic-consistent priorities keep alpha at 1.
+  const auto d1 = controller_.try_admit(make_task(1, 1.0, {0.1, 0.1}), 1.0);
+  EXPECT_TRUE(d1.admitted);
+  EXPECT_DOUBLE_EQ(d1.alpha_used, 1.0);
+  const auto d2 = controller_.try_admit(make_task(2, 2.0, {0.1, 0.1}), 2.0);
+  EXPECT_TRUE(d2.admitted);
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 1.0);
+}
+
+TEST_F(AdaptiveAlphaTest, InversionShrinksAlphaForTheCandidateItself) {
+  // First task: priority 1 (urgent), deadline 10 (lax) -> no pair yet.
+  EXPECT_TRUE(controller_.try_admit(make_task(1, 10.0, {0.1, 0.1}), 1.0)
+                  .admitted);
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 1.0);
+  // Second task: priority 2 (less urgent) but deadline 1 (urgent!) —
+  // an inversion with ratio 1/10. The candidate is tested against 0.1.
+  const auto d = controller_.try_admit(make_task(2, 1.0, {0.01, 0.01}), 2.0);
+  EXPECT_DOUBLE_EQ(d.alpha_used, 0.1);
+  // lhs after adding ~ f(0.11)*2 + f-ish; compute: u = 0.1+0.01 = 0.11...
+  // contributions: task1 0.1/10 = 0.01 per stage; task2 0.01/1 = 0.01.
+  // u_j = 0.02 -> lhs = 2 f(0.02) ~= 0.0404 <= 0.1 -> admitted.
+  EXPECT_TRUE(d.admitted);
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 0.1);
+}
+
+TEST_F(AdaptiveAlphaTest, RejectionDoesNotPoisonAlpha) {
+  EXPECT_TRUE(controller_.try_admit(make_task(1, 10.0, {2.0, 2.0}), 1.0)
+                  .admitted);  // u = 0.2 each
+  // Candidate with a catastrophic inversion (alpha would be 0.01) and
+  // enough load to fail its own test.
+  const auto d =
+      controller_.try_admit(make_task(2, 0.1, {0.05, 0.05}), 50.0);
+  EXPECT_FALSE(d.admitted);
+  // Rejected tasks never run, so they cannot create inversions: alpha
+  // must remain 1.
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 1.0);
+}
+
+TEST_F(AdaptiveAlphaTest, AlphaOnlyRatchetsDown) {
+  controller_.try_admit(make_task(1, 4.0, {0.01, 0.01}), 1.0);
+  controller_.try_admit(make_task(2, 1.0, {0.01, 0.01}), 2.0);  // ratio 1/4
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 0.25);
+  controller_.try_admit(make_task(3, 2.0, {0.01, 0.01}), 3.0);  // ratio 1/2
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 0.25);  // unchanged
+}
+
+TEST_F(AdaptiveAlphaTest, SmallerAlphaShrinksAdmission) {
+  // Without inversions this load fits easily (lhs ~ 0.73 <= 1).
+  {
+    sim::Simulator sim;
+    SyntheticUtilizationTracker tracker(sim, 2);
+    AdaptiveAlphaAdmissionController fresh(sim, tracker);
+    EXPECT_TRUE(
+        fresh.try_admit(make_task(1, 1.0, {0.3, 0.3}), 1.0).admitted);
+  }
+  // With a learned alpha of 0.5, the same load (lhs ~0.73 > 0.5) fails.
+  controller_.try_admit(make_task(1, 2.0, {0.001, 0.001}), 1.0);
+  controller_.try_admit(make_task(2, 1.0, {0.001, 0.001}), 2.0);  // a = 0.5
+  EXPECT_DOUBLE_EQ(controller_.alpha(), 0.5);
+  const auto d = controller_.try_admit(make_task(3, 1.0, {0.3, 0.3}), 1.5);
+  EXPECT_FALSE(d.admitted);
+}
+
+TEST_F(AdaptiveAlphaTest, CountsAttempts) {
+  controller_.try_admit(make_task(1, 1.0, {0.1, 0.1}), 1.0);
+  controller_.try_admit(make_task(2, 1.0, {5.0, 5.0}), 1.0);  // too big
+  EXPECT_EQ(controller_.attempts(), 2u);
+  EXPECT_EQ(controller_.admitted(), 1u);
+}
+
+}  // namespace
+}  // namespace frap::core

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "workload/arrival_scheduler.h"
+
+namespace frap::workload {
+namespace {
+
+TEST(ArrivalSchedulerTest, PeriodicFiresAtExactInstants) {
+  sim::Simulator sim;
+  std::vector<std::pair<Time, std::uint64_t>> releases;
+  schedule_periodic(sim, 0.5, 0.25, 2.0, [&](Time t, std::uint64_t k) {
+    releases.push_back({t, k});
+  });
+  sim.run();
+  ASSERT_EQ(releases.size(), 4u);  // 0.25, 0.75, 1.25, 1.75
+  EXPECT_DOUBLE_EQ(releases[0].first, 0.25);
+  EXPECT_EQ(releases[0].second, 0u);
+  EXPECT_DOUBLE_EQ(releases[3].first, 1.75);
+  EXPECT_EQ(releases[3].second, 3u);
+}
+
+TEST(ArrivalSchedulerTest, PeriodicIncludesBoundary) {
+  sim::Simulator sim;
+  int count = 0;
+  schedule_periodic(sim, 1.0, 0.0, 3.0, [&](Time, std::uint64_t) {
+    ++count;
+  });
+  sim.run();
+  EXPECT_EQ(count, 4);  // t = 0, 1, 2, 3
+}
+
+TEST(ArrivalSchedulerTest, PoissonRateIsHonored) {
+  sim::Simulator sim;
+  int count = 0;
+  schedule_poisson(sim, 100.0, 50.0, 7, [&](Time) { ++count; });
+  sim.run();
+  // ~5000 arrivals expected; allow 5 sigma (~350).
+  EXPECT_GT(count, 4600);
+  EXPECT_LT(count, 5400);
+}
+
+TEST(ArrivalSchedulerTest, PoissonIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    std::vector<Time> times;
+    schedule_poisson(sim, 50.0, 5.0, seed, [&](Time t) {
+      times.push_back(t);
+    });
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(3), run_once(3));
+  EXPECT_NE(run_once(3), run_once(4));
+}
+
+TEST(ArrivalSchedulerTest, RenewalUsesProvidedGaps) {
+  sim::Simulator sim;
+  std::vector<Duration> gaps{1.0, 2.0, 0.5, 10.0};
+  std::size_t i = 0;
+  std::vector<Time> times;
+  schedule_renewal(
+      sim, 4.0, [&] { return gaps[i++]; },
+      [&](Time t) { times.push_back(t); });
+  sim.run();
+  // Arrivals at 1.0, 3.0, 3.5; the next (13.5) exceeds `until`.
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+  EXPECT_DOUBLE_EQ(times[2], 3.5);
+}
+
+TEST(ArrivalSchedulerTest, LoopsTerminateAndDrainCleanly) {
+  sim::Simulator sim;
+  int arrivals = 0;
+  schedule_poisson(sim, 1000.0, 1.0, 9, [&](Time) { ++arrivals; });
+  schedule_periodic(sim, 0.1, 0.0, 1.0, [&](Time, std::uint64_t) {});
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_GT(arrivals, 0);
+}
+
+TEST(ArrivalSchedulerTest, CallbackSeesSimNowEqualToArrivalTime) {
+  sim::Simulator sim;
+  bool checked = false;
+  schedule_periodic(sim, 1.0, 0.5, 0.5, [&](Time t, std::uint64_t) {
+    EXPECT_DOUBLE_EQ(t, sim.now());
+    checked = true;
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ArrivalSchedulerTest, ZeroArrivalWindowIsEmpty) {
+  sim::Simulator sim;
+  int count = 0;
+  // First Poisson gap is > 0, so an `until` of 0 never fires.
+  schedule_poisson(sim, 10.0, 0.0, 11, [&](Time) { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace frap::workload

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "workload/bursty.h"
+
+namespace frap::workload {
+namespace {
+
+// ------------------------------------------------------------------ MMPP ---
+
+TEST(MmppTest, AverageRateFormula) {
+  MmppArrivalProcess::Config c;
+  c.rate_quiet = 50;
+  c.rate_burst = 400;
+  c.mean_quiet_time = 1.0;
+  c.mean_burst_time = 0.1;
+  // (50*1 + 400*0.1) / 1.1 = 90/1.1.
+  EXPECT_NEAR(c.average_rate(), 90.0 / 1.1, 1e-9);
+}
+
+TEST(MmppTest, EmpiricalRateMatchesAverage) {
+  MmppArrivalProcess::Config c;
+  c.rate_quiet = 50;
+  c.rate_burst = 400;
+  c.mean_quiet_time = 0.5;
+  c.mean_burst_time = 0.1;
+  MmppArrivalProcess p(c, 13);
+  const int n = 300000;
+  Duration total = 0;
+  for (int i = 0; i < n; ++i) total += p.next_interarrival();
+  const double rate = n / total;
+  EXPECT_NEAR(rate, c.average_rate(), c.average_rate() * 0.03);
+}
+
+TEST(MmppTest, InterarrivalsArePositive) {
+  MmppArrivalProcess::Config c;
+  MmppArrivalProcess p(c, 7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(p.next_interarrival(), 0.0);
+  }
+}
+
+TEST(MmppTest, BurstsIncreaseVarianceVsPoisson) {
+  // The squared coefficient of variation of MMPP interarrivals exceeds 1
+  // (Poisson's value) when the rates differ.
+  MmppArrivalProcess::Config c;
+  c.rate_quiet = 20;
+  c.rate_burst = 500;
+  c.mean_quiet_time = 1.0;
+  c.mean_burst_time = 0.2;
+  MmppArrivalProcess p(c, 29);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.next_interarrival();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double scv = var / (mean * mean);
+  EXPECT_GT(scv, 1.3);
+}
+
+TEST(MmppTest, Deterministic) {
+  MmppArrivalProcess::Config c;
+  MmppArrivalProcess a(c, 99);
+  MmppArrivalProcess b(c, 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_interarrival(), b.next_interarrival());
+  }
+}
+
+// -------------------------------------------------------- bounded Pareto ---
+
+TEST(BoundedParetoTest, SamplesStayInRange) {
+  BoundedParetoSampler s(0.001, 1.0, 1.5);
+  util::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = s.sample(rng);
+    EXPECT_GE(x, s.lo());
+    EXPECT_LE(x, s.hi());
+  }
+}
+
+TEST(BoundedParetoTest, EmpiricalMeanMatchesAnalytical) {
+  BoundedParetoSampler s(0.002, 0.5, 1.5);
+  util::Rng rng(11);
+  const int n = 400000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += s.sample(rng);
+  EXPECT_NEAR(sum / n, s.mean(), s.mean() * 0.03);
+}
+
+TEST(BoundedParetoTest, AlphaOneMean) {
+  BoundedParetoSampler s(0.01, 1.0, 1.0);
+  util::Rng rng(17);
+  const int n = 400000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += s.sample(rng);
+  EXPECT_NEAR(sum / n, s.mean(), s.mean() * 0.03);
+}
+
+TEST(BoundedParetoTest, HeavierTailThanExponential) {
+  // At matched means, the Pareto's p99.9 / mean ratio dwarfs the
+  // exponential's (~6.9).
+  BoundedParetoSampler s(0.001, 10.0, 1.1);
+  util::Rng rng(23);
+  const int n = 200000;
+  std::vector<double> xs(n);
+  double sum = 0;
+  for (auto& x : xs) {
+    x = s.sample(rng);
+    sum += x;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double mean = sum / n;
+  const double p999 = xs[static_cast<std::size_t>(n * 0.999)];
+  EXPECT_GT(p999 / mean, 20.0);
+}
+
+TEST(BoundedParetoTest, SmallerAlphaHeavierTail) {
+  util::Rng rng1(31);
+  util::Rng rng2(31);
+  BoundedParetoSampler heavy(0.001, 10.0, 1.1);
+  BoundedParetoSampler light(0.001, 10.0, 2.5);
+  const int n = 100000;
+  double max_heavy = 0, max_light = 0;
+  for (int i = 0; i < n; ++i) {
+    max_heavy = std::max(max_heavy, heavy.sample(rng1));
+    max_light = std::max(max_light, light.sample(rng2));
+  }
+  EXPECT_GT(max_heavy, max_light);
+}
+
+}  // namespace
+}  // namespace frap::workload

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pipeline/cli.h"
+
+namespace frap::pipeline {
+namespace {
+
+TEST(CliTest, DefaultsWithNoArgs) {
+  const auto r = parse_experiment_args({});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.workload.num_stages(), 2u);
+  EXPECT_DOUBLE_EQ(r.config.workload.input_load, 1.0);
+  EXPECT_DOUBLE_EQ(r.config.workload.resolution, 100.0);
+  EXPECT_EQ(r.config.admission, AdmissionMode::kExact);
+  EXPECT_EQ(r.config.priority, PriorityMode::kDeadlineMonotonic);
+  EXPECT_TRUE(r.config.idle_reset);
+  EXPECT_DOUBLE_EQ(r.config.patience, 0.0);
+}
+
+TEST(CliTest, ParsesAllFlags) {
+  const auto r = parse_experiment_args(
+      {"--stages=5", "--load=1.75", "--resolution=40", "--mean-compute=20",
+       "--duration=60", "--warmup=5", "--seed=99", "--admission=approx",
+       "--policy=random", "--patience=200", "--no-idle-reset"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.workload.num_stages(), 5u);
+  EXPECT_DOUBLE_EQ(r.config.workload.input_load, 1.75);
+  EXPECT_DOUBLE_EQ(r.config.workload.resolution, 40.0);
+  EXPECT_DOUBLE_EQ(r.config.workload.mean_compute[0], 0.02);
+  EXPECT_DOUBLE_EQ(r.config.sim_duration, 60.0);
+  EXPECT_DOUBLE_EQ(r.config.warmup, 5.0);
+  EXPECT_EQ(r.config.seed, 99u);
+  EXPECT_EQ(r.config.admission, AdmissionMode::kApproximate);
+  EXPECT_EQ(r.config.priority, PriorityMode::kRandom);
+  EXPECT_DOUBLE_EQ(r.config.patience, 0.2);
+  EXPECT_FALSE(r.config.idle_reset);
+}
+
+TEST(CliTest, ImbalanceSkewsLastStage) {
+  const auto r = parse_experiment_args(
+      {"--stages=2", "--mean-compute=10", "--imbalance=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.config.workload.mean_compute[0], 0.01);
+  EXPECT_DOUBLE_EQ(r.config.workload.mean_compute[1], 0.04);
+}
+
+TEST(CliTest, AdmissionModes) {
+  EXPECT_EQ(parse_experiment_args({"--admission=none"}).config.admission,
+            AdmissionMode::kNone);
+  EXPECT_EQ(parse_experiment_args({"--admission=split"}).config.admission,
+            AdmissionMode::kDeadlineSplit);
+  EXPECT_FALSE(parse_experiment_args({"--admission=bogus"}).ok);
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  const auto r = parse_experiment_args({"--frobnicate=1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(CliTest, RejectsMalformedValue) {
+  EXPECT_FALSE(parse_experiment_args({"--load=abc"}).ok);
+  EXPECT_FALSE(parse_experiment_args({"--stages=0"}).ok);
+  EXPECT_FALSE(parse_experiment_args({"--load=-1"}).ok);
+  EXPECT_FALSE(parse_experiment_args({"--seed=12x"}).ok);
+}
+
+TEST(CliTest, RejectsNonFlagArgument) {
+  const auto r = parse_experiment_args({"load=1.0"});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CliTest, RejectsWarmupBeyondDuration) {
+  const auto r = parse_experiment_args({"--duration=10", "--warmup=10"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("warmup"), std::string::npos);
+}
+
+TEST(CliTest, ValueFlagWithoutValueIsRejected) {
+  EXPECT_FALSE(parse_experiment_args({"--load"}).ok);
+  EXPECT_FALSE(parse_experiment_args({"--load="}).ok);
+}
+
+TEST(CliTest, NoIdleResetWithValueIsRejected) {
+  EXPECT_FALSE(parse_experiment_args({"--no-idle-reset=yes"}).ok);
+}
+
+TEST(CliTest, UsageMentionsEveryFlag) {
+  const auto usage = experiment_cli_usage();
+  for (const char* flag :
+       {"--stages", "--load", "--resolution", "--mean-compute",
+        "--imbalance", "--duration", "--warmup", "--seed", "--admission",
+        "--policy", "--patience", "--no-idle-reset"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(CliTest, ParsedConfigActuallyRuns) {
+  const auto r = parse_experiment_args(
+      {"--stages=2", "--load=1.0", "--duration=5", "--warmup=1",
+       "--seed=3"});
+  ASSERT_TRUE(r.ok);
+  const auto result = run_experiment(r.config);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.miss_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace frap::pipeline

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/export.h"
+#include "sim/simulator.h"
+
+namespace frap::metrics {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscapeTest, CommasAndQuotesAreQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvExportTest, TableWithHeaderAndRows) {
+  util::Table t({"load", "util"});
+  t.add_row({"100", "0.88"});
+  t.add_row({"150", "0.92"});
+  std::ostringstream os;
+  write_csv(t, os);
+  EXPECT_EQ(os.str(), "load,util\n100,0.88\n150,0.92\n");
+}
+
+TEST(CsvExportTest, TableQuotesAwkwardCells) {
+  util::Table t({"name", "value"});
+  t.add_row({"a,b", "1"});
+  std::ostringstream os;
+  write_csv(t, os);
+  EXPECT_EQ(os.str(), "name,value\n\"a,b\",1\n");
+}
+
+TEST(CsvExportTest, TimeSeries) {
+  sim::Simulator sim;
+  double v = 1.5;
+  TimeSeries ts(sim, 1.0, [&] { return v; });
+  ts.start(2.0);
+  sim.run();
+  std::ostringstream os;
+  write_csv(ts, os);
+  EXPECT_EQ(os.str(), "time,value\n0,1.5\n1,1.5\n2,1.5\n");
+}
+
+TEST(CsvExportTest, Histogram) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  std::ostringstream os;
+  write_csv(h, os);
+  EXPECT_EQ(os.str(), "bucket_lo,bucket_hi,count\n0,1,1\n1,2,2\n");
+}
+
+TEST(HistogramEdgeTest, BucketHiMatchesNextLo) {
+  Histogram h(0.0, 10.0, 5);
+  for (std::size_t i = 0; i + 1 < h.bucket_count(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bucket_hi(i), h.bucket_lo(i + 1));
+  }
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+}  // namespace
+}  // namespace frap::metrics

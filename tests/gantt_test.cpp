@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sched/gantt.h"
+#include "sched/stage_server.h"
+#include "sim/simulator.h"
+
+namespace frap::sched {
+namespace {
+
+TEST(GanttTest, EmptyTimelineRendersEmpty) {
+  Timeline t;
+  EXPECT_EQ(render_ascii_gantt(t, 0.0, 10.0), "");
+}
+
+TEST(GanttTest, SingleIntervalFillsItsCells) {
+  Timeline t;
+  t.record(1, 2.0, 4.0, 0);
+  const auto s = render_ascii_gantt(t, 0.0, 10.0, 10);
+  // Cells 2 and 3 covered.
+  EXPECT_EQ(s, "job 1 |..##......|\n");
+}
+
+TEST(GanttTest, RowsOrderedByFirstExecution) {
+  Timeline t;
+  t.record(5, 1.0, 2.0, 0);
+  t.record(3, 2.0, 3.0, 0);
+  t.record(5, 3.0, 4.0, 0);
+  const auto s = render_ascii_gantt(t, 0.0, 4.0, 4);
+  const auto pos5 = s.find("job 5");
+  const auto pos3 = s.find("job 3");
+  ASSERT_NE(pos5, std::string::npos);
+  ASSERT_NE(pos3, std::string::npos);
+  EXPECT_LT(pos5, pos3);
+}
+
+TEST(GanttTest, ClipsToWindow) {
+  Timeline t;
+  t.record(1, -5.0, 20.0, 0);
+  const auto s = render_ascii_gantt(t, 0.0, 10.0, 5);
+  EXPECT_EQ(s, "job 1 |#####|\n");
+}
+
+TEST(GanttTest, IntervalOutsideWindowInvisible) {
+  Timeline t;
+  t.record(1, 20.0, 30.0, 0);
+  const auto s = render_ascii_gantt(t, 0.0, 10.0, 5);
+  EXPECT_EQ(s, "job 1 |.....|\n");
+}
+
+TEST(GanttTest, RendersRealScheduleWithPreemption) {
+  sim::Simulator sim;
+  StageServer server(sim);
+  Timeline timeline;
+  server.set_timeline(&timeline);
+  Job low(1, 10.0, {Segment{4.0, kNoLock}});
+  Job high(2, 1.0, {Segment{2.0, kNoLock}});
+  sim.at(0.0, [&] { server.submit(low); });
+  sim.at(1.0, [&] { server.submit(high); });
+  sim.run();
+  // Timeline: low [0,1)+[3,6), high [1,3); 6 cells of 1s each.
+  const auto s = render_ascii_gantt(timeline, 0.0, 6.0, 6);
+  EXPECT_NE(s.find("job 1 |#..###|"), std::string::npos) << s;
+  EXPECT_NE(s.find("job 2 |.##...|"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace frap::sched

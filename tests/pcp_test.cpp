@@ -1,0 +1,151 @@
+// Unit tests for the PCP lock manager in isolation (protocol rules only;
+// end-to-end blocking behaviour is covered in stage_server_test.cpp).
+#include <gtest/gtest.h>
+
+#include "sched/job.h"
+#include "sched/pcp.h"
+
+namespace frap::sched {
+namespace {
+
+Job make_job(std::uint64_t id, PriorityValue prio) {
+  return Job(id, prio, {Segment{1.0, kNoLock}});
+}
+
+TEST(PcpTest, FreeLockAcquirableWhenNoOtherLocksHeld) {
+  PcpLockManager m;
+  m.set_ceiling(0, 1.0);
+  Job j = make_job(1, 5.0);
+  EXPECT_TRUE(m.can_acquire(j, 0));
+}
+
+TEST(PcpTest, HeldLockNotAcquirable) {
+  PcpLockManager m;
+  m.set_ceiling(0, 1.0);
+  Job a = make_job(1, 5.0);
+  Job b = make_job(2, 1.0);
+  m.acquire(a, 0);
+  EXPECT_FALSE(m.can_acquire(b, 0));
+  EXPECT_EQ(m.blocker(b, 0), &a);
+}
+
+TEST(PcpTest, CeilingRuleBlocksOtherLocks) {
+  PcpLockManager m;
+  m.set_ceiling(0, 1.0);  // very urgent ceiling
+  m.set_ceiling(1, 3.0);
+  Job low = make_job(1, 5.0);
+  Job mid = make_job(2, 3.0);
+  m.acquire(low, 0);
+  // mid wants free lock 1, but its priority (3) is not strictly higher than
+  // lock 0's ceiling (1) -> blocked by `low`.
+  EXPECT_FALSE(m.can_acquire(mid, 1));
+  EXPECT_EQ(m.blocker(mid, 1), &low);
+}
+
+TEST(PcpTest, StrictlyHigherThanCeilingPasses) {
+  PcpLockManager m;
+  m.set_ceiling(0, 3.0);
+  m.set_ceiling(1, 0.5);
+  Job low = make_job(1, 5.0);
+  Job hi = make_job(2, 1.0);  // more urgent than ceiling 3.0
+  m.acquire(low, 0);
+  EXPECT_TRUE(m.can_acquire(hi, 1));
+}
+
+TEST(PcpTest, EqualToCeilingIsBlocked) {
+  // PCP requires STRICTLY higher priority than the system ceiling.
+  PcpLockManager m;
+  m.set_ceiling(0, 2.0);
+  m.set_ceiling(1, 2.0);
+  Job low = make_job(1, 5.0);
+  Job same = make_job(2, 2.0);
+  m.acquire(low, 0);
+  EXPECT_FALSE(m.can_acquire(same, 1));
+}
+
+TEST(PcpTest, ReleaseUnblocks) {
+  PcpLockManager m;
+  m.set_ceiling(0, 1.0);
+  Job a = make_job(1, 5.0);
+  Job b = make_job(2, 2.0);
+  m.acquire(a, 0);
+  EXPECT_FALSE(m.can_acquire(b, 0));
+  m.release(a, 0);
+  EXPECT_TRUE(m.can_acquire(b, 0));
+  EXPECT_EQ(m.blocker(b, 0), nullptr);
+}
+
+TEST(PcpTest, HolderBookkeeping) {
+  PcpLockManager m;
+  m.set_ceiling(0, 1.0);
+  Job a = make_job(1, 5.0);
+  EXPECT_FALSE(m.is_locked(0));
+  EXPECT_EQ(m.holder(0), nullptr);
+  m.acquire(a, 0);
+  EXPECT_TRUE(m.is_locked(0));
+  EXPECT_EQ(m.holder(0), &a);
+  EXPECT_EQ(a.held_lock, 0);
+  m.release(a, 0);
+  EXPECT_EQ(a.held_lock, kNoLock);
+}
+
+TEST(PcpTest, CeilingTightensNotLoosens) {
+  PcpLockManager m;
+  m.set_ceiling(0, 5.0);
+  m.set_ceiling(0, 2.0);  // tighter wins
+  m.set_ceiling(0, 9.0);  // looser ignored
+  Job low = make_job(1, 10.0);
+  Job mid = make_job(2, 3.0);
+  m.set_ceiling(1, 9.0);
+  m.acquire(low, 0);
+  // mid (3.0) is not strictly more urgent than ceiling 2.0 -> blocked.
+  EXPECT_FALSE(m.can_acquire(mid, 1));
+}
+
+TEST(PcpTest, NoteUserCountsViolations) {
+  PcpLockManager m;
+  m.set_ceiling(0, 3.0);
+  EXPECT_EQ(m.ceiling_violations(), 0u);
+  m.note_user(0, 5.0);  // less urgent user: fine
+  EXPECT_EQ(m.ceiling_violations(), 0u);
+  m.note_user(0, 1.0);  // more urgent than configured ceiling: violation
+  EXPECT_EQ(m.ceiling_violations(), 1u);
+  // And the ceiling is now tightened to 1.0.
+  Job low = make_job(1, 10.0);
+  Job j2 = make_job(2, 2.0);
+  m.set_ceiling(1, 9.0);
+  m.acquire(low, 0);
+  EXPECT_FALSE(m.can_acquire(j2, 1));
+}
+
+TEST(PcpTest, NoteUserOnFreshLockSetsCeiling) {
+  PcpLockManager m;
+  m.note_user(7, 2.5);
+  EXPECT_EQ(m.ceiling_violations(), 0u);
+  Job a = make_job(1, 4.0);
+  m.acquire(a, 7);
+  Job b = make_job(2, 3.0);
+  m.set_ceiling(8, 9.0);
+  // b (3.0) not strictly above ceiling 2.5 -> blocked.
+  EXPECT_FALSE(m.can_acquire(b, 8));
+}
+
+TEST(PcpTest, BlockerPicksMostUrgentCeiling) {
+  PcpLockManager m;
+  m.set_ceiling(0, 4.0);
+  m.set_ceiling(1, 2.0);
+  m.set_ceiling(2, 9.0);
+  Job a = make_job(1, 6.0);
+  Job b = make_job(2, 3.0);  // strictly above ceiling 4.0: can lock 1
+  m.acquire(a, 0);
+  ASSERT_TRUE(m.can_acquire(b, 1));
+  m.acquire(b, 1);
+  Job c = make_job(3, 3.5);
+  // c fails against both ceilings (4.0 and 2.0); the blocker is the holder
+  // of the most urgent failing ceiling (lock 1 -> b).
+  EXPECT_FALSE(m.can_acquire(c, 2));
+  EXPECT_EQ(m.blocker(c, 2), &b);
+}
+
+}  // namespace
+}  // namespace frap::sched

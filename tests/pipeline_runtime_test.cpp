@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "pipeline/pipeline_runtime.h"
+#include "sim/simulator.h"
+
+namespace frap::pipeline {
+namespace {
+
+core::TaskSpec make_task(std::uint64_t id, Duration deadline,
+                         std::vector<Duration> computes) {
+  core::TaskSpec spec;
+  spec.id = id;
+  spec.deadline = deadline;
+  for (Duration c : computes) {
+    core::StageDemand d;
+    d.compute = c;
+    spec.stages.push_back(d);
+  }
+  return spec;
+}
+
+struct Done {
+  std::uint64_t id;
+  Duration response;
+  bool missed;
+};
+
+class PipelineRuntimeTest : public ::testing::Test {
+ protected:
+  void build(std::size_t stages, bool with_tracker = true) {
+    if (with_tracker) {
+      tracker_.emplace(sim_, stages);
+    }
+    runtime_.emplace(sim_, stages,
+                     with_tracker ? &tracker_.value() : nullptr);
+    runtime_->set_on_task_complete(
+        [this](const core::TaskSpec& s, Duration r, bool m) {
+          done_.push_back({s.id, r, m});
+        });
+  }
+
+  sim::Simulator sim_;
+  std::optional<core::SyntheticUtilizationTracker> tracker_;
+  std::optional<PipelineRuntime> runtime_;
+  std::vector<Done> done_;
+};
+
+TEST_F(PipelineRuntimeTest, TaskTraversesAllStagesInOrder) {
+  build(3);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {1.0, 2.0, 3.0}), 10.0);
+  });
+  sim_.run();
+  ASSERT_EQ(done_.size(), 1u);
+  EXPECT_EQ(done_[0].id, 1u);
+  EXPECT_DOUBLE_EQ(done_[0].response, 6.0);
+  EXPECT_FALSE(done_[0].missed);
+  EXPECT_EQ(runtime_->completed(), 1u);
+}
+
+TEST_F(PipelineRuntimeTest, DepartureFromStageJIsArrivalAtJPlus1) {
+  build(2);
+  // Two tasks; the second is more urgent and overtakes on stage 1 but the
+  // pipeline still honors per-stage precedence for each task.
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {2.0, 2.0}), 10.0);
+  });
+  sim_.at(0.5, [&] {
+    runtime_->start_task(make_task(2, 5.0, {1.0, 1.0}), 5.5);
+  });
+  sim_.run();
+  ASSERT_EQ(done_.size(), 2u);
+  // Task 2 preempts on stage 0 at t=0.5, finishes stage 0 at 1.5, stage 1
+  // at 2.5. Task 1 resumes stage 0 [1.5, 3.0), stage 1 [3.0, 5.0).
+  EXPECT_EQ(done_[0].id, 2u);
+  EXPECT_DOUBLE_EQ(done_[0].response, 2.0);
+  EXPECT_EQ(done_[1].id, 1u);
+  EXPECT_DOUBLE_EQ(done_[1].response, 5.0);
+}
+
+TEST_F(PipelineRuntimeTest, MissDetection) {
+  build(1);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 1.0, {2.0}), 1.0);
+  });
+  sim_.run();
+  ASSERT_EQ(done_.size(), 1u);
+  EXPECT_TRUE(done_[0].missed);
+  EXPECT_DOUBLE_EQ(runtime_->misses().ratio(), 1.0);
+}
+
+TEST_F(PipelineRuntimeTest, ExactDeadlineIsNotAMiss) {
+  build(1);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 2.0, {2.0}), 2.0);
+  });
+  sim_.run();
+  ASSERT_EQ(done_.size(), 1u);
+  EXPECT_FALSE(done_[0].missed);
+}
+
+TEST_F(PipelineRuntimeTest, DeadlineMonotonicOrderingAcrossStages) {
+  build(1);
+  // Same arrival instant: shorter deadline runs first under DM.
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {1.0}), 10.0);
+    runtime_->start_task(make_task(2, 1.0, {0.5}), 1.0);
+  });
+  sim_.run();
+  ASSERT_EQ(done_.size(), 2u);
+  EXPECT_EQ(done_[0].id, 2u);
+}
+
+TEST_F(PipelineRuntimeTest, CustomPriorityPolicy) {
+  build(1);
+  // Invert DM: larger deadline = more urgent.
+  runtime_->set_priority_policy(
+      [](const core::TaskSpec& s) { return -s.deadline; });
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {1.0}), 10.0);
+    runtime_->start_task(make_task(2, 1.0, {0.5}), 1.0);
+  });
+  sim_.run();
+  ASSERT_EQ(done_.size(), 2u);
+  EXPECT_EQ(done_[0].id, 1u);
+}
+
+TEST_F(PipelineRuntimeTest, TrackerSeesDeparturesAndIdle) {
+  build(2);
+  tracker_->add(1, std::vector<double>{0.5, 0.5}, 100.0);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 100.0, {1.0, 1.0}), 100.0);
+  });
+  sim_.run();
+  // After the task departed both stages and both went idle, its
+  // contribution is fully reset (long before the deadline).
+  EXPECT_DOUBLE_EQ(tracker_->utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker_->utilization(1), 0.0);
+}
+
+TEST_F(PipelineRuntimeTest, RunsWithoutTracker) {
+  build(2, /*with_tracker=*/false);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {1.0, 1.0}), 10.0);
+  });
+  sim_.run();
+  EXPECT_EQ(done_.size(), 1u);
+}
+
+TEST_F(PipelineRuntimeTest, AbortRemovesTaskMidPipeline) {
+  build(2);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {2.0, 2.0}), 10.0);
+  });
+  sim_.at(1.0, [&] { runtime_->abort_task(1); });
+  sim_.run();
+  EXPECT_TRUE(done_.empty());
+  EXPECT_EQ(runtime_->aborted(), 1u);
+  EXPECT_EQ(runtime_->completed(), 0u);
+  EXPECT_FALSE(runtime_->task_in_flight(1));
+  // Stage 1 never saw the task.
+  EXPECT_DOUBLE_EQ(runtime_->stage(1).meter().busy_time(0.0, 10.0), 0.0);
+}
+
+TEST_F(PipelineRuntimeTest, AbortUnknownTaskIsNoop) {
+  build(1);
+  runtime_->abort_task(42);
+  EXPECT_EQ(runtime_->aborted(), 0u);
+}
+
+TEST_F(PipelineRuntimeTest, StageUtilizationsMeasureBusyFractions) {
+  build(2);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 100.0, {2.0, 1.0}), 100.0);
+  });
+  sim_.run();
+  sim_.run_until(10.0);
+  const auto u = runtime_->stage_utilizations(0.0, 10.0);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0], 0.2);
+  EXPECT_DOUBLE_EQ(u[1], 0.1);
+}
+
+TEST_F(PipelineRuntimeTest, ManyConcurrentTasksAllComplete) {
+  build(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto id = static_cast<std::uint64_t>(i + 1);
+    sim_.at(0.01 * i, [this, id] {
+      runtime_->start_task(make_task(id, 1000.0, {0.01, 0.01, 0.01}),
+                           sim_.now() + 1000.0);
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(done_.size(), 100u);
+  EXPECT_EQ(runtime_->completed(), 100u);
+  EXPECT_DOUBLE_EQ(runtime_->misses().ratio(), 0.0);
+}
+
+TEST_F(PipelineRuntimeTest, ResponseStatsAccumulate) {
+  build(1);
+  sim_.at(0.0, [&] {
+    runtime_->start_task(make_task(1, 10.0, {1.0}), 10.0);
+  });
+  sim_.at(5.0, [&] {
+    runtime_->start_task(make_task(2, 10.0, {3.0}), 15.0);
+  });
+  sim_.run();
+  EXPECT_EQ(runtime_->response_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(runtime_->response_times().mean(), 2.0);
+  EXPECT_DOUBLE_EQ(runtime_->response_times().max(), 3.0);
+}
+
+}  // namespace
+}  // namespace frap::pipeline

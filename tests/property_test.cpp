@@ -1,0 +1,189 @@
+// Randomized property tests cross-validating core data structures against
+// brute-force reference computations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/synthetic_utilization.h"
+#include "core/task_graph.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace frap {
+namespace {
+
+// ---------------------------------------------------------------- tracker ---
+
+// Reference model of the tracker: a map of live contributions, recomputed
+// from scratch on every query.
+class ReferenceTracker {
+ public:
+  explicit ReferenceTracker(std::size_t stages) : stages_(stages) {}
+
+  void add(std::uint64_t id, std::vector<double> c, Time expiry) {
+    tasks_[id] = Entry{std::move(c), std::vector<bool>(stages_, false),
+                       expiry};
+  }
+  void expire_until(Time now) {
+    for (auto it = tasks_.begin(); it != tasks_.end();) {
+      if (it->second.expiry <= now) {
+        it = tasks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  void mark_departed(std::uint64_t id, std::size_t stage) {
+    auto it = tasks_.find(id);
+    if (it != tasks_.end()) it->second.departed[stage] = true;
+  }
+  void idle(std::size_t stage) {
+    for (auto& [id, e] : tasks_) {
+      if (e.departed[stage]) e.contribution[stage] = 0;
+    }
+  }
+  void remove(std::uint64_t id) { tasks_.erase(id); }
+  double utilization(std::size_t stage) const {
+    double u = 0;
+    for (const auto& [id, e] : tasks_) u += e.contribution[stage];
+    return u;
+  }
+
+ private:
+  struct Entry {
+    std::vector<double> contribution;
+    std::vector<bool> departed;
+    Time expiry;
+  };
+  std::size_t stages_;
+  std::map<std::uint64_t, Entry> tasks_;
+};
+
+class TrackerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrackerFuzzTest, MatchesReferenceUnderRandomOperations) {
+  util::Rng rng(GetParam());
+  sim::Simulator sim;
+  const std::size_t stages = 1 + static_cast<std::size_t>(
+                                      rng.uniform_int(0, 3));
+  core::SyntheticUtilizationTracker tracker(sim, stages);
+  ReferenceTracker reference(stages);
+
+  std::vector<std::uint64_t> live_ids;
+  std::uint64_t next_id = 1;
+
+  for (int step = 0; step < 600; ++step) {
+    // Advance virtual time a random amount (fires expiries in tracker).
+    const Duration dt = rng.exponential(0.05);
+    sim.run_until(sim.now() + dt);
+    reference.expire_until(sim.now());
+    live_ids.erase(std::remove_if(live_ids.begin(), live_ids.end(),
+                                  [&](std::uint64_t id) {
+                                    return !tracker.is_live(id);
+                                  }),
+                   live_ids.end());
+
+    const auto op = rng.uniform_int(0, 9);
+    if (op <= 4) {  // add
+      std::vector<double> c(stages);
+      for (auto& v : c) v = rng.uniform(0.0, 0.1);
+      const Time expiry = sim.now() + rng.uniform(0.01, 0.5);
+      tracker.add(next_id, c, expiry);
+      reference.add(next_id, c, expiry);
+      live_ids.push_back(next_id);
+      ++next_id;
+    } else if (op <= 6 && !live_ids.empty()) {  // mark departed
+      const auto id = live_ids[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live_ids.size()) - 1))];
+      const auto stage = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
+      tracker.mark_departed(id, stage);
+      reference.mark_departed(id, stage);
+    } else if (op == 7) {  // idle reset on a random stage
+      const auto stage = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(stages) - 1));
+      tracker.on_stage_idle(stage);
+      reference.idle(stage);
+    } else if (op == 8 && !live_ids.empty()) {  // shed
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live_ids.size()) - 1));
+      tracker.remove_task(live_ids[idx]);
+      reference.remove(live_ids[idx]);
+      live_ids.erase(live_ids.begin() +
+                     static_cast<std::ptrdiff_t>(idx));
+    }
+    // op == 9 (and fall-throughs when no live ids): just compare.
+
+    for (std::size_t j = 0; j < stages; ++j) {
+      ASSERT_NEAR(tracker.utilization(j), reference.utilization(j), 1e-9)
+          << "step " << step << " stage " << j << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------- critical path ---
+
+// Brute force: enumerate every path by DFS and take the max weight sum.
+double brute_force_critical_path(const core::GraphTaskSpec& g,
+                                 const std::vector<double>& w) {
+  std::vector<std::vector<std::size_t>> out(g.nodes.size());
+  std::vector<bool> has_pred(g.nodes.size(), false);
+  for (const auto& e : g.edges) {
+    out[e.from].push_back(e.to);
+    has_pred[e.to] = true;
+  }
+  double best = 0;
+  std::function<void(std::size_t, double)> dfs = [&](std::size_t v,
+                                                     double acc) {
+    acc += w[v];
+    best = std::max(best, acc);
+    for (std::size_t s : out[v]) dfs(s, acc);
+  };
+  for (std::size_t v = 0; v < g.nodes.size(); ++v) {
+    if (!has_pred[v]) dfs(v, 0);
+  }
+  return best;
+}
+
+class CriticalPathFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CriticalPathFuzzTest, MatchesBruteForceOnRandomDags) {
+  util::Rng rng(GetParam() * 1000 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n =
+        2 + static_cast<std::size_t>(rng.uniform_int(0, 8));
+    core::GraphTaskSpec g;
+    g.id = 1;
+    g.deadline = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      core::StageDemand d;
+      d.compute = 0.01;
+      g.nodes.push_back(core::GraphNode{i % 3, d});
+    }
+    // Random forward edges (i -> j with i < j) guarantee acyclicity.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(0.3)) g.edges.push_back(core::GraphEdge{i, j});
+      }
+    }
+    std::vector<double> w(n);
+    for (auto& v : w) v = rng.uniform(0.0, 5.0);
+
+    ASSERT_TRUE(g.valid(3));
+    EXPECT_NEAR(g.critical_path(w), brute_force_critical_path(g, w), 1e-9)
+        << "trial " << trial << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CriticalPathFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace frap

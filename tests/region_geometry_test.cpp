@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/region_geometry.h"
+#include "core/stage_delay.h"
+#include "util/rng.h"
+
+namespace frap::core {
+namespace {
+
+TEST(RegionGeometryTest, SingleResourceExactVolume) {
+  const auto region = FeasibleRegion::deadline_monotonic(1);
+  EXPECT_NEAR(single_resource_volume(region), uniprocessor_bound(), 1e-12);
+}
+
+TEST(RegionGeometryTest, McMatchesExactInOneDimension) {
+  const auto region = FeasibleRegion::deadline_monotonic(1);
+  util::Rng rng(5);
+  const double mc = region_volume_mc(region, 200000, rng);
+  EXPECT_NEAR(mc, uniprocessor_bound(), 0.005);
+}
+
+TEST(RegionGeometryTest, VolumeShrinksWithAlpha) {
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  const double v1 = region_volume_mc(FeasibleRegion::deadline_monotonic(2),
+                                     100000, rng1);
+  const double v05 = region_volume_mc(FeasibleRegion::with_alpha(2, 0.5),
+                                      100000, rng2);
+  EXPECT_GT(v1, v05);
+}
+
+TEST(RegionGeometryTest, RegionBeatsDeadlineSplitBoxEveryN) {
+  // At N = 1 the two sets coincide, so strict dominance starts at N = 2.
+  for (std::size_t n = 2; n <= 5; ++n) {
+    util::Rng rng(100 + n);
+    const double ours = region_volume_mc(
+        FeasibleRegion::deadline_monotonic(n), 200000, rng);
+    const double split = deadline_split_volume(n);
+    EXPECT_GT(ours, split) << "n=" << n;
+  }
+}
+
+TEST(RegionGeometryTest, SplitVolumeClosedForm) {
+  EXPECT_NEAR(deadline_split_volume(1), uniprocessor_bound(), 1e-12);
+  EXPECT_NEAR(deadline_split_volume(2),
+              std::pow(uniprocessor_bound() / 2, 2), 1e-12);
+}
+
+TEST(RegionGeometryTest, DeterministicGivenSeed) {
+  const auto region = FeasibleRegion::deadline_monotonic(3);
+  util::Rng a(42);
+  util::Rng b(42);
+  EXPECT_DOUBLE_EQ(region_volume_mc(region, 10000, a),
+                   region_volume_mc(region, 10000, b));
+}
+
+TEST(RegionGeometryTest, VolumeDecreasesWithDimension) {
+  double prev = 1.0;
+  for (std::size_t n = 1; n <= 4; ++n) {
+    util::Rng rng(n);
+    const double v = region_volume_mc(FeasibleRegion::deadline_monotonic(n),
+                                      100000, rng);
+    EXPECT_LT(v, prev) << "n=" << n;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace frap::core

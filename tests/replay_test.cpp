@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/pipeline_workload.h"
+#include "workload/replay.h"
+
+namespace frap::workload {
+namespace {
+
+core::TaskSpec make_task(std::uint64_t id, Duration deadline,
+                         std::vector<Duration> computes) {
+  core::TaskSpec spec;
+  spec.id = id;
+  spec.deadline = deadline;
+  for (Duration c : computes) {
+    core::StageDemand d;
+    d.compute = c;
+    spec.stages.push_back(d);
+  }
+  return spec;
+}
+
+TEST(ArrivalTraceTest, AppendAndQuery) {
+  ArrivalTrace trace;
+  trace.append(1.0, make_task(1, 2.0, {0.1, 0.2}));
+  trace.append(1.5, make_task(2, 3.0, {0.3, 0.1}));
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.num_stages(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].time, 1.0);
+  EXPECT_EQ(trace[1].task.id, 2u);
+}
+
+TEST(ArrivalTraceTest, SaveLoadRoundTripsExactly) {
+  ArrivalTrace trace;
+  trace.append(0.125, make_task(10, 1.75, {0.015625, 0.25}));
+  trace.append(7.0 / 3.0, make_task(11, 0.1, {1e-9, 2.5}));
+
+  std::stringstream ss;
+  trace.save(ss);
+
+  ArrivalTrace loaded;
+  ASSERT_TRUE(loaded.load(ss));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.num_stages(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time, trace[i].time);
+    EXPECT_EQ(loaded[i].task.id, trace[i].task.id);
+    EXPECT_DOUBLE_EQ(loaded[i].task.deadline, trace[i].task.deadline);
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(loaded[i].task.stages[j].compute,
+                       trace[i].task.stages[j].compute);
+    }
+  }
+}
+
+TEST(ArrivalTraceTest, LoadRejectsBadMagic) {
+  std::stringstream ss("not-a-trace v1 2\n");
+  ArrivalTrace t;
+  EXPECT_FALSE(t.load(ss));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ArrivalTraceTest, LoadRejectsWrongVersion) {
+  std::stringstream ss("frap-trace v9 2\n");
+  ArrivalTrace t;
+  EXPECT_FALSE(t.load(ss));
+}
+
+TEST(ArrivalTraceTest, LoadRejectsTruncatedRow) {
+  std::stringstream ss("frap-trace v1 2\n1.0 5 2.0 0.0 0.1\n");  // missing C2
+  ArrivalTrace t;
+  EXPECT_FALSE(t.load(ss));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ArrivalTraceTest, LoadRejectsTimeGoingBackwards) {
+  std::stringstream ss(
+      "frap-trace v1 1\n2.0 1 1.0 0.0 0.1\n1.0 2 1.0 0.0 0.1\n");
+  ArrivalTrace t;
+  EXPECT_FALSE(t.load(ss));
+}
+
+TEST(ArrivalTraceTest, LoadAcceptsEmptyTrace) {
+  std::stringstream ss("frap-trace v1 3\n");
+  ArrivalTrace t;
+  EXPECT_TRUE(t.load(ss));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_stages(), 3u);
+}
+
+TEST(ArrivalTraceTest, OfferedLoadComputesWorkOverSpan) {
+  ArrivalTrace trace;
+  trace.append(0.0, make_task(1, 1.0, {0.5, 0.1}));
+  trace.append(10.0, make_task(2, 1.0, {0.5, 0.3}));
+  EXPECT_DOUBLE_EQ(trace.offered_load(0), 0.1);   // 1.0 work / 10 s
+  EXPECT_DOUBLE_EQ(trace.offered_load(1), 0.04);  // 0.4 / 10
+}
+
+TEST(ArrivalTraceTest, OfferedLoadDegenerate) {
+  ArrivalTrace trace(2);
+  EXPECT_DOUBLE_EQ(trace.offered_load(0), 0.0);
+  trace.append(1.0, make_task(1, 1.0, {0.5, 0.1}));
+  EXPECT_DOUBLE_EQ(trace.offered_load(0), 0.0);  // single record
+}
+
+TEST(ArrivalTraceTest, CapturesGeneratorStream) {
+  // Record a generated workload and verify replay equivalence.
+  const auto cfg = PipelineWorkloadConfig::balanced(2, 0.01, 1.0);
+  PipelineWorkloadGenerator gen(cfg, 123);
+  ArrivalTrace trace;
+  Time t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += gen.next_interarrival();
+    trace.append(t, gen.next_task());
+  }
+  std::stringstream ss;
+  trace.save(ss);
+  ArrivalTrace loaded;
+  ASSERT_TRUE(loaded.load(ss));
+  ASSERT_EQ(loaded.size(), 100u);
+  EXPECT_DOUBLE_EQ(loaded[99].time, trace[99].time);
+  EXPECT_DOUBLE_EQ(loaded[50].task.stages[1].compute,
+                   trace[50].task.stages[1].compute);
+}
+
+}  // namespace
+}  // namespace frap::workload

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sensitivity.h"
+#include "core/stage_delay.h"
+
+namespace frap::core {
+namespace {
+
+TEST(SensitivityTest, PressuresAreTheDerivative) {
+  const std::vector<double> u{0.1, 0.4};
+  const auto p = stage_pressures(u);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], stage_delay_factor_derivative(0.1));
+  EXPECT_DOUBLE_EQ(p[1], stage_delay_factor_derivative(0.4));
+  EXPECT_GT(p[1], p[0]);  // pressure grows with utilization
+}
+
+TEST(SensitivityTest, SaturatedStageHasInfinitePressure) {
+  const auto p = stage_pressures(std::vector<double>{0.5, 1.0});
+  EXPECT_TRUE(std::isinf(p[1]));
+}
+
+TEST(SensitivityTest, UpgradePriorityOrdersByPressure) {
+  const std::vector<double> u{0.2, 0.55, 0.4};
+  const auto order = upgrade_priority(u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(SensitivityTest, UpgradePriorityTieBreaksByIndex) {
+  const std::vector<double> u{0.3, 0.3, 0.3};
+  const auto order = upgrade_priority(u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SensitivityTest, DeltaEstimateMatchesFiniteDifference) {
+  const std::vector<double> u{0.25, 0.5};
+  const double delta = 1e-5;
+  const double estimate = lhs_delta_estimate(u, 1, delta);
+  const double exact =
+      stage_delay_factor(0.5 + delta) - stage_delay_factor(0.5);
+  EXPECT_NEAR(estimate, exact, 1e-9);
+}
+
+TEST(SensitivityTest, NegativeDeltaReducesLhs) {
+  const std::vector<double> u{0.25, 0.5};
+  EXPECT_LT(lhs_delta_estimate(u, 1, -0.1), 0.0);
+}
+
+}  // namespace
+}  // namespace frap::core

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace frap::sim {
+namespace {
+
+// ------------------------------------------------------------ EventQueue ---
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  Time t;
+  while (!q.empty()) q.pop(t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  Time t;
+  while (!q.empty()) q.pop(t)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  Time t;
+  q.pop(t)();
+  q.cancel(id);  // already fired: no-op
+  q.cancel(id);
+  q.cancel(kInvalidEventId);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(1); });
+  const EventId id = q.push(2.0, [&] { order.push_back(2); });
+  q.push(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  Time t;
+  while (!q.empty()) q.pop(t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  Time t;
+  q.pop(t);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+// ------------------------------------------------------------- Simulator ---
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.at(1.5, [&] { seen.push_back(sim.now()); });
+  sim.at(0.5, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<Time>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  Time fired = -1;
+  sim.at(2.0, [&] {
+    sim.after(3.0, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 5.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] { ++count; });
+  sim.at(2.0, [&] { ++count; });
+  sim.at(3.0, [&] { ++count; });
+  sim.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.after(1.0, step);
+  };
+  sim.at(0.0, step);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(SimulatorTest, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim = sim.at(2.0, [&] { fired = true; });
+  sim.at(1.0, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, StepExecutesBoundedEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(static_cast<Time>(i), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.step(10), 3u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.step(), 0u);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.at(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifoAcrossScheduling) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(0); });
+  sim.at(1.0, [&] {
+    order.push_back(1);
+    // Scheduled at the same instant from within an event: runs after
+    // already-queued same-time events.
+    sim.at(1.0, [&] { order.push_back(3); });
+  });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Fuzz the event queue against a reference (ordered multimap with stable
+// insertion order): random interleavings of push/cancel/pop must agree.
+TEST(EventQueueFuzzTest, MatchesReferenceUnderRandomOperations) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::mt19937_64 rng(seed);
+    EventQueue q;
+    // Reference: (time, seq) -> id, plus fired log.
+    struct Ref {
+      Time time;
+      std::uint64_t seq;
+      EventId id;
+    };
+    std::vector<Ref> pending;
+    std::uint64_t seq = 0;
+    std::vector<EventId> fired_q;
+    std::vector<EventId> fired_ref;
+    std::vector<EventId> all_ids;
+
+    for (int step = 0; step < 500; ++step) {
+      const auto op = rng() % 10;
+      if (op < 5) {  // push
+        const Time t = static_cast<double>(rng() % 1000);
+        EventId id = 0;
+        id = q.push(t, [] {});
+        pending.push_back(Ref{t, seq++, id});
+        all_ids.push_back(id);
+      } else if (op < 7 && !all_ids.empty()) {  // cancel (maybe stale)
+        const EventId victim = all_ids[rng() % all_ids.size()];
+        q.cancel(victim);
+        pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                     [&](const Ref& r) {
+                                       return r.id == victim;
+                                     }),
+                      pending.end());
+      } else if (!q.empty()) {  // pop
+        Time t;
+        q.pop(t);
+        // Reference pop: min (time, seq).
+        auto best = std::min_element(
+            pending.begin(), pending.end(), [](const Ref& a, const Ref& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+        ASSERT_NE(best, pending.end());
+        ASSERT_DOUBLE_EQ(t, best->time) << "seed " << seed;
+        pending.erase(best);
+      }
+      ASSERT_EQ(q.size(), pending.size()) << "seed " << seed;
+      ASSERT_EQ(q.empty(), pending.empty());
+      if (!pending.empty()) {
+        auto best = std::min_element(
+            pending.begin(), pending.end(), [](const Ref& a, const Ref& b) {
+              return a.time < b.time;
+            });
+        ASSERT_DOUBLE_EQ(q.next_time(), best->time) << "seed " << seed;
+      }
+    }
+    (void)fired_q;
+    (void)fired_ref;
+  }
+}
+
+TEST(SimulatorTest, PendingEventsReflectsQueue) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  const EventId b = sim.at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(b);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace frap::sim

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/synthetic_utilization.h"
+#include "sim/simulator.h"
+
+namespace frap::core {
+namespace {
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+TEST_F(TrackerTest, StartsAtZero) {
+  SyntheticUtilizationTracker t(sim_, 3);
+  EXPECT_EQ(t.num_stages(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(t.utilization(j), 0.0);
+  }
+  EXPECT_EQ(t.live_tasks(), 0u);
+}
+
+TEST_F(TrackerTest, AddRaisesUtilization) {
+  SyntheticUtilizationTracker t(sim_, 2);
+  t.add(1, std::vector<double>{0.2, 0.3}, 10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.2);
+  EXPECT_DOUBLE_EQ(t.utilization(1), 0.3);
+  EXPECT_TRUE(t.is_live(1));
+}
+
+TEST_F(TrackerTest, ContributionsAccumulate) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  t.add(1, std::vector<double>{0.2}, 10.0);
+  t.add(2, std::vector<double>{0.25}, 10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.45);
+  EXPECT_EQ(t.live_tasks(), 2u);
+}
+
+TEST_F(TrackerTest, ExpiryRemovesContributionAtDeadline) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  t.add(1, std::vector<double>{0.5}, 4.0);
+  sim_.run_until(3.999);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.5);
+  sim_.run_until(4.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+  EXPECT_FALSE(t.is_live(1));
+}
+
+TEST_F(TrackerTest, IdleResetRemovesOnlyDepartedTasks) {
+  SyntheticUtilizationTracker t(sim_, 2);
+  t.add(1, std::vector<double>{0.2, 0.2}, 100.0);
+  t.add(2, std::vector<double>{0.3, 0.3}, 100.0);
+  t.mark_departed(1, 0);  // task 1 finished stage 0 only
+  t.on_stage_idle(0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.3);  // task 2 remains
+  EXPECT_DOUBLE_EQ(t.utilization(1), 0.5);  // stage 1 untouched
+}
+
+TEST_F(TrackerTest, IdleResetDisabledKeepsContributions) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  t.set_idle_reset_enabled(false);
+  t.add(1, std::vector<double>{0.4}, 100.0);
+  t.mark_departed(1, 0);
+  t.on_stage_idle(0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.4);
+}
+
+TEST_F(TrackerTest, IdleResetThenExpiryDoesNotDoubleSubtract) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  t.add(1, std::vector<double>{0.4}, 5.0);
+  t.add(2, std::vector<double>{0.1}, 100.0);
+  t.mark_departed(1, 0);
+  t.on_stage_idle(0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.1);
+  sim_.run_until(6.0);  // task 1's expiry fires: must be a no-op now
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.1);
+}
+
+TEST_F(TrackerTest, ReservationActsAsFloor) {
+  SyntheticUtilizationTracker t(sim_, 3);
+  t.set_reservation(0, 0.4);
+  t.set_reservation(1, 0.25);
+  t.set_reservation(2, 0.1);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.4);
+  t.add(1, std::vector<double>{0.1, 0.0, 0.0}, 10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.5);
+  sim_.run_until(10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.4);  // never below the floor
+  EXPECT_DOUBLE_EQ(t.reservation(0), 0.4);
+}
+
+TEST_F(TrackerTest, RemoveTaskStripsEverywhere) {
+  SyntheticUtilizationTracker t(sim_, 2);
+  t.add(1, std::vector<double>{0.2, 0.3}, 10.0);
+  t.remove_task(1);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.utilization(1), 0.0);
+  EXPECT_FALSE(t.is_live(1));
+  t.remove_task(42);  // unknown id: no-op
+}
+
+TEST_F(TrackerTest, OnDecreaseFiresOnExpiry) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  int decreases = 0;
+  t.set_on_decrease([&] { ++decreases; });
+  t.add(1, std::vector<double>{0.3}, 2.0);
+  EXPECT_EQ(decreases, 0);
+  sim_.run_until(2.0);
+  EXPECT_EQ(decreases, 1);
+}
+
+TEST_F(TrackerTest, OnDecreaseFiresOnIdleResetOnlyWhenSomethingRemoved) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  int decreases = 0;
+  t.set_on_decrease([&] { ++decreases; });
+  t.on_stage_idle(0);  // nothing departed: no event
+  EXPECT_EQ(decreases, 0);
+  t.add(1, std::vector<double>{0.3}, 100.0);
+  t.mark_departed(1, 0);
+  t.on_stage_idle(0);
+  EXPECT_EQ(decreases, 1);
+  t.on_stage_idle(0);  // queue drained: no second event
+  EXPECT_EQ(decreases, 1);
+}
+
+TEST_F(TrackerTest, ZeroContributionStagesAreAllowed) {
+  SyntheticUtilizationTracker t(sim_, 3);
+  t.add(1, std::vector<double>{0.0, 0.5, 0.0}, 10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.utilization(1), 0.5);
+}
+
+TEST_F(TrackerTest, UtilizationsSnapshot) {
+  SyntheticUtilizationTracker t(sim_, 2);
+  t.set_reservation(1, 0.1);
+  t.add(1, std::vector<double>{0.2, 0.3}, 10.0);
+  const auto u = t.utilizations();
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0], 0.2);
+  EXPECT_DOUBLE_EQ(u[1], 0.4);
+}
+
+TEST_F(TrackerTest, ManyAddRemoveCyclesStayNonNegative) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto id = static_cast<std::uint64_t>(i);
+    t.add(id, std::vector<double>{0.1 + (i % 7) * 0.01},
+          sim_.now() + 1.0);
+    t.mark_departed(id, 0);
+    t.on_stage_idle(0);
+    EXPECT_GE(t.utilization(0), 0.0);
+  }
+  EXPECT_NEAR(t.utilization(0), 0.0, 1e-9);
+}
+
+TEST_F(TrackerTest, DepartedMarkOnUnknownTaskIsSafe) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  t.mark_departed(999, 0);
+  t.on_stage_idle(0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+}
+
+}  // namespace
+}  // namespace frap::core

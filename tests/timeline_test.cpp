@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "sched/stage_server.h"
+#include "sched/timeline.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace frap::sched {
+namespace {
+
+TEST(TimelineTest, ExecutedSumsIntervals) {
+  Timeline t;
+  t.record(1, 0.0, 2.0, 0);
+  t.record(2, 2.0, 3.0, 0);
+  t.record(1, 3.0, 4.5, 0);
+  EXPECT_DOUBLE_EQ(t.executed(1), 3.5);
+  EXPECT_DOUBLE_EQ(t.executed(2), 1.0);
+  EXPECT_DOUBLE_EQ(t.executed(99), 0.0);
+}
+
+TEST(TimelineTest, OverlapDetection) {
+  Timeline good;
+  good.record(1, 0.0, 1.0, 0);
+  good.record(2, 1.0, 2.0, 0);
+  EXPECT_TRUE(good.non_overlapping());
+
+  Timeline bad;
+  bad.record(1, 0.0, 1.5, 0);
+  bad.record(2, 1.0, 2.0, 0);
+  EXPECT_FALSE(bad.non_overlapping());
+}
+
+TEST(TimelineTest, ZeroLengthIntervalsNeverOverlap) {
+  Timeline t;
+  t.record(1, 1.0, 1.0, 0);
+  t.record(2, 1.0, 2.0, 0);
+  EXPECT_TRUE(t.non_overlapping());
+}
+
+TEST(TimelineTest, DumpFormat) {
+  Timeline t;
+  t.record(7, 0.5, 1.5, 2);
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_EQ(os.str(), "7\t0.5\t1.5\t2\n");
+}
+
+TEST(TimelineTest, ServerRecordsPreemptionBoundaries) {
+  sim::Simulator sim;
+  StageServer server(sim);
+  Timeline timeline;
+  server.set_timeline(&timeline);
+
+  Job low(1, 10.0, {Segment{4.0, kNoLock}});
+  Job high(2, 1.0, {Segment{2.0, kNoLock}});
+  sim.at(0.0, [&] { server.submit(low); });
+  sim.at(1.0, [&] { server.submit(high); });
+  sim.run();
+
+  // Expected Gantt: low [0,1), high [1,3), low [3,6).
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].job_id, 1u);
+  EXPECT_DOUBLE_EQ(timeline[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[0].end, 1.0);
+  EXPECT_EQ(timeline[1].job_id, 2u);
+  EXPECT_DOUBLE_EQ(timeline[1].end, 3.0);
+  EXPECT_EQ(timeline[2].job_id, 1u);
+  EXPECT_DOUBLE_EQ(timeline[2].start, 3.0);
+  EXPECT_DOUBLE_EQ(timeline[2].end, 6.0);
+  EXPECT_TRUE(timeline.non_overlapping());
+  EXPECT_DOUBLE_EQ(timeline.executed(1), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.executed(2), 2.0);
+}
+
+TEST(TimelineTest, SegmentsAreDistinguished) {
+  sim::Simulator sim;
+  StageServer server(sim);
+  Timeline timeline;
+  server.set_timeline(&timeline);
+  Job job(1, 1.0, {Segment{1.0, kNoLock}, Segment{2.0, kNoLock}});
+  sim.at(0.0, [&] { server.submit(job); });
+  sim.run();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].segment, 0u);
+  EXPECT_EQ(timeline[1].segment, 1u);
+}
+
+// Randomized schedule-consistency property: for arbitrary job soups, the
+// recorded Gantt never overlaps and every job's executed time equals its
+// total demand.
+class TimelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TimelinePropertyTest, GanttIsConsistentOnRandomJobSets) {
+  util::Rng rng(GetParam() * 31 + 3);
+  sim::Simulator sim;
+  StageServer server(sim);
+  Timeline timeline;
+  server.set_timeline(&timeline);
+
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<Duration> demand;
+  Time t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t += rng.exponential(0.5);
+    const Duration len = rng.exponential(0.8);
+    demand.push_back(len);
+    jobs.push_back(std::make_unique<Job>(
+        static_cast<std::uint64_t>(i + 1), rng.uniform01(),
+        std::vector<Segment>{Segment{len, kNoLock}}));
+    Job* j = jobs.back().get();
+    sim.at(t, [&server, j] { server.submit(*j); });
+  }
+  sim.run();
+
+  EXPECT_TRUE(timeline.non_overlapping());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(timeline.executed(static_cast<std::uint64_t>(i + 1)),
+                demand[static_cast<std::size_t>(i)], 1e-9)
+        << "job " << i + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace frap::sched

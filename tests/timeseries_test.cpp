@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "metrics/timeseries.h"
+#include "sim/simulator.h"
+
+namespace frap::metrics {
+namespace {
+
+TEST(TimeSeriesTest, SamplesAtInterval) {
+  sim::Simulator sim;
+  double value = 0;
+  TimeSeries ts(sim, 1.0, [&] { return value; });
+  ts.start(5.0);
+  sim.at(2.5, [&] { value = 10.0; });
+  sim.run();
+  // Samples at t = 0, 1, 2, 3, 4, 5.
+  ASSERT_EQ(ts.samples().size(), 6u);
+  EXPECT_DOUBLE_EQ(ts.samples()[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(ts.samples()[5].time, 5.0);
+  EXPECT_DOUBLE_EQ(ts.samples()[2].value, 0.0);   // t=2: before change
+  EXPECT_DOUBLE_EQ(ts.samples()[3].value, 10.0);  // t=3: after change
+}
+
+TEST(TimeSeriesTest, MeanOverWindow) {
+  sim::Simulator sim;
+  double value = 2.0;
+  TimeSeries ts(sim, 1.0, [&] { return value; });
+  ts.start(4.0);
+  sim.at(1.5, [&] { value = 4.0; });
+  sim.run();
+  // Values: t0=2, t1=2, t2=4, t3=4, t4=4.
+  EXPECT_DOUBLE_EQ(ts.mean(0.0, 4.0), (2 + 2 + 4 + 4 + 4) / 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean(2.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(ts.mean(10.0, 20.0), 0.0);  // empty window
+}
+
+TEST(TimeSeriesTest, MaxOverWindow) {
+  sim::Simulator sim;
+  double value = 1.0;
+  TimeSeries ts(sim, 0.5, [&] { return value; });
+  ts.start(3.0);
+  sim.at(1.2, [&] { value = 7.0; });
+  sim.at(2.2, [&] { value = 3.0; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(ts.max(0.0, 3.0), 7.0);
+  EXPECT_DOUBLE_EQ(ts.max(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.max(2.4, 3.0), 3.0);
+}
+
+TEST(TimeSeriesTest, StartLaterThanZero) {
+  sim::Simulator sim;
+  TimeSeries ts(sim, 1.0, [] { return 1.0; });
+  sim.at(10.0, [&] { ts.start(12.0); });
+  sim.run();
+  ASSERT_EQ(ts.samples().size(), 3u);  // 10, 11, 12
+  EXPECT_DOUBLE_EQ(ts.samples().front().time, 10.0);
+  EXPECT_DOUBLE_EQ(ts.samples().back().time, 12.0);
+}
+
+}  // namespace
+}  // namespace frap::metrics

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/urgency.h"
+
+namespace frap::sched {
+namespace {
+
+TEST(ComputeAlphaTest, EmptyAndSingletonAreOne) {
+  EXPECT_DOUBLE_EQ(compute_alpha({}), 1.0);
+  std::vector<TaskUrgency> one{{1.0, 5.0}};
+  EXPECT_DOUBLE_EQ(compute_alpha(one), 1.0);
+}
+
+TEST(ComputeAlphaTest, DeadlineMonotonicHasNoInversion) {
+  // Priority = deadline: every higher-priority task has a shorter deadline.
+  std::vector<TaskUrgency> tasks{{1.0, 1.0}, {2.0, 2.0}, {5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(compute_alpha(tasks), 1.0);
+}
+
+TEST(ComputeAlphaTest, FullInversionGivesRatio) {
+  // The most urgent task got the lowest priority.
+  std::vector<TaskUrgency> tasks{{1.0, 10.0}, {2.0, 1.0}};
+  // Pair: high-priority task has D = 10, low-priority D = 1: alpha = 1/10.
+  EXPECT_DOUBLE_EQ(compute_alpha(tasks), 0.1);
+}
+
+TEST(ComputeAlphaTest, RandomPrioritiesWorstCaseIsDminOverDmax) {
+  // With priorities uncorrelated with deadlines the worst observed pair
+  // bounds alpha below by D_least / D_most (paper Sec. 2).
+  std::vector<TaskUrgency> tasks{
+      {3.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}, {4.0, 6.0}};
+  // Most urgent priority 1.0 has D=8; priority 2.0 has D=2 -> ratio 2/8.
+  EXPECT_DOUBLE_EQ(compute_alpha(tasks), 0.25);
+}
+
+TEST(ComputeAlphaTest, EqualPriorityGroupCountsBothDirections) {
+  // Two tasks at the same priority with different deadlines invert against
+  // each other: alpha = Dmin/Dmax within the group.
+  std::vector<TaskUrgency> tasks{{1.0, 2.0}, {1.0, 8.0}};
+  EXPECT_DOUBLE_EQ(compute_alpha(tasks), 0.25);
+}
+
+TEST(ComputeAlphaTest, PrefixMaxNotAdjacentOnly) {
+  // The inversion partner can be far away in priority order.
+  std::vector<TaskUrgency> tasks{{1.0, 100.0}, {2.0, 90.0}, {3.0, 10.0}};
+  // Task at priority 3 pairs against max deadline above it (100).
+  EXPECT_DOUBLE_EQ(compute_alpha(tasks), 0.1);
+}
+
+TEST(OnlineAlphaTest, StartsAtOne) {
+  OnlineAlphaEstimator e;
+  EXPECT_DOUBLE_EQ(e.alpha(), 1.0);
+  e.observe({1.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.alpha(), 1.0);
+}
+
+TEST(OnlineAlphaTest, DetectsInversionOnArrival) {
+  OnlineAlphaEstimator e;
+  e.observe({1.0, 10.0});  // urgent priority, long deadline
+  e.observe({2.0, 1.0});   // lax priority, short deadline
+  EXPECT_DOUBLE_EQ(e.alpha(), 0.1);
+}
+
+TEST(OnlineAlphaTest, OrderIndependent) {
+  OnlineAlphaEstimator a;
+  OnlineAlphaEstimator b;
+  std::vector<TaskUrgency> tasks{
+      {3.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}, {4.0, 6.0}};
+  for (const auto& t : tasks) a.observe(t);
+  for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) b.observe(*it);
+  EXPECT_DOUBLE_EQ(a.alpha(), b.alpha());
+  EXPECT_DOUBLE_EQ(a.alpha(), compute_alpha(tasks));
+}
+
+TEST(OnlineAlphaTest, MatchesBatchOnRandomStreams) {
+  // Cross-validate the online estimator against the batch computation.
+  std::vector<TaskUrgency> tasks;
+  OnlineAlphaEstimator online;
+  std::uint64_t state = 12345;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / static_cast<double>(1 << 24);
+  };
+  for (int i = 0; i < 200; ++i) {
+    TaskUrgency t{next() * 10.0, 0.1 + next() * 9.9};
+    tasks.push_back(t);
+    online.observe(t);
+    ASSERT_NEAR(online.alpha(), compute_alpha(tasks), 1e-12) << "i=" << i;
+  }
+}
+
+TEST(OnlineAlphaTest, RatchetsDownOnly) {
+  OnlineAlphaEstimator e;
+  e.observe({1.0, 10.0});
+  e.observe({2.0, 5.0});
+  const double after_first = e.alpha();
+  e.observe({1.5, 9.0});  // milder inversion: must not raise alpha
+  EXPECT_LE(e.alpha(), after_first);
+}
+
+TEST(OnlineAlphaTest, EqualPriorityRange) {
+  OnlineAlphaEstimator e;
+  e.observe({1.0, 4.0});
+  e.observe({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(e.alpha(), 0.5);
+}
+
+}  // namespace
+}  // namespace frap::sched

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stage_delay.h"
+#include "workload/periodic.h"
+#include "workload/pipeline_workload.h"
+#include "workload/tsce.h"
+
+namespace frap::workload {
+namespace {
+
+// ------------------------------------------------------- config algebra ---
+
+TEST(PipelineWorkloadConfigTest, BalancedFactory) {
+  const auto c = PipelineWorkloadConfig::balanced(3, 0.01, 1.2, 50.0);
+  EXPECT_EQ(c.num_stages(), 3u);
+  EXPECT_DOUBLE_EQ(c.mean_total_compute(), 0.03);
+  EXPECT_DOUBLE_EQ(c.mean_deadline(), 1.5);
+  EXPECT_DOUBLE_EQ(c.arrival_rate(), 120.0);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(PipelineWorkloadConfigTest, DeadlineRangeGrowsWithStages) {
+  // Sec. 4: "deadlines chosen uniformly from a range that grows linearly
+  // with the number of stages".
+  const auto c2 = PipelineWorkloadConfig::balanced(2, 0.01, 1.0);
+  const auto c5 = PipelineWorkloadConfig::balanced(5, 0.01, 1.0);
+  EXPECT_NEAR(c5.mean_deadline() / c2.mean_deadline(), 2.5, 1e-12);
+  EXPECT_NEAR(c5.deadline_max() / c2.deadline_max(), 2.5, 1e-12);
+}
+
+TEST(PipelineWorkloadConfigTest, BottleneckDefinesArrivalRate) {
+  PipelineWorkloadConfig c;
+  c.mean_compute = {0.01, 0.02};  // stage 1 is the bottleneck
+  c.input_load = 1.0;
+  EXPECT_DOUBLE_EQ(c.arrival_rate(), 50.0);
+}
+
+TEST(PipelineWorkloadConfigTest, Validity) {
+  PipelineWorkloadConfig c;
+  EXPECT_FALSE(c.valid());  // no stages
+  c.mean_compute = {0.01};
+  EXPECT_TRUE(c.valid());
+  c.input_load = 0;
+  EXPECT_FALSE(c.valid());
+  c.input_load = 1;
+  c.deadline_spread = 1.0;
+  EXPECT_FALSE(c.valid());
+}
+
+// ------------------------------------------------------------ generator ---
+
+TEST(PipelineWorkloadGeneratorTest, Deterministic) {
+  const auto c = PipelineWorkloadConfig::balanced(2, 0.01, 1.0);
+  PipelineWorkloadGenerator a(c, 7);
+  PipelineWorkloadGenerator b(c, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_interarrival(), b.next_interarrival());
+    const auto ta = a.next_task();
+    const auto tb = b.next_task();
+    EXPECT_EQ(ta.id, tb.id);
+    EXPECT_DOUBLE_EQ(ta.deadline, tb.deadline);
+    EXPECT_DOUBLE_EQ(ta.stages[0].compute, tb.stages[0].compute);
+  }
+}
+
+TEST(PipelineWorkloadGeneratorTest, InterarrivalMeanMatchesRate) {
+  const auto c = PipelineWorkloadConfig::balanced(2, 0.01, 1.0);  // 100/s
+  PipelineWorkloadGenerator g(c, 11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.next_interarrival();
+  EXPECT_NEAR(sum / n, 0.01, 0.0005);
+}
+
+TEST(PipelineWorkloadGeneratorTest, ComputeMeansMatchConfig) {
+  PipelineWorkloadConfig c;
+  c.mean_compute = {0.01, 0.03};
+  c.input_load = 1.0;
+  PipelineWorkloadGenerator g(c, 13);
+  double s0 = 0, s1 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = g.next_task();
+    s0 += t.stages[0].compute;
+    s1 += t.stages[1].compute;
+  }
+  EXPECT_NEAR(s0 / n, 0.01, 0.0005);
+  EXPECT_NEAR(s1 / n, 0.03, 0.0015);
+}
+
+TEST(PipelineWorkloadGeneratorTest, DeadlinesInConfiguredRange) {
+  const auto c = PipelineWorkloadConfig::balanced(2, 0.01, 1.0, 100.0);
+  PipelineWorkloadGenerator g(c, 17);
+  for (int i = 0; i < 10000; ++i) {
+    const auto t = g.next_task();
+    EXPECT_GE(t.deadline, c.deadline_min());
+    EXPECT_LT(t.deadline, c.deadline_max());
+  }
+}
+
+TEST(PipelineWorkloadGeneratorTest, RealizedResolutionMatches) {
+  const auto c = PipelineWorkloadConfig::balanced(2, 0.01, 1.0, 40.0);
+  PipelineWorkloadGenerator g(c, 19);
+  double d = 0, comp = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = g.next_task();
+    d += t.deadline;
+    comp += t.total_compute();
+  }
+  EXPECT_NEAR((d / n) / (comp / n), 40.0, 1.0);
+}
+
+TEST(PipelineWorkloadGeneratorTest, IdsAreSequentialUnique) {
+  const auto c = PipelineWorkloadConfig::balanced(1, 0.01, 1.0);
+  PipelineWorkloadGenerator g(c, 23);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto t = g.next_task();
+    EXPECT_GT(t.id, prev);
+    prev = t.id;
+  }
+}
+
+// ------------------------------------------------------------- periodic ---
+
+TEST(PeriodicStreamTest, ReleasesAtMultiplesOfPeriod) {
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 0.5;
+  c.deadline = 0.5;
+  c.stages.resize(1);
+  c.stages[0].compute = 0.01;
+  PeriodicStream s(c, 100, 1);
+  EXPECT_DOUBLE_EQ(s.next_release(), 0.0);
+  EXPECT_DOUBLE_EQ(s.next_release(), 0.5);
+  EXPECT_DOUBLE_EQ(s.next_release(), 1.0);
+}
+
+TEST(PeriodicStreamTest, JitterBoundsReleases) {
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 1.0;
+  c.deadline = 1.0;
+  c.jitter = 0.3;
+  c.stages.resize(1);
+  c.stages[0].compute = 0.01;
+  PeriodicStream s(c, 100, 2);
+  for (int k = 0; k < 100; ++k) {
+    const Time r = s.next_release();
+    EXPECT_GE(r, static_cast<double>(k));
+    EXPECT_LT(r, static_cast<double>(k) + 0.3);
+  }
+}
+
+TEST(PeriodicStreamTest, InvocationIdsAreDistinct) {
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 1.0;
+  c.deadline = 0.8;
+  c.importance = 3.0;
+  c.stages.resize(2);
+  c.stages[0].compute = 0.01;
+  c.stages[1].compute = 0.02;
+  PeriodicStream s(c, 1000, 3);
+  s.next_release();
+  const auto a = s.current_invocation();
+  s.next_release();
+  const auto b = s.current_invocation();
+  EXPECT_EQ(a.id, 1000u);
+  EXPECT_EQ(b.id, 1001u);
+  EXPECT_DOUBLE_EQ(a.deadline, 0.8);
+  EXPECT_DOUBLE_EQ(a.importance, 3.0);
+  ASSERT_EQ(a.stages.size(), 2u);
+}
+
+TEST(PeriodicStreamTest, InvocationContributions) {
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 0.5;
+  c.deadline = 0.5;
+  c.stages.resize(2);
+  c.stages[0].compute = 0.05;
+  c.stages[1].compute = 0.1;
+  PeriodicStream s(c, 0, 4);
+  const auto contrib = s.invocation_contributions();
+  ASSERT_EQ(contrib.size(), 2u);
+  EXPECT_DOUBLE_EQ(contrib[0], 0.1);
+  EXPECT_DOUBLE_EQ(contrib[1], 0.2);
+}
+
+TEST(PeriodicStreamTest, MaxConcurrentInvocations) {
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 1.0;
+  c.deadline = 1.0;
+  c.stages.resize(1);
+  c.stages[0].compute = 0.1;
+  // Sporadic case: D = P, no jitter -> 1.
+  EXPECT_EQ(max_concurrent_invocations(c), 1u);
+  // D = 1.5 P: adjacent windows overlap -> 2.
+  c.deadline = 1.5;
+  EXPECT_EQ(max_concurrent_invocations(c), 2u);
+  // Jitter a full period: a delayed and an on-time invocation coexist.
+  c.deadline = 1.0;
+  c.jitter = 1.0;
+  EXPECT_EQ(max_concurrent_invocations(c), 2u);
+  // Heavy jitter.
+  c.jitter = 3.2;
+  EXPECT_EQ(max_concurrent_invocations(c), 5u);  // ceil(4.2)
+}
+
+TEST(PeriodicStreamTest, WorstCaseContributionsScaleByConcurrency) {
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 0.1;
+  c.deadline = 0.1;
+  c.jitter = 0.1;  // -> 2 concurrent
+  c.stages.resize(2);
+  c.stages[0].compute = 0.005;
+  c.stages[1].compute = 0.01;
+  const auto w = worst_case_contributions(c);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 2 * 0.005 / 0.1);
+  EXPECT_DOUBLE_EQ(w[1], 2 * 0.01 / 0.1);
+}
+
+TEST(PeriodicStreamTest, EmpiricalConcurrencyNeverExceedsBound) {
+  // Simulate release times and count concurrent windows directly.
+  PeriodicStreamConfig c;
+  c.name = "p";
+  c.period = 0.1;
+  c.deadline = 0.13;
+  c.jitter = 0.25;
+  c.stages.resize(1);
+  c.stages[0].compute = 0.01;
+  const std::size_t bound = max_concurrent_invocations(c);
+  PeriodicStream s(c, 0, 77);
+  std::vector<std::pair<Time, Time>> windows;
+  for (int k = 0; k < 2000; ++k) {
+    const Time r = s.next_release();
+    windows.push_back({r, r + c.deadline});
+  }
+  // Check concurrency at every window start.
+  for (const auto& [start, end] : windows) {
+    std::size_t live = 0;
+    for (const auto& [s2, e2] : windows) {
+      if (s2 <= start && start < e2) ++live;
+    }
+    ASSERT_LE(live, bound);
+  }
+}
+
+// ----------------------------------------------------------------- TSCE ---
+
+TEST(TsceTest, ReservedUtilizationsMatchPaper) {
+  const auto r = tsce::reserved_utilizations();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], 0.4, 1e-12);
+  EXPECT_NEAR(r[1], 0.25, 1e-12);
+  EXPECT_NEAR(r[2], 0.1, 1e-12);
+}
+
+TEST(TsceTest, CertificationValueIs093) {
+  // Sec. 5: "Substituting in Equation (13), we get 0.93, which is lower
+  // than 1. Hence, the task set is schedulable."
+  EXPECT_NEAR(tsce::certification_lhs(), 0.93, 0.005);
+  EXPECT_LT(tsce::certification_lhs(), 1.0);
+}
+
+TEST(TsceTest, WeaponDetectionMatchesTable1) {
+  const auto t = tsce::weapon_detection_task(7);
+  EXPECT_EQ(t.id, 7u);
+  EXPECT_DOUBLE_EQ(t.deadline, 0.5);
+  ASSERT_EQ(t.stages.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.stages[0].compute, 0.1);
+  EXPECT_DOUBLE_EQ(t.stages[1].compute, 0.065);
+  EXPECT_DOUBLE_EQ(t.stages[2].compute, 0.03);
+}
+
+TEST(TsceTest, WeaponTargetingMatchesTable1) {
+  const auto c = tsce::weapon_targeting_stream();
+  EXPECT_DOUBLE_EQ(c.period, 0.05);
+  EXPECT_DOUBLE_EQ(c.deadline, 0.05);
+  ASSERT_EQ(c.stages.size(), 3u);
+  for (const auto& s : c.stages) EXPECT_DOUBLE_EQ(s.compute, 0.005);
+}
+
+TEST(TsceTest, UavVideoMatchesTable1) {
+  const auto c = tsce::uav_video_stream();
+  EXPECT_DOUBLE_EQ(c.period, 0.5);
+  EXPECT_DOUBLE_EQ(c.stages[0].compute, 0.05);
+  EXPECT_DOUBLE_EQ(c.stages[1].compute, 0.01);  // 5 ms x 2 consoles
+  EXPECT_DOUBLE_EQ(c.stages[2].compute, 0.05);
+}
+
+TEST(TsceTest, TrackingTaskIsStage1Only) {
+  const auto c = tsce::target_tracking_stream(3);
+  EXPECT_DOUBLE_EQ(c.period, 1.0);
+  EXPECT_DOUBLE_EQ(c.deadline, 1.0);
+  EXPECT_DOUBLE_EQ(c.stages[0].compute, 0.001);
+  EXPECT_DOUBLE_EQ(c.stages[1].compute, 0.0);
+  EXPECT_DOUBLE_EQ(c.stages[2].compute, 0.0);
+}
+
+TEST(TsceTest, ImportanceOrderingIsStrict) {
+  EXPECT_LT(tsce::kImportanceTracking, tsce::kImportanceUavVideo);
+  EXPECT_LT(tsce::kImportanceUavVideo, tsce::kImportanceWeaponTargeting);
+  EXPECT_LT(tsce::kImportanceWeaponTargeting,
+            tsce::kImportanceWeaponDetection);
+}
+
+}  // namespace
+}  // namespace frap::workload
