@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_alpha"
+  "../bench/ablation_adaptive_alpha.pdb"
+  "CMakeFiles/ablation_adaptive_alpha.dir/ablation_adaptive_alpha.cpp.o"
+  "CMakeFiles/ablation_adaptive_alpha.dir/ablation_adaptive_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deadline_split"
+  "../bench/ablation_deadline_split.pdb"
+  "CMakeFiles/ablation_deadline_split.dir/ablation_deadline_split.cpp.o"
+  "CMakeFiles/ablation_deadline_split.dir/ablation_deadline_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_edf"
+  "../bench/ablation_edf.pdb"
+  "CMakeFiles/ablation_edf.dir/ablation_edf.cpp.o"
+  "CMakeFiles/ablation_edf.dir/ablation_edf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_idle_reset"
+  "../bench/ablation_idle_reset.pdb"
+  "CMakeFiles/ablation_idle_reset.dir/ablation_idle_reset.cpp.o"
+  "CMakeFiles/ablation_idle_reset.dir/ablation_idle_reset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

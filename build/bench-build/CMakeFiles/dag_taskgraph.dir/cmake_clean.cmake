@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/dag_taskgraph"
+  "../bench/dag_taskgraph.pdb"
+  "CMakeFiles/dag_taskgraph.dir/dag_taskgraph.cpp.o"
+  "CMakeFiles/dag_taskgraph.dir/dag_taskgraph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/failure_degradation"
+  "../bench/failure_degradation.pdb"
+  "CMakeFiles/failure_degradation.dir/failure_degradation.cpp.o"
+  "CMakeFiles/failure_degradation.dir/failure_degradation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_task_resolution"
+  "../bench/fig5_task_resolution.pdb"
+  "CMakeFiles/fig5_task_resolution.dir/fig5_task_resolution.cpp.o"
+  "CMakeFiles/fig5_task_resolution.dir/fig5_task_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_task_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

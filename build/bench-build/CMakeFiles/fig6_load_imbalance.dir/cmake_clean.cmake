@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_load_imbalance"
+  "../bench/fig6_load_imbalance.pdb"
+  "CMakeFiles/fig6_load_imbalance.dir/fig6_load_imbalance.cpp.o"
+  "CMakeFiles/fig6_load_imbalance.dir/fig6_load_imbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

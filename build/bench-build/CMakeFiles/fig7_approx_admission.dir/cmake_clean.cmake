@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_approx_admission"
+  "../bench/fig7_approx_admission.pdb"
+  "CMakeFiles/fig7_approx_admission.dir/fig7_approx_admission.cpp.o"
+  "CMakeFiles/fig7_approx_admission.dir/fig7_approx_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_approx_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

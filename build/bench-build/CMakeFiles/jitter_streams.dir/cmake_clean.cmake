@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/jitter_streams"
+  "../bench/jitter_streams.pdb"
+  "CMakeFiles/jitter_streams.dir/jitter_streams.cpp.o"
+  "CMakeFiles/jitter_streams.dir/jitter_streams.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

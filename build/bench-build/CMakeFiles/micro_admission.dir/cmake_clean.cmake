@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_admission"
+  "../bench/micro_admission.pdb"
+  "CMakeFiles/micro_admission.dir/micro_admission.cpp.o"
+  "CMakeFiles/micro_admission.dir/micro_admission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_simulation.cpp" "bench-build/CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o" "gcc" "bench-build/CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/frap_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/frap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/frap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/frap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/frap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/frap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_simulation"
+  "../bench/micro_simulation.pdb"
+  "CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o"
+  "CMakeFiles/micro_simulation.dir/micro_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mode_change"
+  "../bench/mode_change.pdb"
+  "CMakeFiles/mode_change.dir/mode_change.cpp.o"
+  "CMakeFiles/mode_change.dir/mode_change.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multiproc_stage"
+  "../bench/multiproc_stage.pdb"
+  "CMakeFiles/multiproc_stage.dir/multiproc_stage.cpp.o"
+  "CMakeFiles/multiproc_stage.dir/multiproc_stage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiproc_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/response_distribution"
+  "../bench/response_distribution.pdb"
+  "CMakeFiles/response_distribution.dir/response_distribution.cpp.o"
+  "CMakeFiles/response_distribution.dir/response_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/response_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_distributions"
+  "../bench/robustness_distributions.pdb"
+  "CMakeFiles/robustness_distributions.dir/robustness_distributions.cpp.o"
+  "CMakeFiles/robustness_distributions.dir/robustness_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/semantic_decoupling"
+  "../bench/semantic_decoupling.pdb"
+  "CMakeFiles/semantic_decoupling.dir/semantic_decoupling.cpp.o"
+  "CMakeFiles/semantic_decoupling.dir/semantic_decoupling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/surface_region"
+  "../bench/surface_region.pdb"
+  "CMakeFiles/surface_region.dir/surface_region.cpp.o"
+  "CMakeFiles/surface_region.dir/surface_region.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

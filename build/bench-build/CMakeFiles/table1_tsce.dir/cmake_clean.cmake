@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_tsce"
+  "../bench/table1_tsce.pdb"
+  "CMakeFiles/table1_tsce.dir/table1_tsce.cpp.o"
+  "CMakeFiles/table1_tsce.dir/table1_tsce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tsce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variance_check"
+  "../bench/variance_check.pdb"
+  "CMakeFiles/variance_check.dir/variance_check.cpp.o"
+  "CMakeFiles/variance_check.dir/variance_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

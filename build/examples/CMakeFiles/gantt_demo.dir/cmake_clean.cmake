@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_demo.dir/gantt_demo.cpp.o"
+  "CMakeFiles/gantt_demo.dir/gantt_demo.cpp.o.d"
+  "gantt_demo"
+  "gantt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_headroom.dir/latency_headroom.cpp.o"
+  "CMakeFiles/latency_headroom.dir/latency_headroom.cpp.o.d"
+  "latency_headroom"
+  "latency_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_taskgraph.dir/radar_taskgraph.cpp.o"
+  "CMakeFiles/radar_taskgraph.dir/radar_taskgraph.cpp.o.d"
+  "radar_taskgraph"
+  "radar_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

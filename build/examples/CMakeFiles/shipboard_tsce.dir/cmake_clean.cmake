@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shipboard_tsce.dir/shipboard_tsce.cpp.o"
+  "CMakeFiles/shipboard_tsce.dir/shipboard_tsce.cpp.o.d"
+  "shipboard_tsce"
+  "shipboard_tsce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shipboard_tsce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

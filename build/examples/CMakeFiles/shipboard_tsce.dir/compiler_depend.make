@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shipboard_tsce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_csv.dir/sweep_csv.cpp.o"
+  "CMakeFiles/sweep_csv.dir/sweep_csv.cpp.o.d"
+  "sweep_csv"
+  "sweep_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

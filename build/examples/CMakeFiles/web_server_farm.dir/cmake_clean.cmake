@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_farm.dir/web_server_farm.cpp.o"
+  "CMakeFiles/web_server_farm.dir/web_server_farm.cpp.o.d"
+  "web_server_farm"
+  "web_server_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_web_server_farm "/root/repo/build/examples/web_server_farm")
+set_tests_properties(example_web_server_farm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shipboard_tsce "/root/repo/build/examples/shipboard_tsce")
+set_tests_properties(example_shipboard_tsce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_radar_taskgraph "/root/repo/build/examples/radar_taskgraph")
+set_tests_properties(example_radar_taskgraph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_replay "/root/repo/build/examples/trace_replay")
+set_tests_properties(example_trace_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_latency_headroom "/root/repo/build/examples/latency_headroom")
+set_tests_properties(example_latency_headroom PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_experiment_cli "/root/repo/build/examples/experiment_cli" "--stages=2" "--load=1.0" "--duration=5" "--warmup=1")
+set_tests_properties(example_experiment_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_experiment_cli_help "/root/repo/build/examples/experiment_cli" "--help")
+set_tests_properties(example_experiment_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gantt_demo "/root/repo/build/examples/gantt_demo")
+set_tests_properties(example_gantt_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sweep_csv "/root/repo/build/examples/sweep_csv" "--duration=5" "--warmup=1" "--load-from=100" "--load-to=120" "--reps=2")
+set_tests_properties(example_sweep_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_alpha.cpp" "src/core/CMakeFiles/frap_core.dir/adaptive_alpha.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/adaptive_alpha.cpp.o.d"
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/frap_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/admission_audit.cpp" "src/core/CMakeFiles/frap_core.dir/admission_audit.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/admission_audit.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/frap_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/certification.cpp" "src/core/CMakeFiles/frap_core.dir/certification.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/certification.cpp.o.d"
+  "/root/repo/src/core/delay_bound.cpp" "src/core/CMakeFiles/frap_core.dir/delay_bound.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/delay_bound.cpp.o.d"
+  "/root/repo/src/core/feasible_region.cpp" "src/core/CMakeFiles/frap_core.dir/feasible_region.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/feasible_region.cpp.o.d"
+  "/root/repo/src/core/region_geometry.cpp" "src/core/CMakeFiles/frap_core.dir/region_geometry.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/region_geometry.cpp.o.d"
+  "/root/repo/src/core/reservation.cpp" "src/core/CMakeFiles/frap_core.dir/reservation.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/reservation.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/frap_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/stage_delay.cpp" "src/core/CMakeFiles/frap_core.dir/stage_delay.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/stage_delay.cpp.o.d"
+  "/root/repo/src/core/synthetic_utilization.cpp" "src/core/CMakeFiles/frap_core.dir/synthetic_utilization.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/synthetic_utilization.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/frap_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/task.cpp.o.d"
+  "/root/repo/src/core/task_graph.cpp" "src/core/CMakeFiles/frap_core.dir/task_graph.cpp.o" "gcc" "src/core/CMakeFiles/frap_core.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/frap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/frap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/frap_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_core.dir/adaptive_alpha.cpp.o"
+  "CMakeFiles/frap_core.dir/adaptive_alpha.cpp.o.d"
+  "CMakeFiles/frap_core.dir/admission.cpp.o"
+  "CMakeFiles/frap_core.dir/admission.cpp.o.d"
+  "CMakeFiles/frap_core.dir/admission_audit.cpp.o"
+  "CMakeFiles/frap_core.dir/admission_audit.cpp.o.d"
+  "CMakeFiles/frap_core.dir/baselines.cpp.o"
+  "CMakeFiles/frap_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/frap_core.dir/certification.cpp.o"
+  "CMakeFiles/frap_core.dir/certification.cpp.o.d"
+  "CMakeFiles/frap_core.dir/delay_bound.cpp.o"
+  "CMakeFiles/frap_core.dir/delay_bound.cpp.o.d"
+  "CMakeFiles/frap_core.dir/feasible_region.cpp.o"
+  "CMakeFiles/frap_core.dir/feasible_region.cpp.o.d"
+  "CMakeFiles/frap_core.dir/region_geometry.cpp.o"
+  "CMakeFiles/frap_core.dir/region_geometry.cpp.o.d"
+  "CMakeFiles/frap_core.dir/reservation.cpp.o"
+  "CMakeFiles/frap_core.dir/reservation.cpp.o.d"
+  "CMakeFiles/frap_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/frap_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/frap_core.dir/stage_delay.cpp.o"
+  "CMakeFiles/frap_core.dir/stage_delay.cpp.o.d"
+  "CMakeFiles/frap_core.dir/synthetic_utilization.cpp.o"
+  "CMakeFiles/frap_core.dir/synthetic_utilization.cpp.o.d"
+  "CMakeFiles/frap_core.dir/task.cpp.o"
+  "CMakeFiles/frap_core.dir/task.cpp.o.d"
+  "CMakeFiles/frap_core.dir/task_graph.cpp.o"
+  "CMakeFiles/frap_core.dir/task_graph.cpp.o.d"
+  "libfrap_core.a"
+  "libfrap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

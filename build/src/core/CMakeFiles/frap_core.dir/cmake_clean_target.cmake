@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrap_core.a"
+)

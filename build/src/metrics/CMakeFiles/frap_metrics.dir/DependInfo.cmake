@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/export.cpp" "src/metrics/CMakeFiles/frap_metrics.dir/export.cpp.o" "gcc" "src/metrics/CMakeFiles/frap_metrics.dir/export.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/frap_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/frap_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/metrics/CMakeFiles/frap_metrics.dir/timeseries.cpp.o" "gcc" "src/metrics/CMakeFiles/frap_metrics.dir/timeseries.cpp.o.d"
+  "/root/repo/src/metrics/utilization_meter.cpp" "src/metrics/CMakeFiles/frap_metrics.dir/utilization_meter.cpp.o" "gcc" "src/metrics/CMakeFiles/frap_metrics.dir/utilization_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/frap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/frap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

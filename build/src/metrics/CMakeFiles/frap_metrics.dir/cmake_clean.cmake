@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_metrics.dir/export.cpp.o"
+  "CMakeFiles/frap_metrics.dir/export.cpp.o.d"
+  "CMakeFiles/frap_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/frap_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/frap_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/frap_metrics.dir/timeseries.cpp.o.d"
+  "CMakeFiles/frap_metrics.dir/utilization_meter.cpp.o"
+  "CMakeFiles/frap_metrics.dir/utilization_meter.cpp.o.d"
+  "libfrap_metrics.a"
+  "libfrap_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

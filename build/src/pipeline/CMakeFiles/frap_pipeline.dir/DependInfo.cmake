@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/cli.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/cli.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/cli.cpp.o.d"
+  "/root/repo/src/pipeline/dag_runtime.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/dag_runtime.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/dag_runtime.cpp.o.d"
+  "/root/repo/src/pipeline/experiment.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/experiment.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/experiment.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline_runtime.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/pipeline_runtime.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/pipeline_runtime.cpp.o.d"
+  "/root/repo/src/pipeline/replication.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/replication.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/replication.cpp.o.d"
+  "/root/repo/src/pipeline/trace.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/trace.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/trace.cpp.o.d"
+  "/root/repo/src/pipeline/trace_analysis.cpp" "src/pipeline/CMakeFiles/frap_pipeline.dir/trace_analysis.cpp.o" "gcc" "src/pipeline/CMakeFiles/frap_pipeline.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/frap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/frap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/frap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/frap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/frap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

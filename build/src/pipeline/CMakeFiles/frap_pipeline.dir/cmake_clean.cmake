@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_pipeline.dir/cli.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/cli.cpp.o.d"
+  "CMakeFiles/frap_pipeline.dir/dag_runtime.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/dag_runtime.cpp.o.d"
+  "CMakeFiles/frap_pipeline.dir/experiment.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/experiment.cpp.o.d"
+  "CMakeFiles/frap_pipeline.dir/pipeline_runtime.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/pipeline_runtime.cpp.o.d"
+  "CMakeFiles/frap_pipeline.dir/replication.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/replication.cpp.o.d"
+  "CMakeFiles/frap_pipeline.dir/trace.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/trace.cpp.o.d"
+  "CMakeFiles/frap_pipeline.dir/trace_analysis.cpp.o"
+  "CMakeFiles/frap_pipeline.dir/trace_analysis.cpp.o.d"
+  "libfrap_pipeline.a"
+  "libfrap_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/frap_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/frap_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/pcp.cpp" "src/sched/CMakeFiles/frap_sched.dir/pcp.cpp.o" "gcc" "src/sched/CMakeFiles/frap_sched.dir/pcp.cpp.o.d"
+  "/root/repo/src/sched/pooled_stage_server.cpp" "src/sched/CMakeFiles/frap_sched.dir/pooled_stage_server.cpp.o" "gcc" "src/sched/CMakeFiles/frap_sched.dir/pooled_stage_server.cpp.o.d"
+  "/root/repo/src/sched/stage_server.cpp" "src/sched/CMakeFiles/frap_sched.dir/stage_server.cpp.o" "gcc" "src/sched/CMakeFiles/frap_sched.dir/stage_server.cpp.o.d"
+  "/root/repo/src/sched/timeline.cpp" "src/sched/CMakeFiles/frap_sched.dir/timeline.cpp.o" "gcc" "src/sched/CMakeFiles/frap_sched.dir/timeline.cpp.o.d"
+  "/root/repo/src/sched/urgency.cpp" "src/sched/CMakeFiles/frap_sched.dir/urgency.cpp.o" "gcc" "src/sched/CMakeFiles/frap_sched.dir/urgency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/frap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/frap_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/frap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

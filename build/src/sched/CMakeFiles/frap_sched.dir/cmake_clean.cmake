@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_sched.dir/gantt.cpp.o"
+  "CMakeFiles/frap_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/frap_sched.dir/pcp.cpp.o"
+  "CMakeFiles/frap_sched.dir/pcp.cpp.o.d"
+  "CMakeFiles/frap_sched.dir/pooled_stage_server.cpp.o"
+  "CMakeFiles/frap_sched.dir/pooled_stage_server.cpp.o.d"
+  "CMakeFiles/frap_sched.dir/stage_server.cpp.o"
+  "CMakeFiles/frap_sched.dir/stage_server.cpp.o.d"
+  "CMakeFiles/frap_sched.dir/timeline.cpp.o"
+  "CMakeFiles/frap_sched.dir/timeline.cpp.o.d"
+  "CMakeFiles/frap_sched.dir/urgency.cpp.o"
+  "CMakeFiles/frap_sched.dir/urgency.cpp.o.d"
+  "libfrap_sched.a"
+  "libfrap_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/frap_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/frap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/frap_sim.dir/simulator.cpp.o.d"
+  "libfrap_sim.a"
+  "libfrap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_util.dir/rng.cpp.o"
+  "CMakeFiles/frap_util.dir/rng.cpp.o.d"
+  "CMakeFiles/frap_util.dir/table.cpp.o"
+  "CMakeFiles/frap_util.dir/table.cpp.o.d"
+  "libfrap_util.a"
+  "libfrap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

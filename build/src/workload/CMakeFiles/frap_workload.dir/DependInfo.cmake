@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_scheduler.cpp" "src/workload/CMakeFiles/frap_workload.dir/arrival_scheduler.cpp.o" "gcc" "src/workload/CMakeFiles/frap_workload.dir/arrival_scheduler.cpp.o.d"
+  "/root/repo/src/workload/bursty.cpp" "src/workload/CMakeFiles/frap_workload.dir/bursty.cpp.o" "gcc" "src/workload/CMakeFiles/frap_workload.dir/bursty.cpp.o.d"
+  "/root/repo/src/workload/periodic.cpp" "src/workload/CMakeFiles/frap_workload.dir/periodic.cpp.o" "gcc" "src/workload/CMakeFiles/frap_workload.dir/periodic.cpp.o.d"
+  "/root/repo/src/workload/pipeline_workload.cpp" "src/workload/CMakeFiles/frap_workload.dir/pipeline_workload.cpp.o" "gcc" "src/workload/CMakeFiles/frap_workload.dir/pipeline_workload.cpp.o.d"
+  "/root/repo/src/workload/replay.cpp" "src/workload/CMakeFiles/frap_workload.dir/replay.cpp.o" "gcc" "src/workload/CMakeFiles/frap_workload.dir/replay.cpp.o.d"
+  "/root/repo/src/workload/tsce.cpp" "src/workload/CMakeFiles/frap_workload.dir/tsce.cpp.o" "gcc" "src/workload/CMakeFiles/frap_workload.dir/tsce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/frap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/frap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/frap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/frap_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frap_workload.dir/arrival_scheduler.cpp.o"
+  "CMakeFiles/frap_workload.dir/arrival_scheduler.cpp.o.d"
+  "CMakeFiles/frap_workload.dir/bursty.cpp.o"
+  "CMakeFiles/frap_workload.dir/bursty.cpp.o.d"
+  "CMakeFiles/frap_workload.dir/periodic.cpp.o"
+  "CMakeFiles/frap_workload.dir/periodic.cpp.o.d"
+  "CMakeFiles/frap_workload.dir/pipeline_workload.cpp.o"
+  "CMakeFiles/frap_workload.dir/pipeline_workload.cpp.o.d"
+  "CMakeFiles/frap_workload.dir/replay.cpp.o"
+  "CMakeFiles/frap_workload.dir/replay.cpp.o.d"
+  "CMakeFiles/frap_workload.dir/tsce.cpp.o"
+  "CMakeFiles/frap_workload.dir/tsce.cpp.o.d"
+  "libfrap_workload.a"
+  "libfrap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

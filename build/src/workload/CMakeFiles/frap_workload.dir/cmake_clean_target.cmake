@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrap_workload.a"
+)

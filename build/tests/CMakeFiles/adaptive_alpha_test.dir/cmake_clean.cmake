@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_alpha_test.dir/adaptive_alpha_test.cpp.o"
+  "CMakeFiles/adaptive_alpha_test.dir/adaptive_alpha_test.cpp.o.d"
+  "adaptive_alpha_test"
+  "adaptive_alpha_test.pdb"
+  "adaptive_alpha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_alpha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_audit_test.dir/admission_audit_test.cpp.o"
+  "CMakeFiles/admission_audit_test.dir/admission_audit_test.cpp.o.d"
+  "admission_audit_test"
+  "admission_audit_test.pdb"
+  "admission_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

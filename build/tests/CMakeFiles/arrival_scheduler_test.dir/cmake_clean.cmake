@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_scheduler_test.dir/arrival_scheduler_test.cpp.o"
+  "CMakeFiles/arrival_scheduler_test.dir/arrival_scheduler_test.cpp.o.d"
+  "arrival_scheduler_test"
+  "arrival_scheduler_test.pdb"
+  "arrival_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

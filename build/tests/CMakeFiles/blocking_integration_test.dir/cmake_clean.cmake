@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_integration_test.dir/blocking_integration_test.cpp.o"
+  "CMakeFiles/blocking_integration_test.dir/blocking_integration_test.cpp.o.d"
+  "blocking_integration_test"
+  "blocking_integration_test.pdb"
+  "blocking_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

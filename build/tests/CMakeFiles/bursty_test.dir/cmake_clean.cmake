@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_test.dir/bursty_test.cpp.o"
+  "CMakeFiles/bursty_test.dir/bursty_test.cpp.o.d"
+  "bursty_test"
+  "bursty_test.pdb"
+  "bursty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_integration_test.dir/dag_integration_test.cpp.o"
+  "CMakeFiles/dag_integration_test.dir/dag_integration_test.cpp.o.d"
+  "dag_integration_test"
+  "dag_integration_test.pdb"
+  "dag_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_bound_test.dir/delay_bound_test.cpp.o"
+  "CMakeFiles/delay_bound_test.dir/delay_bound_test.cpp.o.d"
+  "delay_bound_test"
+  "delay_bound_test.pdb"
+  "delay_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

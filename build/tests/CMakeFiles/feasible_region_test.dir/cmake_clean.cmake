@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasible_region_test.dir/feasible_region_test.cpp.o"
+  "CMakeFiles/feasible_region_test.dir/feasible_region_test.cpp.o.d"
+  "feasible_region_test"
+  "feasible_region_test.pdb"
+  "feasible_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasible_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_runtime_test.dir/pipeline_runtime_test.cpp.o"
+  "CMakeFiles/pipeline_runtime_test.dir/pipeline_runtime_test.cpp.o.d"
+  "pipeline_runtime_test"
+  "pipeline_runtime_test.pdb"
+  "pipeline_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

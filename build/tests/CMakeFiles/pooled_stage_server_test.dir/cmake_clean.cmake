@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooled_stage_server_test.dir/pooled_stage_server_test.cpp.o"
+  "CMakeFiles/pooled_stage_server_test.dir/pooled_stage_server_test.cpp.o.d"
+  "pooled_stage_server_test"
+  "pooled_stage_server_test.pdb"
+  "pooled_stage_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooled_stage_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_geometry_test.dir/region_geometry_test.cpp.o"
+  "CMakeFiles/region_geometry_test.dir/region_geometry_test.cpp.o.d"
+  "region_geometry_test"
+  "region_geometry_test.pdb"
+  "region_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

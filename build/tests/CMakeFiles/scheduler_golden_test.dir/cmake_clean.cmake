@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_golden_test.dir/scheduler_golden_test.cpp.o"
+  "CMakeFiles/scheduler_golden_test.dir/scheduler_golden_test.cpp.o.d"
+  "scheduler_golden_test"
+  "scheduler_golden_test.pdb"
+  "scheduler_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

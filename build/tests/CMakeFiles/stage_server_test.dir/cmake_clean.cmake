@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_server_test.dir/stage_server_test.cpp.o"
+  "CMakeFiles/stage_server_test.dir/stage_server_test.cpp.o.d"
+  "stage_server_test"
+  "stage_server_test.pdb"
+  "stage_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_utilization_test.dir/synthetic_utilization_test.cpp.o"
+  "CMakeFiles/synthetic_utilization_test.dir/synthetic_utilization_test.cpp.o.d"
+  "synthetic_utilization_test"
+  "synthetic_utilization_test.pdb"
+  "synthetic_utilization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_utilization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_validation_test.dir/theorem_validation_test.cpp.o"
+  "CMakeFiles/theorem_validation_test.dir/theorem_validation_test.cpp.o.d"
+  "theorem_validation_test"
+  "theorem_validation_test.pdb"
+  "theorem_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urgency_test.dir/urgency_test.cpp.o"
+  "CMakeFiles/urgency_test.dir/urgency_test.cpp.o.d"
+  "urgency_test"
+  "urgency_test.pdb"
+  "urgency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urgency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
