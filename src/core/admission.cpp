@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "core/stage_delay.h"
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::core {
 
@@ -13,6 +15,7 @@ AdmissionController::AdmissionController(sim::Simulator& sim,
                                          FeasibleRegion region)
     : sim_(sim), tracker_(tracker), region_(std::move(region)) {
   FRAP_EXPECTS(tracker_.num_stages() == region_.num_stages());
+  scratch_.resize(region_.num_stages());
 }
 
 void AdmissionController::set_approximate_means(
@@ -33,11 +36,44 @@ std::vector<double> AdmissionController::contributions_for(
   return c;
 }
 
+double AdmissionController::incremental_lhs_with(const TaskSpec& spec,
+                                                 double lhs_before) const {
+  const double inv_d = 1.0 / spec.deadline;
+  const std::size_t n = region_.num_stages();
+  double delta = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double c = contribution(spec, j, inv_d);
+    if (c <= 0) continue;  // sparse task: untouched stage, no delta
+    const double u_new = tracker_.utilization(j) + c;
+    if (u_new >= 1.0) return util::kInf;  // the task saturates stage j
+    delta += stage_delay_factor(u_new) - tracker_.stage_lhs_term(j);
+  }
+  // lhs_before is +infinity while some stage is already saturated; adding a
+  // finite delta keeps it +infinity, as the full evaluation would.
+  return lhs_before + delta;
+}
+
+void AdmissionController::commit(const TaskSpec& spec,
+                                 Time absolute_deadline) {
+  const double inv_d = 1.0 / spec.deadline;
+  for (std::size_t j = 0; j < scratch_.size(); ++j) {
+    scratch_[j] = contribution(spec, j, inv_d);
+  }
+  tracker_.add(spec.id, scratch_, absolute_deadline);
+}
+
+void AdmissionController::record_audit(const TaskSpec& spec,
+                                       const AdmissionDecision& d) {
+  if (audit_ != nullptr) {
+    audit_->record(AuditRecord{sim_.now(), spec.id, d.admitted, d.lhs_before,
+                               d.lhs_with_task, region_.bound()});
+  }
+}
+
 bool AdmissionController::test(const TaskSpec& spec) const {
-  const auto add = contributions_for(spec);
-  auto u = tracker_.utilizations();
-  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
-  return region_.contains(u);
+  FRAP_EXPECTS(spec.deadline > 0);
+  FRAP_EXPECTS(spec.num_stages() == region_.num_stages());
+  return region_.admits(incremental_lhs_with(spec, tracker_.cached_lhs()));
 }
 
 AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec) {
@@ -47,6 +83,33 @@ AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec) {
 AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
                                                  Time absolute_deadline) {
   ++attempts_;
+  // Admission reads only deadline and per-stage computes; the full
+  // spec.valid() walk (segment sums) is the runtime's precondition and too
+  // expensive for the attempt hot path.
+  FRAP_EXPECTS(spec.deadline > 0);
+  FRAP_EXPECTS(spec.num_stages() == region_.num_stages());
+
+  AdmissionDecision d;
+  d.lhs_before = tracker_.cached_lhs();
+  d.lhs_with_task = incremental_lhs_with(spec, d.lhs_before);
+  d.admitted = region_.admits(d.lhs_with_task);
+
+  if (d.admitted) {
+    ++admitted_;
+    commit(spec, absolute_deadline);
+  }
+  record_audit(spec, d);
+  return d;
+}
+
+AdmissionDecision AdmissionController::try_admit_reference(
+    const TaskSpec& spec) {
+  return try_admit_reference(spec, sim_.now() + spec.deadline);
+}
+
+AdmissionDecision AdmissionController::try_admit_reference(
+    const TaskSpec& spec, Time absolute_deadline) {
+  ++attempts_;
   const auto add = contributions_for(spec);
   auto u = tracker_.utilizations();
 
@@ -54,18 +117,80 @@ AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
   d.lhs_before = region_.lhs(u);
   for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
   d.lhs_with_task = region_.lhs(u);
-  d.admitted = d.lhs_with_task <= region_.bound();
+  d.admitted = region_.admits(d.lhs_with_task);
 
   if (d.admitted) {
     ++admitted_;
     tracker_.add(spec.id, add, absolute_deadline);
   }
-  if (audit_ != nullptr) {
-    audit_->record(AuditRecord{sim_.now(), spec.id, d.admitted,
-                               d.lhs_before, d.lhs_with_task,
-                               region_.bound()});
-  }
+  record_audit(spec, d);
   return d;
+}
+
+// ---------------------------------------------------------------- batch ---
+
+BatchAdmissionController::BatchAdmissionController(AdmissionController& inner)
+    : inner_(inner) {
+  const std::size_t n = inner_.tracker().num_stages();
+  u_.resize(n);
+  f_.resize(n);
+}
+
+const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
+    std::span<const TaskSpec> specs) {
+  ++bursts_;
+  SyntheticUtilizationTracker& tracker = inner_.tracker_;
+  const FeasibleRegion& region = inner_.region_;
+  const std::size_t n = region.num_stages();
+
+  // One shared snapshot for the whole burst.
+  for (std::size_t j = 0; j < n; ++j) {
+    u_[j] = tracker.utilization(j);
+    f_[j] = tracker.stage_lhs_term(j);
+  }
+  double lhs = tracker.cached_lhs();
+
+  decisions_.clear();
+  for (const TaskSpec& spec : specs) {
+    ++inner_.attempts_;
+    FRAP_EXPECTS(spec.deadline > 0);
+    FRAP_EXPECTS(spec.num_stages() == n);
+    const double inv_d = 1.0 / spec.deadline;
+
+    AdmissionDecision d;
+    d.lhs_before = lhs;
+    double delta = 0;
+    bool saturates = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double c = inner_.contribution(spec, j, inv_d);
+      if (c <= 0) continue;
+      const double u_new = u_[j] + c;
+      if (u_new >= 1.0) {
+        saturates = true;
+        break;
+      }
+      delta += stage_delay_factor(u_new) - f_[j];
+    }
+    d.lhs_with_task = saturates ? util::kInf : lhs + delta;
+    d.admitted = region.admits(d.lhs_with_task);
+
+    if (d.admitted) {
+      ++inner_.admitted_;
+      inner_.commit(spec, inner_.sim_.now() + spec.deadline);
+      // Mirror the commit into the snapshot from the tracker itself, so the
+      // burst's working state is bit-identical to what sequential fast-path
+      // admissions would observe.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (inner_.contribution(spec, j, inv_d) <= 0) continue;
+        u_[j] = tracker.utilization(j);
+        f_[j] = tracker.stage_lhs_term(j);
+      }
+      lhs = tracker.cached_lhs();
+    }
+    inner_.record_audit(spec, d);
+    decisions_.push_back(d);
+  }
+  return decisions_;
 }
 
 // -------------------------------------------------------------- waiting ---
@@ -106,20 +231,31 @@ void WaitingAdmissionController::submit(const TaskSpec& spec) {
 }
 
 void WaitingAdmissionController::retry() {
-  // The inner try_admit commits to the tracker, which may fire another
-  // decrease notification synchronously (it does not, but guard anyway);
-  // suppress re-entrant retries.
-  if (retrying_) return;
-  retrying_ = true;
-  while (!queue_.empty()) {
-    Pending& p = queue_.front();
-    const auto d = inner_.try_admit(p.spec, p.arrival + p.spec.deadline);
-    if (!d.admitted) break;  // FIFO: later tasks wait their turn
-    sim_.cancel(p.timeout_event);
-    Pending done = std::move(p);
-    queue_.pop_front();
-    decide(done, true);
+  // A decrease can fire while a retry scan is already running: an admitted
+  // task's decision callback may cascade into expiries, idle resets, or
+  // removals (e.g. the runtime starting the task synchronously completes a
+  // zero-length subtask). Re-entering the scan here would double-process
+  // the queue front, but silently dropping the notification could strand a
+  // waiter that now fits until the NEXT decrease — so remember it and
+  // re-arm the scan once the active pass finishes.
+  if (retrying_) {
+    rearm_ = true;
+    return;
   }
+  retrying_ = true;
+  do {
+    rearm_ = false;
+    while (!queue_.empty()) {
+      Pending& p = queue_.front();
+      const auto d = inner_.try_admit(p.spec, p.arrival + p.spec.deadline);
+      if (!d.admitted) break;  // FIFO: later tasks wait their turn
+      sim_.cancel(p.timeout_event);
+      Pending done = std::move(p);
+      queue_.pop_front();
+      decide(done, true);
+    }
+    if (rearm_) ++rearmed_retries_;
+  } while (rearm_);
   retrying_ = false;
 }
 

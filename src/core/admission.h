@@ -1,10 +1,17 @@
 // Admission control against the feasible region (Sec. 4 and Sec. 5).
 //
-// The base controller implements the O(N) test: tentatively add the
-// arriving task's per-stage contributions to the tracked synthetic
+// The base controller implements the paper's admission test: tentatively add
+// the arriving task's per-stage contributions to the tracked synthetic
 // utilizations and admit iff the result stays inside the feasible region.
 // Costs are independent of how many tasks are in the system — the paper's
 // headline complexity claim, exercised by bench/micro_admission.
+//
+// The default path is incremental and allocation-free: the tracker keeps
+// f(U_j) per stage plus the running LHS scalar, so a task touching k stages
+// is tested against cached_lhs + sum of k deltas in O(k), without snapshot
+// vectors and without evaluating untouched stages (docs/incremental_lhs.md).
+// try_admit_reference() keeps the original full O(N)-with-snapshots
+// evaluation for A/B verification and benchmarking.
 //
 // Variants layered on top:
 //   * approximate admission (Sec. 4.4): the test uses per-stage MEAN
@@ -26,6 +33,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/admission_audit.h"
@@ -56,11 +64,22 @@ class AdmissionController {
 
   // Tests the task at the current instant; on admission its contribution is
   // committed to the tracker with expiry at `absolute_deadline` (defaults to
-  // now + spec.deadline).
+  // now + spec.deadline). Incremental fast path: O(stages the task touches),
+  // no heap allocation on the test (the commit of an admitted task still
+  // creates its tracker record).
   AdmissionDecision try_admit(const TaskSpec& spec);
   AdmissionDecision try_admit(const TaskSpec& spec, Time absolute_deadline);
 
-  // Would the task be admitted right now? No state change.
+  // The original full evaluation (two snapshot vectors, whole-region LHS
+  // twice). Same decisions and same counters as try_admit(); kept so tests
+  // and bench/micro_admission can A/B the fast path against it.
+  AdmissionDecision try_admit_reference(const TaskSpec& spec);
+  AdmissionDecision try_admit_reference(const TaskSpec& spec,
+                                        Time absolute_deadline);
+
+  // Would the task be admitted right now? No state change. Shares the exact
+  // LHS computation and the region's admits() predicate with try_admit(), so
+  // the two can never disagree — including on boundary ties.
   bool test(const TaskSpec& spec) const;
 
   const FeasibleRegion& region() const { return region_; }
@@ -79,15 +98,65 @@ class AdmissionController {
   }
 
  private:
+  friend class BatchAdmissionController;
+
   std::vector<double> contributions_for(const TaskSpec& spec) const;
+
+  // Per-stage contribution of the task (exact C_ij/D_i or mean_j/D_i).
+  double contribution(const TaskSpec& spec, std::size_t j,
+                      double inv_deadline) const {
+    return (mean_compute_.empty() ? spec.stages[j].compute
+                                  : mean_compute_[j]) *
+           inv_deadline;
+  }
+
+  // LHS including the task, computed incrementally from the tracker's
+  // cached per-stage f-terms; allocation-free, O(touched stages).
+  double incremental_lhs_with(const TaskSpec& spec, double lhs_before) const;
+
+  // Commits an admitted task's contributions via the reusable scratch
+  // buffer (no per-call allocation beyond the tracker's task record).
+  void commit(const TaskSpec& spec, Time absolute_deadline);
+
+  void record_audit(const TaskSpec& spec, const AdmissionDecision& d);
 
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
   FeasibleRegion region_;
   std::vector<Duration> mean_compute_;  // empty = exact admission
+  std::vector<double> scratch_;         // reused contribution buffer
   AdmissionAudit* audit_ = nullptr;
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
+};
+
+// Decides a burst of arrivals in one pass (replay / bursty workloads that
+// release many tasks at the same instant). The tracker state is snapshotted
+// once into reusable buffers; every spec is tested in order against the
+// running snapshot with pure array arithmetic, and each admission is
+// committed to the tracker before the next spec is tested — so the decisions
+// are identical to calling inner.try_admit() sequentially, while the hot
+// loop avoids per-attempt tracker reads. Counters and the audit of the
+// inner controller are updated exactly as for single admissions.
+class BatchAdmissionController {
+ public:
+  explicit BatchAdmissionController(AdmissionController& inner);
+
+  // Decides every spec of the burst at the current instant (each admitted
+  // task expires at now + its own deadline). Returns one decision per spec,
+  // in order. The returned reference points at an internal buffer that is
+  // reused by the next call.
+  const std::vector<AdmissionDecision>& try_admit_burst(
+      std::span<const TaskSpec> specs);
+
+  std::uint64_t bursts() const { return bursts_; }
+
+ private:
+  AdmissionController& inner_;
+  std::vector<double> u_;  // working per-stage utilization snapshot
+  std::vector<double> f_;  // working per-stage f-terms
+  std::vector<AdmissionDecision> decisions_;
+  std::uint64_t bursts_ = 0;
 };
 
 // Sec. 5 waiting behaviour: an arrival that does not fit immediately is
@@ -118,6 +187,10 @@ class WaitingAdmissionController {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t timed_out() const { return timed_out_; }
 
+  // Times a decrease arrived while a retry scan was already running and the
+  // scan was re-armed to run again (observability for the cascade case).
+  std::uint64_t rearmed_retries() const { return rearmed_retries_; }
+
  private:
   struct Pending {
     TaskSpec spec;
@@ -136,6 +209,8 @@ class WaitingAdmissionController {
   DecisionCallback decide_;
   std::uint64_t timed_out_ = 0;
   bool retrying_ = false;
+  bool rearm_ = false;  // decrease observed mid-retry: scan again
+  std::uint64_t rearmed_retries_ = 0;
 };
 
 // Sec. 5 load shedding: admitted tasks register with their semantic

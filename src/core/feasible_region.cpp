@@ -20,6 +20,7 @@ FeasibleRegion::FeasibleRegion(std::size_t num_stages, double alpha,
     beta_sum += b;
   }
   FRAP_EXPECTS(beta_sum < 1.0);  // otherwise the region is empty
+  bound_ = alpha_ * (1.0 - beta_sum);
 }
 
 FeasibleRegion FeasibleRegion::deadline_monotonic(std::size_t num_stages) {
@@ -38,12 +39,6 @@ FeasibleRegion FeasibleRegion::with_blocking(
   return FeasibleRegion(n, alpha, std::move(beta_per_stage));
 }
 
-double FeasibleRegion::bound() const {
-  double beta_sum = 0;
-  for (double b : beta_) beta_sum += b;
-  return alpha_ * (1.0 - beta_sum);
-}
-
 double FeasibleRegion::lhs(std::span<const double> utilizations) const {
   FRAP_EXPECTS(utilizations.size() == num_stages_);
   double sum = 0;
@@ -54,17 +49,33 @@ double FeasibleRegion::lhs(std::span<const double> utilizations) const {
   return sum;
 }
 
+double FeasibleRegion::delta_lhs(std::size_t stage, double u_old,
+                                 double u_new) const {
+  FRAP_EXPECTS(stage < num_stages_);
+  FRAP_EXPECTS(u_old >= 0 && u_new >= 0);
+  const bool sat_old = u_old >= 1.0;
+  const bool sat_new = u_new >= 1.0;
+  if (sat_old || sat_new) {
+    if (sat_old && sat_new) return 0.0;
+    return sat_new ? util::kInf : -util::kInf;
+  }
+  return stage_delay_factor(u_new) - stage_delay_factor(u_old);
+}
+
 bool FeasibleRegion::contains(std::span<const double> utilizations) const {
-  return lhs(utilizations) <= bound();
+  return admits(lhs(utilizations));
 }
 
 double FeasibleRegion::margin(std::span<const double> utilizations) const {
+  // lhs() is +infinity for saturated input, making the margin -infinity —
+  // well-defined, never NaN (bound() is always finite).
   return bound() - lhs(utilizations);
 }
 
 double FeasibleRegion::boundary_u2(double u1) const {
   FRAP_EXPECTS(num_stages_ == 2);
-  FRAP_EXPECTS(u1 >= 0 && u1 < 1.0);
+  FRAP_EXPECTS(u1 >= 0);
+  if (u1 >= 1.0) return 0.0;  // saturated stage 1: nothing left for stage 2
   const double remaining = bound() - stage_delay_factor(u1);
   if (remaining <= 0) return 0.0;
   return stage_delay_factor_inverse(remaining);
@@ -79,6 +90,9 @@ double FeasibleRegion::stage_headroom(std::span<const double> utilizations,
                                       std::size_t stage) const {
   FRAP_EXPECTS(utilizations.size() == num_stages_);
   FRAP_EXPECTS(stage < num_stages_);
+  // Saturated target stage: already outside any feasible point, and the
+  // cap arithmetic below would compare against f_inv values < 1 anyway.
+  if (utilizations[stage] >= 1.0) return 0.0;
   double others = 0;
   for (std::size_t j = 0; j < num_stages_; ++j) {
     if (j == stage) continue;

@@ -38,20 +38,37 @@ class FeasibleRegion {
   double alpha() const { return alpha_; }
 
   // Right-hand side of the region inequality: alpha * (1 - sum beta_j).
-  double bound() const;
+  // Precomputed at construction; O(1).
+  double bound() const { return bound_; }
+
+  // THE admission predicate: a state whose LHS is `lhs` is feasible iff
+  // lhs <= bound(), boundary ties included. Every admission decision —
+  // contains(), AdmissionController::test()/try_admit(), the batch path —
+  // funnels through this single comparison so no two paths can disagree on
+  // a tie.
+  bool admits(double lhs) const { return lhs <= bound_; }
 
   // Left-hand side: sum_j f(U_j). Returns +infinity if any U_j >= 1.
   // utilizations.size() must equal num_stages().
   double lhs(std::span<const double> utilizations) const;
 
+  // Change in the LHS when stage `stage` moves from u_old to u_new with all
+  // other stages fixed: f(u_new) - f(u_old). Saturation-safe: +infinity when
+  // only u_new is saturated (>= 1), -infinity when only u_old is, and 0 when
+  // both are (never inf - inf = NaN). The incremental admission fast path
+  // sums these deltas over the stages a task touches.
+  double delta_lhs(std::size_t stage, double u_old, double u_new) const;
+
   // True when the utilization vector lies inside (or on) the region.
   bool contains(std::span<const double> utilizations) const;
 
-  // Slack to the boundary: bound() - lhs(); negative outside the region.
+  // Slack to the boundary: bound() - lhs(); negative outside the region and
+  // -infinity when any stage is saturated (never NaN).
   double margin(std::span<const double> utilizations) const;
 
   // Boundary tracing for surface plots (N = 2): given U_1, the largest U_2
-  // keeping the system feasible (0 if U_1 alone exhausts the bound).
+  // keeping the system feasible (0 if U_1 alone exhausts the bound or is
+  // saturated, u1 >= 1).
   double boundary_u2(double u1) const;
 
   // The per-stage cap when all stages run equal utilization:
@@ -61,7 +78,7 @@ class FeasibleRegion {
   // How much additional synthetic utilization stage `stage` could absorb
   // with every other stage held at its current value: the largest d >= 0
   // such that the vector with U_stage + d stays feasible (0 when already
-  // at or outside the boundary).
+  // at or outside the boundary, including saturated inputs).
   double stage_headroom(std::span<const double> utilizations,
                         std::size_t stage) const;
 
@@ -72,6 +89,7 @@ class FeasibleRegion {
   std::size_t num_stages_;
   double alpha_;
   std::vector<double> beta_;
+  double bound_;  // alpha * (1 - sum beta_j), cached
 };
 
 }  // namespace frap::core

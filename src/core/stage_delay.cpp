@@ -7,12 +7,6 @@
 
 namespace frap::core {
 
-double stage_delay_factor(double u) {
-  FRAP_EXPECTS(u >= 0);
-  if (u >= 1.0) return util::kInf;
-  return u * (1.0 - u / 2.0) / (1.0 - u);
-}
-
 double stage_delay_factor_inverse(double y) {
   FRAP_EXPECTS(y >= 0);
   // Solve U(1 - U/2) = y(1 - U):  U^2/2 - (1 + y) U + y = 0

@@ -18,14 +18,21 @@
 
 #include <cstddef>
 
+#include "util/check.h"
+#include "util/math.h"
 #include "util/time.h"
 
 namespace frap::core {
 
 // f(U). Requires 0 <= U < 1; returns +infinity for U >= 1 (a saturated
 // stage admits no delay bound), which lets region tests reject uniformly
-// instead of every caller special-casing U = 1.
-double stage_delay_factor(double u);
+// instead of every caller special-casing U = 1. Inline: this is the single
+// arithmetic kernel of every admission test and region evaluation.
+inline double stage_delay_factor(double u) {
+  FRAP_EXPECTS(u >= 0);
+  if (u >= 1.0) return util::kInf;
+  return u * (1.0 - u / 2.0) / (1.0 - u);
+}
 
 // Closed-form inverse: the largest U with f(U) <= y. Requires y >= 0.
 double stage_delay_factor_inverse(double y);

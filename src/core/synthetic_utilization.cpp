@@ -1,8 +1,11 @@
 #include "core/synthetic_utilization.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "core/stage_delay.h"
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::core {
 
@@ -17,19 +20,12 @@ void SyntheticUtilizationTracker::set_reservation(std::size_t stage,
   FRAP_EXPECTS(stage < stage_.size());
   FRAP_EXPECTS(value >= 0 && value < 1.0);
   stage_[stage].reserved = value;
+  refresh_stage_lhs(stage);
 }
 
 double SyntheticUtilizationTracker::reservation(std::size_t stage) const {
   FRAP_EXPECTS(stage < stage_.size());
   return stage_[stage].reserved;
-}
-
-double SyntheticUtilizationTracker::utilization(std::size_t stage) const {
-  FRAP_EXPECTS(stage < stage_.size());
-  const StageState& s = stage_[stage];
-  // Floating-point cancellation can leave a tiny negative residue after many
-  // add/remove cycles; clamp so region tests never see U < reserved.
-  return s.reserved + std::max(0.0, s.dynamic);
 }
 
 std::vector<double> SyntheticUtilizationTracker::utilizations() const {
@@ -51,7 +47,9 @@ void SyntheticUtilizationTracker::add(std::uint64_t task_id,
   rec.departed.assign(stage_.size(), false);
   for (std::size_t j = 0; j < stage_.size(); ++j) {
     FRAP_EXPECTS(rec.contribution[j] >= 0);
+    if (rec.contribution[j] == 0) continue;  // untouched stage: cache stays
     stage_[j].dynamic += rec.contribution[j];
+    refresh_stage_lhs(j);
   }
   rec.expiry_event =
       sim_.at(absolute_deadline, [this, task_id] { expire(task_id); });
@@ -64,6 +62,7 @@ double SyntheticUtilizationTracker::strip_stage(TaskRecord& rec,
   if (c > 0) {
     stage_[stage].dynamic -= c;
     rec.contribution[stage] = 0;
+    refresh_stage_lhs(stage);
   }
   return c;
 }
@@ -117,6 +116,62 @@ void SyntheticUtilizationTracker::remove_task(std::uint64_t task_id) {
   sim_.cancel(it->second.expiry_event);
   tasks_.erase(it);
   if (decreased) notify_decrease();
+}
+
+void SyntheticUtilizationTracker::refresh_stage_lhs(std::size_t stage) {
+  StageState& s = stage_[stage];
+  const double f_new = stage_delay_factor(s.reserved + std::max(0.0, s.dynamic));
+  if (std::isinf(s.f_term)) {
+    --saturated_stages_;
+  } else {
+    finite_lhs_ -= s.f_term;
+  }
+  s.f_term = f_new;
+  if (std::isinf(f_new)) {
+    ++saturated_stages_;
+  } else {
+    finite_lhs_ += f_new;
+  }
+  if (++updates_since_rebuild_ >= kLhsRebuildInterval) rebuild_lhs_cache();
+#ifndef NDEBUG
+  verify_lhs_cache();
+#endif
+}
+
+double SyntheticUtilizationTracker::rebuild_lhs_cache() {
+  finite_lhs_ = 0;
+  saturated_stages_ = 0;
+  for (std::size_t j = 0; j < stage_.size(); ++j) {
+    stage_[j].f_term = stage_delay_factor(utilization(j));
+    if (std::isinf(stage_[j].f_term)) {
+      ++saturated_stages_;
+    } else {
+      finite_lhs_ += stage_[j].f_term;
+    }
+  }
+  updates_since_rebuild_ = 0;
+  cache_stats_.record_rebuild();
+  return cached_lhs();
+}
+
+void SyntheticUtilizationTracker::verify_lhs_cache(double tolerance) {
+  double recomputed = 0;
+  bool saturated = false;
+  for (std::size_t j = 0; j < stage_.size(); ++j) {
+    const double f = stage_delay_factor(utilization(j));
+    if (std::isinf(f)) {
+      saturated = true;
+    } else {
+      recomputed += f;
+    }
+  }
+  const double cached = cached_lhs();
+  const bool cached_saturated = std::isinf(cached);
+  const double drift =
+      (saturated || cached_saturated) ? 0.0 : std::fabs(cached - recomputed);
+  cache_stats_.record_crosscheck(drift);
+  FRAP_ASSERT(saturated == cached_saturated);
+  FRAP_ASSERT(drift <= tolerance);
 }
 
 void SyntheticUtilizationTracker::notify_decrease() {

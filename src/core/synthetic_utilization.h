@@ -14,15 +14,25 @@
 // Reservations (Sec. 5): each stage carries a floor U_j^res representing
 // capacity set aside for critical tasks; the reported utilization never
 // drops below the floor.
+//
+// Incremental region-LHS cache: alongside U_j the tracker maintains the
+// per-stage stage-delay term f(U_j) and the running sum over stages, updated
+// in O(changed stages) on every mutation. Admission controllers test an
+// arrival against `cached_lhs() + sum of per-stage deltas` without touching
+// untouched stages or allocating (docs/incremental_lhs.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "metrics/counters.h"
 #include "sim/simulator.h"
+#include "util/check.h"
+#include "util/math.h"
 #include "util/time.h"
 
 namespace frap::core {
@@ -42,8 +52,14 @@ class SyntheticUtilizationTracker {
   double reservation(std::size_t stage) const;
 
   // Current synthetic utilization of one stage (includes the reserved
-  // floor).
-  double utilization(std::size_t stage) const;
+  // floor). Inline: called per touched stage on the admission fast path.
+  double utilization(std::size_t stage) const {
+    FRAP_EXPECTS(stage < stage_.size());
+    const StageState& s = stage_[stage];
+    // Floating-point cancellation can leave a tiny negative residue after
+    // many add/remove cycles; clamp so region tests never see U < reserved.
+    return s.reserved + std::max(0.0, s.dynamic);
+  }
 
   // Snapshot across stages, in stage order.
   std::vector<double> utilizations() const;
@@ -72,6 +88,45 @@ class SyntheticUtilizationTracker {
     on_decrease_ = std::move(cb);
   }
 
+  // --- incremental region-LHS cache --------------------------------------
+  // The cache holds f(U_j) per stage and the running sum_j f(U_j), where f
+  // is the stage-delay factor shared by every FeasibleRegion. Saturated
+  // stages (U_j >= 1, f = +infinity) are counted separately so the running
+  // sum only ever does finite arithmetic (no inf - inf = NaN).
+
+  // Cached sum_j f(U_j); +infinity while any stage is saturated.
+  double cached_lhs() const {
+    if (saturated_stages_ > 0) return util::kInf;
+    // The running sum can carry a tiny negative residue after many
+    // add/strip cycles; clamp like utilization() does.
+    return std::max(0.0, finite_lhs_);
+  }
+
+  // Cached f(U_j) for one stage (+infinity when saturated).
+  double stage_lhs_term(std::size_t stage) const {
+    FRAP_EXPECTS(stage < stage_.size());
+    return stage_[stage].f_term;
+  }
+
+  // Recomputes every f-term and the running sum from scratch. Invoked
+  // automatically every kLhsRebuildInterval stage updates so accumulated
+  // floating-point drift stays far below admission-relevant magnitudes.
+  // Returns the rebuilt cached_lhs().
+  double rebuild_lhs_cache();
+
+  // Recompute-and-compare cross-check: aborts (contract violation) if the
+  // incremental LHS drifted more than `tolerance` from a from-scratch
+  // recomputation. Runs after every mutation in debug builds (NDEBUG
+  // undefined); release builds only run it when called explicitly.
+  void verify_lhs_cache(double tolerance = 1e-9);
+
+  // Cross-check / rebuild counters for observability.
+  const metrics::CacheConsistency& lhs_cache_stats() const {
+    return cache_stats_;
+  }
+
+  static constexpr std::uint64_t kLhsRebuildInterval = 4096;
+
   // Number of tasks with live (unexpired, unremoved) contributions.
   std::size_t live_tasks() const { return tasks_.size(); }
 
@@ -91,6 +146,7 @@ class SyntheticUtilizationTracker {
   struct StageState {
     double dynamic = 0;  // sum of live contributions
     double reserved = 0; // floor
+    double f_term = 0;   // cached stage_delay_factor(utilization)
     // Tasks that departed this stage since it last went idle; drained (and
     // their contributions stripped) on the next idle event. Keeps the idle
     // reset O(#departures) instead of O(#live tasks).
@@ -100,6 +156,10 @@ class SyntheticUtilizationTracker {
   void expire(std::uint64_t task_id);
   // Removes the task's contribution from one stage; returns the amount.
   double strip_stage(TaskRecord& rec, std::size_t stage);
+  // Refreshes the stage's cached f-term and the running LHS sum after its
+  // utilization changed. O(1); triggers a periodic full rebuild and, in
+  // debug builds, the recompute-and-compare cross-check.
+  void refresh_stage_lhs(std::size_t stage);
   void notify_decrease();
 
   sim::Simulator& sim_;
@@ -107,6 +167,12 @@ class SyntheticUtilizationTracker {
   std::unordered_map<std::uint64_t, TaskRecord> tasks_;
   bool idle_reset_ = true;
   std::function<void()> on_decrease_;
+
+  // Running LHS cache state (see cached_lhs()).
+  double finite_lhs_ = 0;            // sum of finite f-terms
+  std::size_t saturated_stages_ = 0; // stages with f = +infinity
+  std::uint64_t updates_since_rebuild_ = 0;
+  metrics::CacheConsistency cache_stats_;
 };
 
 }  // namespace frap::core

@@ -28,6 +28,23 @@ class RatioTracker {
   std::uint64_t total_ = 0;
 };
 
+// Consistency statistics for an incrementally-maintained cache (e.g. the
+// synthetic-utilization tracker's running region-LHS scalar): how often the
+// recompute-and-compare cross-check ran, the worst absolute drift it ever
+// observed, and how many times the cache was rebuilt from scratch to bound
+// floating-point drift.
+struct CacheConsistency {
+  std::uint64_t crosschecks = 0;
+  std::uint64_t rebuilds = 0;
+  double max_drift = 0;
+
+  void record_crosscheck(double abs_drift) {
+    ++crosschecks;
+    if (abs_drift > max_drift) max_drift = abs_drift;
+  }
+  void record_rebuild() { ++rebuilds; }
+};
+
 // Streaming mean/variance/min/max (Welford's algorithm), for response-time
 // style observations where storing every sample would be wasteful.
 class RunningStats {

@@ -209,6 +209,50 @@ TEST_F(WaitingTest, ZeroPatienceDecidesSynchronously) {
   EXPECT_EQ(waiting.pending(), 0u);
 }
 
+// Reentrancy regression: a utilization decrease fired from inside a decision
+// callback (here: admitting B sheds an unrelated blocker) arrives while the
+// retry scan is still running. The scan must be re-armed so the capacity
+// freed mid-scan reaches every queued task; second-in-line C only fits
+// because of that cascade and must not be stranded.
+TEST_F(WaitingTest, DecreaseDuringRetryRearmsAndAdmitsCascade) {
+  WaitingAdmissionController waiting(sim_, controller_, 2.0);
+  waiting.attach();
+  std::vector<std::pair<std::uint64_t, Time>> admitted;
+  waiting.set_decision_callback(
+      [&](const TaskSpec& s, bool ok, Time, Time t) {
+        ASSERT_TRUE(ok) << "task " << s.id;
+        admitted.push_back({s.id, t});
+        // Admitting B frees more capacity: drop blocker Y. This decrease
+        // fires while retry() is mid-scan.
+        if (s.id == 1) tracker_.remove_task(11);
+      });
+
+  sim_.at(0.0, [&] {
+    // Blocker X: u += 0.2/stage, expires at t=1 (triggers the retry).
+    EXPECT_TRUE(controller_.try_admit(make_task(10, 1.0, {0.2, 0.2})).admitted);
+    // Blocker Y: u += 0.15/stage, held until removed in the callback.
+    EXPECT_TRUE(
+        controller_.try_admit(make_task(11, 10.0, {1.5, 1.5})).admitted);
+    // B (u 0.2/stage) only fits once X expires; C (u 0.15/stage) only fits
+    // once Y is ALSO gone — i.e. only via the decrease raised inside B's
+    // decision callback.
+    waiting.submit(make_task(1, 5.0, {1.0, 1.0}));
+    waiting.submit(make_task(2, 5.0, {0.75, 0.75}));
+    EXPECT_EQ(waiting.pending(), 2u);
+  });
+  sim_.run_until(2.0);
+
+  ASSERT_EQ(admitted.size(), 2u);
+  EXPECT_EQ(admitted[0].first, 1u);
+  EXPECT_EQ(admitted[1].first, 2u);
+  // Both admitted at the expiry instant — C in the same (re-armed) scan.
+  EXPECT_DOUBLE_EQ(admitted[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(admitted[1].second, 1.0);
+  EXPECT_EQ(waiting.pending(), 0u);
+  EXPECT_EQ(waiting.timed_out(), 0u);
+  EXPECT_GE(waiting.rearmed_retries(), 1u);
+}
+
 // ---------------------------------------------------------- shedding -----
 
 class SheddingTest : public AdmissionTest {};

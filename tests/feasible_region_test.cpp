@@ -131,6 +131,69 @@ TEST(FeasibleRegionTest, StageHeadroomZeroWhenExhausted) {
       region.stage_headroom(std::vector<double>{0.0, 1.0}, 0), 0.0);
 }
 
+// ------------------------------------------------- saturation guards -----
+// U_j >= 1 makes f(U_j) infinite; the geometry helpers must degrade to
+// well-defined values (0 headroom, 0 boundary, -infinity margin) instead of
+// feeding the saturated value into NaN-prone arithmetic like inf - inf.
+
+TEST(FeasibleRegionTest, SaturatedInputsNeverProduceNan) {
+  const auto region = FeasibleRegion::deadline_monotonic(2);
+  const std::vector<double> sat{1.0, 0.2};
+  const std::vector<double> both_sat{1.0, 2.0};
+
+  EXPECT_TRUE(std::isinf(region.lhs(sat)));
+  EXPECT_FALSE(region.contains(sat));
+  EXPECT_TRUE(std::isinf(region.margin(sat)));
+  EXPECT_LT(region.margin(sat), 0.0);  // -infinity, not NaN
+  EXPECT_TRUE(std::isinf(region.margin(both_sat)));
+  EXPECT_FALSE(std::isnan(region.margin(both_sat)));
+}
+
+TEST(FeasibleRegionTest, BoundaryU2ZeroAtAndPastSaturation) {
+  const auto region = FeasibleRegion::deadline_monotonic(2);
+  EXPECT_DOUBLE_EQ(region.boundary_u2(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(region.boundary_u2(1.5), 0.0);
+  EXPECT_FALSE(std::isnan(region.boundary_u2(1.0)));
+}
+
+TEST(FeasibleRegionTest, StageHeadroomZeroOnSaturatedInputs) {
+  const auto region = FeasibleRegion::deadline_monotonic(2);
+  // The queried stage itself is saturated.
+  EXPECT_DOUBLE_EQ(
+      region.stage_headroom(std::vector<double>{1.0, 0.1}, 0), 0.0);
+  // A different stage is saturated: the whole vector is infeasible.
+  EXPECT_DOUBLE_EQ(
+      region.stage_headroom(std::vector<double>{0.1, 1.0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      region.stage_headroom(std::vector<double>{2.0, 2.0}, 1), 0.0);
+}
+
+TEST(FeasibleRegionTest, DeltaLhsMatchesFullRecompute) {
+  const auto region = FeasibleRegion::deadline_monotonic(3);
+  const std::vector<double> u{0.2, 0.3, 0.1};
+  for (std::size_t j = 0; j < 3; ++j) {
+    auto v = u;
+    v[j] += 0.07;
+    EXPECT_NEAR(region.delta_lhs(j, u[j], v[j]),
+                region.lhs(v) - region.lhs(u), 1e-12);
+  }
+  // No change, no delta.
+  EXPECT_DOUBLE_EQ(region.delta_lhs(0, 0.4, 0.4), 0.0);
+}
+
+TEST(FeasibleRegionTest, DeltaLhsSaturationCases) {
+  const auto region = FeasibleRegion::deadline_monotonic(2);
+  // Entering saturation: the LHS jumps to +infinity.
+  EXPECT_TRUE(std::isinf(region.delta_lhs(0, 0.3, 1.0)));
+  EXPECT_GT(region.delta_lhs(0, 0.3, 1.0), 0.0);
+  // Leaving saturation: -infinity (the finite remainder is negligible).
+  EXPECT_TRUE(std::isinf(region.delta_lhs(0, 1.2, 0.3)));
+  EXPECT_LT(region.delta_lhs(0, 1.2, 0.3), 0.0);
+  // Saturated on both sides: defined as 0, never inf - inf = NaN.
+  EXPECT_DOUBLE_EQ(region.delta_lhs(0, 1.0, 1.5), 0.0);
+  EXPECT_FALSE(std::isnan(region.delta_lhs(0, 1.0, 1.0)));
+}
+
 TEST(FeasibleRegionTest, MarginSignsAreConsistent) {
   const auto region = FeasibleRegion::deadline_monotonic(2);
   EXPECT_GT(region.margin(std::vector<double>{0.1, 0.1}), 0.0);

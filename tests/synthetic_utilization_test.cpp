@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/synthetic_utilization.h"
@@ -160,6 +162,94 @@ TEST_F(TrackerTest, DepartedMarkOnUnknownTaskIsSafe) {
   t.mark_departed(999, 0);
   t.on_stage_idle(0);
   EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);
+}
+
+// -------------------------------------------- incremental LHS cache -----
+
+double recomputed_lhs(const SyntheticUtilizationTracker& t) {
+  double sum = 0;
+  for (std::size_t j = 0; j < t.num_stages(); ++j) {
+    const double u = t.utilization(j);
+    if (u >= 1.0) return std::numeric_limits<double>::infinity();
+    sum += u * (1.0 - u / 2.0) / (1.0 - u);
+  }
+  return sum;
+}
+
+TEST_F(TrackerTest, CachedLhsTracksEveryMutation) {
+  SyntheticUtilizationTracker t(sim_, 3);
+  EXPECT_DOUBLE_EQ(t.cached_lhs(), 0.0);
+
+  t.set_reservation(2, 0.1);
+  EXPECT_NEAR(t.cached_lhs(), recomputed_lhs(t), 1e-12);
+
+  t.add(1, std::vector<double>{0.2, 0.0, 0.15}, 5.0);
+  t.add(2, std::vector<double>{0.0, 0.3, 0.05}, 100.0);
+  EXPECT_NEAR(t.cached_lhs(), recomputed_lhs(t), 1e-12);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double u = t.utilization(j);
+    EXPECT_NEAR(t.stage_lhs_term(j), u * (1.0 - u / 2.0) / (1.0 - u), 1e-12);
+  }
+
+  // Idle reset.
+  t.mark_departed(2, 1);
+  t.on_stage_idle(1);
+  EXPECT_NEAR(t.cached_lhs(), recomputed_lhs(t), 1e-12);
+
+  // Expiry.
+  sim_.run_until(5.0);
+  EXPECT_NEAR(t.cached_lhs(), recomputed_lhs(t), 1e-12);
+
+  // Removal.
+  t.remove_task(2);
+  EXPECT_NEAR(t.cached_lhs(), recomputed_lhs(t), 1e-12);
+  EXPECT_NEAR(t.cached_lhs(), 0.1 * 0.95 / 0.9, 1e-12);  // floor remains
+
+  t.verify_lhs_cache(1e-12);
+  EXPECT_GE(t.lhs_cache_stats().crosschecks, 1u);
+}
+
+TEST_F(TrackerTest, CachedLhsSaturationRoundTrip) {
+  SyntheticUtilizationTracker t(sim_, 2);
+  t.add(1, std::vector<double>{0.3, 0.0}, 100.0);
+  const double before = t.cached_lhs();
+  EXPECT_TRUE(std::isfinite(before));
+
+  // Saturate stage 1: the cached LHS must report +infinity...
+  t.add(2, std::vector<double>{0.0, 1.5}, 100.0);
+  EXPECT_TRUE(std::isinf(t.cached_lhs()));
+  EXPECT_TRUE(std::isinf(t.stage_lhs_term(1)));
+  t.verify_lhs_cache();
+
+  // ...and recover the exact finite sum once the saturating task leaves
+  // (no inf - inf NaN poisoning the running sum).
+  t.remove_task(2);
+  EXPECT_DOUBLE_EQ(t.cached_lhs(), before);
+  t.verify_lhs_cache(1e-12);
+}
+
+TEST_F(TrackerTest, PeriodicRebuildBoundsDrift) {
+  SyntheticUtilizationTracker t(sim_, 1);
+  // Enough single-stage updates to cross the rebuild interval several times.
+  const int cycles =
+      static_cast<int>(SyntheticUtilizationTracker::kLhsRebuildInterval);
+  for (int i = 0; i < cycles; ++i) {
+    const auto id = static_cast<std::uint64_t>(i);
+    t.add(id, std::vector<double>{0.1 + (i % 7) * 0.01}, sim_.now() + 1.0);
+    t.remove_task(id);
+  }
+  EXPECT_GE(t.lhs_cache_stats().rebuilds, 1u);
+  EXPECT_NEAR(t.cached_lhs(), 0.0, 1e-9);
+  t.verify_lhs_cache(1e-9);
+  EXPECT_LE(t.lhs_cache_stats().max_drift, 1e-9);
+}
+
+TEST_F(TrackerTest, ExplicitRebuildReturnsCachedLhs) {
+  SyntheticUtilizationTracker t(sim_, 2);
+  t.add(1, std::vector<double>{0.25, 0.1}, 100.0);
+  const double cached = t.cached_lhs();
+  EXPECT_DOUBLE_EQ(t.rebuild_lhs_cache(), cached);
+  EXPECT_DOUBLE_EQ(t.cached_lhs(), cached);
 }
 
 }  // namespace
