@@ -19,6 +19,7 @@
 #include "core/admission.h"
 #include "core/feasible_region.h"
 #include "core/synthetic_utilization.h"
+#include "util/math.h"
 #include "pipeline/pipeline_runtime.h"
 #include "sim/simulator.h"
 #include "util/table.h"
@@ -57,9 +58,10 @@ Result run(double load, Mode mode, std::uint64_t seed) {
   if (mode == Mode::kAdaptive) {
     adaptive.emplace(sim, tracker);
   } else {
-    const double alpha = mode == Mode::kStaticExact
-                             ? wl.deadline_min() / wl.deadline_max()
-                             : 1.0;
+    const double alpha =
+        mode == Mode::kStaticExact
+            ? util::safe_div(wl.deadline_min(), wl.deadline_max())
+            : 1.0;
     fixed.emplace(sim, tracker, core::FeasibleRegion::with_alpha(2, alpha));
   }
 

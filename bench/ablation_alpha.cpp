@@ -17,6 +17,7 @@
 #include "pipeline/experiment.h"
 #include "pipeline/pipeline_runtime.h"
 #include "sim/simulator.h"
+#include "util/math.h"
 #include "util/table.h"
 #include "workload/pipeline_workload.h"
 
@@ -37,9 +38,10 @@ pipeline::ExperimentResult run_random(double load, double alpha_override,
   pipeline::PipelineRuntime runtime(sim, 2, &tracker);
   runtime.set_priority_policy(
       [&gen](const core::TaskSpec&) { return gen.aux_rng().uniform01(); });
-  const double alpha = alpha_override > 0
-                           ? alpha_override
-                           : wl.deadline_min() / wl.deadline_max();
+  const double alpha =
+      alpha_override > 0
+          ? alpha_override
+          : util::safe_div(wl.deadline_min(), wl.deadline_max());
   core::AdmissionController controller(
       sim, tracker, core::FeasibleRegion::with_alpha(2, alpha));
 

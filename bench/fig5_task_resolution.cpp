@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pipeline/experiment.h"
+#include "util/math.h"
 #include "util/table.h"
 
 namespace {
@@ -44,7 +45,7 @@ int main() {
     for (double load : loads) {
       const auto r = run_cell(load, res);
       row.push_back(util::Table::fmt(r.avg_stage_utilization, 3));
-      if (load == 1.2) accept_mid = r.acceptance_ratio;
+      if (util::almost_equal(load, 1.2)) accept_mid = r.acceptance_ratio;
     }
     row.push_back(util::Table::fmt(accept_mid, 3));
     table.add_row(std::move(row));

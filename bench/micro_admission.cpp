@@ -71,7 +71,7 @@ void AdmissionVsStages(benchmark::State& state) {
       sim, tracker, core::FeasibleRegion::deadline_monotonic(stages));
   // Populate with 1000 live tasks.
   for (std::uint64_t i = 0; i < 1000; ++i) {
-    controller.try_admit(tiny_task(i + 1, stages));
+    (void)controller.try_admit(tiny_task(i + 1, stages));
   }
   // The probe saturates a stage so it is always REJECTED: the full O(N)
   // region evaluation runs but nothing is committed, keeping the measured
@@ -96,7 +96,7 @@ void AdmissionVsTasks(benchmark::State& state) {
       sim, tracker, core::FeasibleRegion::deadline_monotonic(stages));
   const auto live = static_cast<std::uint64_t>(state.range(0));
   for (std::uint64_t i = 0; i < live; ++i) {
-    controller.try_admit(tiny_task(i + 1, stages));
+    (void)controller.try_admit(tiny_task(i + 1, stages));
   }
   auto probe = tiny_task(0, stages);
   probe.stages[0].compute = 2.0;  // always rejected; state stays constant

@@ -16,6 +16,7 @@
 
 #include "core/admission.h"
 #include "core/feasible_region.h"
+#include "util/math.h"
 #include "core/synthetic_utilization.h"
 #include "metrics/histogram.h"
 #include "pipeline/pipeline_runtime.h"
@@ -53,7 +54,7 @@ TailResult run(double load, bool admission_on, std::uint64_t seed) {
   std::uint64_t count = 0;
   runtime.set_on_task_complete(
       [&](const core::TaskSpec& spec, Duration response, bool) {
-        const double norm = response / spec.deadline;
+        const double norm = util::safe_div(response, spec.deadline);
         hist.add(norm);
         max_norm = std::max(max_norm, norm);
         sum_norm += norm;

@@ -165,7 +165,9 @@ int main() {
   std::printf("Eq. 13 LHS at the reservation: %.4f (paper: 0.93)\n",
               tsce::certification_lhs());
   std::printf("critical set schedulable: %s\n\n",
-              tsce::certification_lhs() <= 1.0 ? "YES" : "NO");
+              core::FeasibleRegion::admits_lhs(tsce::certification_lhs(), 1.0)
+                  ? "YES"
+                  : "NO");
 
   // Pre-certification matrix: every combination of the critical tasks
   // (Sec. 5's "pre-certification of different combinations ... of task

@@ -13,6 +13,7 @@
 #include "core/admission.h"
 #include "core/delay_bound.h"
 #include "core/feasible_region.h"
+#include "util/math.h"
 #include "core/synthetic_utilization.h"
 #include "metrics/timeseries.h"
 #include "pipeline/pipeline_runtime.h"
@@ -35,8 +36,9 @@ int main() {
   // Worst-case delay for a D = 2 s task admitted right now, as a fraction
   // of its deadline. Values near 1.0 mean the region is nearly exhausted.
   metrics::TimeSeries headroom(sim, 1.0, [&] {
-    return core::predict_pipeline_delay(tracker.utilizations(), kDeadline) /
-           kDeadline;
+    return util::safe_div(
+        core::predict_pipeline_delay(tracker.utilizations(), kDeadline),
+        kDeadline);
   });
 
   auto rng = std::make_shared<util::Rng>(515);

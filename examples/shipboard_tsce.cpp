@@ -41,7 +41,9 @@ int main() {
   std::printf("TSCE certification: Eq. 13 LHS at reservation (0.40, 0.25, "
               "0.10) = %.4f -> %s\n\n",
               tsce::certification_lhs(),
-              tsce::certification_lhs() <= 1.0 ? "SCHEDULABLE" : "INFEASIBLE");
+              core::FeasibleRegion::admits_lhs(tsce::certification_lhs(), 1.0)
+                  ? "SCHEDULABLE"
+                  : "INFEASIBLE");
 
   pipeline::PipelineRuntime runtime(sim, tsce::kNumStages, &tracker);
   core::AdmissionController admission(

@@ -1,5 +1,6 @@
 #include "core/adaptive_alpha.h"
 
+#include "core/feasible_region.h"
 #include "core/stage_delay.h"
 #include "util/check.h"
 #include "util/math.h"
@@ -32,7 +33,7 @@ AdaptiveDecision AdaptiveAlphaAdmissionController::try_admit(
     lhs += stage_delay_factor(uj);
   }
   d.lhs = lhs;
-  d.admitted = lhs <= d.alpha_used;
+  d.admitted = FeasibleRegion::admits_lhs(lhs, d.alpha_used);
 
   if (d.admitted) {
     ++admitted_;

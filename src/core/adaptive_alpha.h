@@ -39,8 +39,8 @@ class AdaptiveAlphaAdmissionController {
 
   // Tests the task given the priority value the scheduler will use for it.
   // On admission, commits contributions and updates the alpha estimate.
-  AdaptiveDecision try_admit(const TaskSpec& spec,
-                             sched::PriorityValue priority);
+  [[nodiscard]] AdaptiveDecision try_admit(const TaskSpec& spec,
+                                           sched::PriorityValue priority);
 
   // Current learned alpha (1 until an inversion has been admitted).
   double alpha() const { return estimator_.alpha(); }

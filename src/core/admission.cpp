@@ -32,13 +32,14 @@ std::vector<double> AdmissionController::contributions_for(
   if (mean_compute_.empty()) return spec.contributions();
   std::vector<double> c;
   c.reserve(mean_compute_.size());
-  for (Duration m : mean_compute_) c.push_back(m / spec.deadline);
+  for (Duration m : mean_compute_)
+    c.push_back(util::safe_div(m, spec.deadline));
   return c;
 }
 
 double AdmissionController::incremental_lhs_with(const TaskSpec& spec,
                                                  double lhs_before) const {
-  const double inv_d = 1.0 / spec.deadline;
+  const double inv_d = util::safe_inv(spec.deadline);
   const std::size_t n = region_.num_stages();
   double delta = 0;
   for (std::size_t j = 0; j < n; ++j) {
@@ -55,7 +56,7 @@ double AdmissionController::incremental_lhs_with(const TaskSpec& spec,
 
 void AdmissionController::commit(const TaskSpec& spec,
                                  Time absolute_deadline) {
-  const double inv_d = 1.0 / spec.deadline;
+  const double inv_d = util::safe_inv(spec.deadline);
   for (std::size_t j = 0; j < scratch_.size(); ++j) {
     scratch_[j] = contribution(spec, j, inv_d);
   }
@@ -155,7 +156,7 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
     ++inner_.attempts_;
     FRAP_EXPECTS(spec.deadline > 0);
     FRAP_EXPECTS(spec.num_stages() == n);
-    const double inv_d = 1.0 / spec.deadline;
+    const double inv_d = util::safe_inv(spec.deadline);
 
     AdmissionDecision d;
     d.lhs_before = lhs;
@@ -326,7 +327,8 @@ AdmissionDecision GraphAdmissionController::try_admit(
   d.lhs_before = evaluator_.lhs(spec, u);
   for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
   d.lhs_with_task = evaluator_.lhs(spec, u);
-  d.admitted = d.lhs_with_task <= evaluator_.bound(spec);
+  d.admitted =
+      FeasibleRegion::admits_lhs(d.lhs_with_task, evaluator_.bound(spec));
 
   if (d.admitted) {
     ++admitted_;

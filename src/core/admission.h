@@ -60,27 +60,28 @@ class AdmissionController {
   // Switches to approximate admission: contributions are computed as
   // mean_compute[j] / D_i instead of C_ij / D_i.
   void set_approximate_means(std::vector<Duration> mean_compute);
-  bool approximate() const { return !mean_compute_.empty(); }
+  [[nodiscard]] bool approximate() const { return !mean_compute_.empty(); }
 
   // Tests the task at the current instant; on admission its contribution is
   // committed to the tracker with expiry at `absolute_deadline` (defaults to
   // now + spec.deadline). Incremental fast path: O(stages the task touches),
   // no heap allocation on the test (the commit of an admitted task still
   // creates its tracker record).
-  AdmissionDecision try_admit(const TaskSpec& spec);
-  AdmissionDecision try_admit(const TaskSpec& spec, Time absolute_deadline);
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec);
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec,
+                                            Time absolute_deadline);
 
   // The original full evaluation (two snapshot vectors, whole-region LHS
   // twice). Same decisions and same counters as try_admit(); kept so tests
   // and bench/micro_admission can A/B the fast path against it.
-  AdmissionDecision try_admit_reference(const TaskSpec& spec);
-  AdmissionDecision try_admit_reference(const TaskSpec& spec,
-                                        Time absolute_deadline);
+  [[nodiscard]] AdmissionDecision try_admit_reference(const TaskSpec& spec);
+  [[nodiscard]] AdmissionDecision try_admit_reference(const TaskSpec& spec,
+                                                      Time absolute_deadline);
 
   // Would the task be admitted right now? No state change. Shares the exact
   // LHS computation and the region's admits() predicate with try_admit(), so
   // the two can never disagree — including on boundary ties.
-  bool test(const TaskSpec& spec) const;
+  [[nodiscard]] bool test(const TaskSpec& spec) const;
 
   const FeasibleRegion& region() const { return region_; }
   SyntheticUtilizationTracker& tracker() { return tracker_; }
@@ -146,7 +147,7 @@ class BatchAdmissionController {
   // task expires at now + its own deadline). Returns one decision per spec,
   // in order. The returned reference points at an internal buffer that is
   // reused by the next call.
-  const std::vector<AdmissionDecision>& try_admit_burst(
+  [[nodiscard]] const std::vector<AdmissionDecision>& try_admit_burst(
       std::span<const TaskSpec> specs);
 
   std::uint64_t bursts() const { return bursts_; }
@@ -234,7 +235,7 @@ class SheddingAdmissionController {
 
   void set_shed_filter(ShedFilter filter) { filter_ = std::move(filter); }
 
-  AdmissionDecision try_admit(const TaskSpec& spec);
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec);
 
   std::uint64_t tasks_shed() const { return tasks_shed_; }
 
@@ -256,7 +257,7 @@ class GraphAdmissionController {
                            SyntheticUtilizationTracker& tracker,
                            GraphRegionEvaluator evaluator);
 
-  AdmissionDecision try_admit(const GraphTaskSpec& spec);
+  [[nodiscard]] AdmissionDecision try_admit(const GraphTaskSpec& spec);
 
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t admitted() const { return admitted_; }

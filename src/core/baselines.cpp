@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/math.h"
+
 #include "core/stage_delay.h"
 #include "util/check.h"
 
@@ -49,7 +51,7 @@ AdmissionDecision DeadlineSplitAdmissionController::try_admit(
   add.reserve(n);
   const double nd = static_cast<double>(n);
   for (const auto& s : spec.stages) {
-    add.push_back(s.compute * nd / spec.deadline);
+    add.push_back(util::safe_div(s.compute * nd, spec.deadline));
   }
 
   const double cap = uniprocessor_bound();

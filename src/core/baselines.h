@@ -27,10 +27,12 @@ namespace frap::core {
 double liu_layland_bound(std::size_t n);
 
 // Liu & Layland test for a periodic set with utilizations u_i = C_i / T_i.
-bool liu_layland_schedulable(std::span<const double> task_utilizations);
+[[nodiscard]] bool liu_layland_schedulable(
+    std::span<const double> task_utilizations);
 
 // Hyperbolic bound test: prod(u_i + 1) <= 2.
-bool hyperbolic_schedulable(std::span<const double> task_utilizations);
+[[nodiscard]] bool hyperbolic_schedulable(
+    std::span<const double> task_utilizations);
 
 // Admission control by intermediate per-stage deadlines. Maintains its own
 // notion of per-stage synthetic utilization V_j with contributions
@@ -42,7 +44,7 @@ class DeadlineSplitAdmissionController {
   DeadlineSplitAdmissionController(sim::Simulator& sim,
                                    SyntheticUtilizationTracker& tracker);
 
-  AdmissionDecision try_admit(const TaskSpec& spec);
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec);
 
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t admitted() const { return admitted_; }

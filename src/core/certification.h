@@ -59,7 +59,7 @@ class ScenarioCertifier {
 
   // Convenience over certify_all_subsets(): true iff every subset is
   // certified (then any combination of the catalog may run concurrently).
-  bool all_combinations_certified() const;
+  [[nodiscard]] bool all_combinations_certified() const;
 
   // The largest certified subset (by member count; ties broken by smaller
   // bitmask). Useful as a capacity statement.

@@ -41,7 +41,7 @@ Duration predict_graph_delay(const GraphTaskSpec& task,
 // Under DM, d_max = spec.deadline. Equivalent to the Eq. 13 test scaled by
 // the deadline; exposed separately because the *delay value* is what
 // operators want to log.
-bool provably_meets_deadline(const TaskSpec& spec,
-                             std::span<const double> utilizations);
+[[nodiscard]] bool provably_meets_deadline(
+    const TaskSpec& spec, std::span<const double> utilizations);
 
 }  // namespace frap::core

@@ -39,48 +39,57 @@ class FeasibleRegion {
 
   // Right-hand side of the region inequality: alpha * (1 - sum beta_j).
   // Precomputed at construction; O(1).
-  double bound() const { return bound_; }
+  [[nodiscard]] double bound() const { return bound_; }
 
-  // THE admission predicate: a state whose LHS is `lhs` is feasible iff
-  // lhs <= bound(), boundary ties included. Every admission decision —
-  // contains(), AdmissionController::test()/try_admit(), the batch path —
-  // funnels through this single comparison so no two paths can disagree on
-  // a tie.
-  bool admits(double lhs) const { return lhs <= bound_; }
+  // THE admission comparison: a state whose LHS is `lhs` is feasible
+  // against `bound` iff lhs <= bound, boundary ties included. This is the
+  // single sanctioned spelling in the tree (frap-lint rule R2): every
+  // decision path — admits(), contains(), the admission controllers, the
+  // batch path, GraphRegionEvaluator, the adaptive-alpha controller —
+  // funnels through it so no two paths can disagree on a tie.
+  [[nodiscard]] static bool admits_lhs(double lhs, double bound) {
+    return lhs <= bound;
+  }
+
+  // The predicate against this region's own bound().
+  [[nodiscard]] bool admits(double lhs) const {
+    return admits_lhs(lhs, bound_);
+  }
 
   // Left-hand side: sum_j f(U_j). Returns +infinity if any U_j >= 1.
   // utilizations.size() must equal num_stages().
-  double lhs(std::span<const double> utilizations) const;
+  [[nodiscard]] double lhs(std::span<const double> utilizations) const;
 
   // Change in the LHS when stage `stage` moves from u_old to u_new with all
   // other stages fixed: f(u_new) - f(u_old). Saturation-safe: +infinity when
   // only u_new is saturated (>= 1), -infinity when only u_old is, and 0 when
   // both are (never inf - inf = NaN). The incremental admission fast path
   // sums these deltas over the stages a task touches.
-  double delta_lhs(std::size_t stage, double u_old, double u_new) const;
+  [[nodiscard]] double delta_lhs(std::size_t stage, double u_old,
+                               double u_new) const;
 
   // True when the utilization vector lies inside (or on) the region.
-  bool contains(std::span<const double> utilizations) const;
+  [[nodiscard]] bool contains(std::span<const double> utilizations) const;
 
   // Slack to the boundary: bound() - lhs(); negative outside the region and
   // -infinity when any stage is saturated (never NaN).
-  double margin(std::span<const double> utilizations) const;
+  [[nodiscard]] double margin(std::span<const double> utilizations) const;
 
   // Boundary tracing for surface plots (N = 2): given U_1, the largest U_2
   // keeping the system feasible (0 if U_1 alone exhausts the bound or is
   // saturated, u1 >= 1).
-  double boundary_u2(double u1) const;
+  [[nodiscard]] double boundary_u2(double u1) const;
 
   // The per-stage cap when all stages run equal utilization:
   // f_inv(bound()/N).
-  double balanced_cap() const;
+  [[nodiscard]] double balanced_cap() const;
 
   // How much additional synthetic utilization stage `stage` could absorb
   // with every other stage held at its current value: the largest d >= 0
   // such that the vector with U_stage + d stays feasible (0 when already
   // at or outside the boundary, including saturated inputs).
-  double stage_headroom(std::span<const double> utilizations,
-                        std::size_t stage) const;
+  [[nodiscard]] double stage_headroom(std::span<const double> utilizations,
+                                      std::size_t stage) const;
 
  private:
   FeasibleRegion(std::size_t num_stages, double alpha,

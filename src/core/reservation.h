@@ -43,11 +43,11 @@ class ReservationPlanner {
   std::vector<double> reserved() const;
 
   // Region LHS at the planned reservation.
-  double certification_lhs(const FeasibleRegion& region) const;
+  [[nodiscard]] double certification_lhs(const FeasibleRegion& region) const;
 
   // True when the reservation fits the region (all critical tasks meet
   // end-to-end deadlines by Theorem 1/2).
-  bool certifies(const FeasibleRegion& region) const;
+  [[nodiscard]] bool certifies(const FeasibleRegion& region) const;
 
   // Installs the planned floors into a tracker.
   void apply(SyntheticUtilizationTracker& tracker) const;

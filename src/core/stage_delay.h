@@ -31,6 +31,9 @@ namespace frap::core {
 inline double stage_delay_factor(double u) {
   FRAP_EXPECTS(u >= 0);
   if (u >= 1.0) return util::kInf;
+  // frap-lint: allow(unsafe-division) -- this IS the sanctioned f(U)
+  // kernel; the u >= 1 guard above returns +inf before the denominator
+  // can reach zero.
   return u * (1.0 - u / 2.0) / (1.0 - u);
 }
 

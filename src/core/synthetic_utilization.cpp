@@ -132,6 +132,8 @@ void SyntheticUtilizationTracker::refresh_stage_lhs(std::size_t stage) {
   } else {
     finite_lhs_ += f_new;
   }
+  // frap-lint: allow(rederived-admission) -- counter compare against the
+  // cache-rebuild interval; no admission decision is derived here.
   if (++updates_since_rebuild_ >= kLhsRebuildInterval) rebuild_lhs_cache();
 #ifndef NDEBUG
   verify_lhs_cache();

@@ -132,7 +132,7 @@ class SyntheticUtilizationTracker {
 
   // True while the task's contribution record exists (not yet expired or
   // removed).
-  bool is_live(std::uint64_t task_id) const {
+  [[nodiscard]] bool is_live(std::uint64_t task_id) const {
     return tasks_.find(task_id) != tasks_.end();
   }
 

@@ -33,7 +33,8 @@ std::vector<double> TaskSpec::contributions() const {
   FRAP_EXPECTS(deadline > 0);
   std::vector<double> c;
   c.reserve(stages.size());
-  for (const auto& s : stages) c.push_back(s.compute / deadline);
+  for (const auto& s : stages)
+    c.push_back(util::safe_div(s.compute, deadline));
   return c;
 }
 

@@ -25,7 +25,7 @@ struct StageDemand {
   std::vector<sched::Segment> make_segments() const;
 
   // Validates internal consistency (segments sum to compute).
-  bool valid() const;
+  [[nodiscard]] bool valid() const;
 };
 
 struct TaskSpec {
@@ -42,7 +42,7 @@ struct TaskSpec {
   // Per-stage synthetic-utilization contribution C_ij / D_i.
   std::vector<double> contributions() const;
 
-  bool valid() const;
+  [[nodiscard]] bool valid() const;
 };
 
 }  // namespace frap::core

@@ -106,7 +106,7 @@ std::vector<double> GraphTaskSpec::resource_contributions(
   std::vector<double> c(num_resources, 0);
   for (const auto& n : nodes) {
     FRAP_EXPECTS(n.resource < num_resources);
-    c[n.resource] += n.demand.compute / deadline;
+    c[n.resource] += util::safe_div(n.demand.compute, deadline);
   }
   return c;
 }

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "core/feasible_region.h"
 #include "core/task.h"
 
 namespace frap::core {
@@ -42,7 +43,7 @@ struct GraphTaskSpec {
   std::size_t num_nodes() const { return nodes.size(); }
 
   // True when edges reference valid nodes and the graph is acyclic.
-  bool valid(std::size_t num_resources) const;
+  [[nodiscard]] bool valid(std::size_t num_resources) const;
 
   // Topological order of node indices. Requires valid().
   std::vector<std::size_t> topological_order() const;
@@ -83,9 +84,9 @@ class GraphRegionEvaluator {
   // alpha * (1 - d(beta_{k_i})) for this task's graph.
   double bound(const GraphTaskSpec& task) const;
 
-  bool feasible(const GraphTaskSpec& task,
-                std::span<const double> utilizations) const {
-    return lhs(task, utilizations) <= bound(task);
+  [[nodiscard]] bool feasible(const GraphTaskSpec& task,
+                              std::span<const double> utilizations) const {
+    return FeasibleRegion::admits_lhs(lhs(task, utilizations), bound(task));
   }
 
   double alpha() const { return alpha_; }

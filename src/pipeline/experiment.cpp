@@ -12,6 +12,7 @@
 #include "pipeline/pipeline_runtime.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::pipeline {
 
@@ -36,7 +37,8 @@ struct Harness {
       case PriorityMode::kRandom: {
         // Fixed random priorities; the worst-case urgency inversion over
         // the uniform deadline range is D_min / D_max.
-        alpha = cfg.workload.deadline_min() / cfg.workload.deadline_max();
+        alpha = util::safe_div(cfg.workload.deadline_min(),
+                               cfg.workload.deadline_max());
         runtime.set_priority_policy([this](const core::TaskSpec&) {
           return gen.aux_rng().uniform01();
         });

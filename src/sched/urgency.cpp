@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::sched {
 
@@ -62,7 +63,7 @@ double OnlineAlphaEstimator::preview(const TaskUrgency& t) const {
     alpha = std::min(alpha, t.deadline / max_d_higher);
   }
   if (have_lower) {
-    alpha = std::min(alpha, min_d_lower / t.deadline);
+    alpha = std::min(alpha, util::safe_div(min_d_lower, t.deadline));
   }
   return alpha;
 }

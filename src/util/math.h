@@ -16,6 +16,19 @@ inline bool almost_equal(double a, double b, double rel = 1e-9,
   return diff <= rel * std::fmax(std::fabs(a), std::fabs(b));
 }
 
+// Saturation-safe division for nonnegative numerators over positive
+// denominators (deadlines, headroom terms): a zero or negative denominator
+// yields +infinity — the "saturated, reject" sentinel every admission path
+// already handles — instead of NaN, a signed infinity, or garbage the
+// caller would then trust. frap-lint rule R1 (unsafe-division) routes all
+// divisions by deadlines through here; see docs/static_analysis.md.
+inline double safe_div(double num, double denom) {
+  return denom > 0 ? num / denom : kInf;
+}
+
+// 1/x with the same contract as safe_div.
+inline double safe_inv(double x) { return safe_div(1.0, x); }
+
 // Clamp helper that tolerates lo > hi inputs from floating-point noise by
 // preferring lo.
 inline double clamp(double x, double lo, double hi) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::workload {
 
@@ -54,11 +55,16 @@ double BoundedParetoSampler::sample(util::Rng& rng) const {
 }
 
 double BoundedParetoSampler::mean() const {
-  if (alpha_ == 1.0) {
+  // The closed form divides by (alpha - 1), which is catastrophically
+  // ill-conditioned near alpha = 1; within almost_equal tolerance of the
+  // degenerate point the alpha = 1 limit formula is the accurate branch.
+  if (util::almost_equal(alpha_, 1.0)) {
     return std::log(hi_ / lo_) / (1.0 / lo_ - 1.0 / hi_);
   }
   const double la = std::pow(lo_, alpha_);
   const double ha = std::pow(hi_, alpha_);
+  // frap-lint: allow(unsafe-division) -- lo_ < hi_ (ctor precondition), so
+  // pow(lo_/hi_, alpha_) < 1 and the denominator is strictly positive.
   return (la / (1.0 - std::pow(lo_ / hi_, alpha_))) *
          (alpha_ / (alpha_ - 1.0)) *
          (1.0 / std::pow(lo_, alpha_ - 1.0) -

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::workload {
 
@@ -46,7 +47,7 @@ std::vector<double> PeriodicStream::invocation_contributions() const {
   std::vector<double> c;
   c.reserve(config_.stages.size());
   for (const auto& s : config_.stages) {
-    c.push_back(s.compute / config_.deadline);
+    c.push_back(util::safe_div(s.compute, config_.deadline));
   }
   return c;
 }
@@ -66,7 +67,7 @@ std::vector<double> worst_case_contributions(
   std::vector<double> c;
   c.reserve(config.stages.size());
   for (const auto& s : config.stages) {
-    c.push_back(m * s.compute / config.deadline);
+    c.push_back(util::safe_div(m * s.compute, config.deadline));
   }
   return c;
 }

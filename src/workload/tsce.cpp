@@ -5,6 +5,7 @@
 #include "core/reservation.h"
 #include "core/stage_delay.h"
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::workload::tsce {
 
@@ -85,8 +86,9 @@ std::vector<double> reserved_utilizations() {
   core::ReservationPlanner planner({Rule::kSum, Rule::kSum, Rule::kMax});
   for (const CriticalTask* t :
        {&kWeaponDetection, &kWeaponTargeting, &kUavVideo}) {
-    planner.add_contributions({t->c1 / t->deadline, t->c2 / t->deadline,
-                               t->c3 / t->deadline});
+    planner.add_contributions({util::safe_div(t->c1, t->deadline),
+                               util::safe_div(t->c2, t->deadline),
+                               util::safe_div(t->c3, t->deadline)});
   }
   return planner.reserved();
 }

@@ -73,10 +73,10 @@ TEST_F(AdaptiveAlphaTest, RejectionDoesNotPoisonAlpha) {
 }
 
 TEST_F(AdaptiveAlphaTest, AlphaOnlyRatchetsDown) {
-  controller_.try_admit(make_task(1, 4.0, {0.01, 0.01}), 1.0);
-  controller_.try_admit(make_task(2, 1.0, {0.01, 0.01}), 2.0);  // ratio 1/4
+  (void)controller_.try_admit(make_task(1, 4.0, {0.01, 0.01}), 1.0);
+  (void)controller_.try_admit(make_task(2, 1.0, {0.01, 0.01}), 2.0);  // 1/4
   EXPECT_DOUBLE_EQ(controller_.alpha(), 0.25);
-  controller_.try_admit(make_task(3, 2.0, {0.01, 0.01}), 3.0);  // ratio 1/2
+  (void)controller_.try_admit(make_task(3, 2.0, {0.01, 0.01}), 3.0);  // 1/2
   EXPECT_DOUBLE_EQ(controller_.alpha(), 0.25);  // unchanged
 }
 
@@ -90,16 +90,16 @@ TEST_F(AdaptiveAlphaTest, SmallerAlphaShrinksAdmission) {
         fresh.try_admit(make_task(1, 1.0, {0.3, 0.3}), 1.0).admitted);
   }
   // With a learned alpha of 0.5, the same load (lhs ~0.73 > 0.5) fails.
-  controller_.try_admit(make_task(1, 2.0, {0.001, 0.001}), 1.0);
-  controller_.try_admit(make_task(2, 1.0, {0.001, 0.001}), 2.0);  // a = 0.5
+  (void)controller_.try_admit(make_task(1, 2.0, {0.001, 0.001}), 1.0);
+  (void)controller_.try_admit(make_task(2, 1.0, {0.001, 0.001}), 2.0);  // 0.5
   EXPECT_DOUBLE_EQ(controller_.alpha(), 0.5);
   const auto d = controller_.try_admit(make_task(3, 1.0, {0.3, 0.3}), 1.5);
   EXPECT_FALSE(d.admitted);
 }
 
 TEST_F(AdaptiveAlphaTest, CountsAttempts) {
-  controller_.try_admit(make_task(1, 1.0, {0.1, 0.1}), 1.0);
-  controller_.try_admit(make_task(2, 1.0, {5.0, 5.0}), 1.0);  // too big
+  (void)controller_.try_admit(make_task(1, 1.0, {0.1, 0.1}), 1.0);
+  (void)controller_.try_admit(make_task(2, 1.0, {5.0, 5.0}), 1.0);  // too big
   EXPECT_EQ(controller_.attempts(), 2u);
   EXPECT_EQ(controller_.admitted(), 1u);
 }

@@ -76,8 +76,8 @@ TEST_F(AdmissionTest, ExpiryFreesCapacity) {
 }
 
 TEST_F(AdmissionTest, CountsAttemptsAndAcceptanceRatio) {
-  controller_.try_admit(make_task(1, 1.0, {0.3, 0.3}));  // in
-  controller_.try_admit(make_task(2, 1.0, {0.3, 0.3}));  // out
+  (void)controller_.try_admit(make_task(1, 1.0, {0.3, 0.3}));  // in
+  (void)controller_.try_admit(make_task(2, 1.0, {0.3, 0.3}));  // out
   EXPECT_EQ(controller_.attempts(), 2u);
   EXPECT_EQ(controller_.admitted(), 1u);
   EXPECT_DOUBLE_EQ(controller_.acceptance_ratio(), 0.5);
@@ -148,8 +148,8 @@ TEST_F(WaitingTest, WaitsForCapacityThenAdmits) {
 
   // Fill the region with a task expiring at t=0.3.
   sim_.at(0.0, [&] {
-    controller_.try_admit(make_task(1, 0.3, {0.09, 0.09}),
-                          0.3);  // u=(0.3,0.3)
+    (void)controller_.try_admit(make_task(1, 0.3, {0.09, 0.09}),
+                                0.3);  // u=(0.3,0.3)
     waiting.submit(make_task(2, 1.0, {0.3, 0.3}));  // does not fit yet
     EXPECT_EQ(waiting.pending(), 1u);
   });
@@ -166,7 +166,7 @@ TEST_F(WaitingTest, TimesOutWhenNothingFrees) {
   waiting.set_decision_callback(
       [&](const TaskSpec&, bool ok, Time, Time) { decisions.push_back(ok); });
   sim_.at(0.0, [&] {
-    controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 10.0);
+    (void)controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 10.0);
     waiting.submit(make_task(2, 1.0, {0.3, 0.3}));
   });
   sim_.run_until(0.3);
@@ -184,7 +184,7 @@ TEST_F(WaitingTest, FifoOrderPreserved) {
     if (ok) admitted_order.push_back(s.id);
   });
   sim_.at(0.0, [&] {
-    controller_.try_admit(make_task(1, 1.0, {0.35, 0.35}), 1.0);
+    (void)controller_.try_admit(make_task(1, 1.0, {0.35, 0.35}), 1.0);
     waiting.submit(make_task(2, 2.0, {0.6, 0.6}));
     waiting.submit(make_task(3, 2.0, {0.02, 0.02}));
     // Task 3 would fit right now, but FIFO holds it behind task 2.
@@ -202,7 +202,7 @@ TEST_F(WaitingTest, ZeroPatienceDecidesSynchronously) {
   std::vector<bool> decisions;
   waiting.set_decision_callback(
       [&](const TaskSpec&, bool ok, Time, Time) { decisions.push_back(ok); });
-  controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 10.0);
+  (void)controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 10.0);
   waiting.submit(make_task(2, 1.0, {0.3, 0.3}));
   ASSERT_EQ(decisions.size(), 1u);
   EXPECT_FALSE(decisions[0]);
@@ -302,10 +302,10 @@ TEST_F(SheddingTest, ExpiredVictimsAreSkipped) {
   SheddingAdmissionController shedder(
       controller_, [&](std::uint64_t id) { shed.push_back(id); });
   sim_.at(0.0, [&] {
-    shedder.try_admit(make_task(1, 0.5, {0.1, 0.1}, 1.0));
+    (void)shedder.try_admit(make_task(1, 0.5, {0.1, 0.1}, 1.0));
   });
   sim_.run_until(2.0);  // task 1 long expired
-  shedder.try_admit(make_task(2, 1.0, {0.3, 0.3}, 1.5));
+  (void)shedder.try_admit(make_task(2, 1.0, {0.3, 0.3}, 1.5));
   // No shedding happened (nothing live to shed, and task 2 fits anyway).
   EXPECT_TRUE(shed.empty());
 }

@@ -60,7 +60,7 @@ TEST(ContractDeathTest, RegionRejectsBadParameters) {
 TEST(ContractDeathTest, RegionRejectsWrongDimension) {
   ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   const auto region = core::FeasibleRegion::deadline_monotonic(2);
-  EXPECT_DEATH(region.lhs(std::vector<double>{0.1}), "precondition");
+  EXPECT_DEATH((void)region.lhs(std::vector<double>{0.1}), "precondition");
 }
 
 TEST(ContractDeathTest, TrackerRejectsDuplicateTaskIds) {
@@ -133,7 +133,7 @@ TEST(ContractDeathTest, AdmissionRejectsMismatchedTask) {
   wrong.deadline = 1.0;
   wrong.stages.resize(3);  // pipeline is 2 stages
   for (auto& s : wrong.stages) s.compute = 0.1;
-  EXPECT_DEATH(c.try_admit(wrong), "precondition");
+  EXPECT_DEATH((void)c.try_admit(wrong), "precondition");
 }
 
 TEST(ContractDeathTest, AdmissionRejectsInvalidSpec) {
@@ -143,7 +143,7 @@ TEST(ContractDeathTest, AdmissionRejectsInvalidSpec) {
   core::AdmissionController c(sim, t,
                               core::FeasibleRegion::deadline_monotonic(1));
   core::TaskSpec bad;  // no deadline, no stages
-  EXPECT_DEATH(c.try_admit(bad), "precondition");
+  EXPECT_DEATH((void)c.try_admit(bad), "precondition");
 }
 
 }  // namespace

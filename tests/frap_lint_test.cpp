@@ -1,0 +1,203 @@
+// Tests for the frap-lint analyzer itself, driven by the checked-in
+// fixtures under tools/frap_lint/fixtures/. Fixtures are lexed, never
+// compiled, so each one is linted under a pretend repo-relative path that
+// puts it in the right rule scope (e.g. src/core/*.h for R4).
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+using frap::lint::Finding;
+using frap::lint::active;
+using frap::lint::apply_baseline;
+using frap::lint::canonical_rule;
+using frap::lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(FRAP_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Lints a fixture under `relpath` and returns the findings for one rule.
+std::vector<Finding> findings_for(const std::string& fixture,
+                                  const std::string& relpath,
+                                  const std::string& rule) {
+  auto all = lint_source(relpath, read_fixture(fixture));
+  std::vector<Finding> out;
+  for (auto& f : all)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& fs) {
+  std::vector<int> lines;
+  for (const auto& f : fs) lines.push_back(f.line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(FrapLintRules, R1FlagsDeadlineAndOneMinusUDenominators) {
+  auto fs = findings_for("r1_flag.cpp", "src/workload/r1_flag.cpp",
+                         "unsafe-division");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{3, 7, 10}));
+}
+
+TEST(FrapLintRules, R1PassesSafeDivAndBenignDenominators) {
+  auto all = lint_source("src/workload/r1_pass.cpp",
+                         read_fixture("r1_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R2FlagsLhsComparisonsOutsideFeasibleRegion) {
+  auto fs = findings_for("r2_flag.cpp", "src/core/r2_flag.cpp",
+                         "rederived-admission");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{6, 9, 12}));
+}
+
+TEST(FrapLintRules, R2PassesAdmitsLhsCallsAndNonLhsComparisons) {
+  auto all =
+      lint_source("src/core/r2_pass.cpp", read_fixture("r2_pass.cpp"));
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(FrapLintRules, R2SanctionedInsideFeasibleRegionHeader) {
+  // The same comparisons that flag elsewhere are sanctioned in the one
+  // file allowed to hold the admission comparison.
+  auto all = lint_source("src/core/feasible_region.h",
+                         read_fixture("r2_flag.cpp"));
+  for (const auto& f : all) EXPECT_NE(f.rule, "rederived-admission");
+}
+
+TEST(FrapLintRules, R3FlagsRawFloatEquality) {
+  auto fs =
+      findings_for("r3_flag.cpp", "src/util/r3_flag.cpp", "float-equality");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{3, 6, 9, 12}));
+}
+
+TEST(FrapLintRules, R3PassesAlmostEqualAndIntegerEquality) {
+  auto all =
+      lint_source("src/util/r3_pass.cpp", read_fixture("r3_pass.cpp"));
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(FrapLintRules, R4FlagsUnannotatedPublicDecisionApis) {
+  auto fs = findings_for("r4_flag.h", "src/core/r4_flag.h",
+                         "missing-nodiscard");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{9, 10, 11, 17, 19}));
+}
+
+TEST(FrapLintRules, R4PassesAnnotatedPrivateAndNonDecisionApis) {
+  auto all = lint_source("src/core/r4_pass.h", read_fixture("r4_pass.h"));
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(FrapLintRules, R4OnlyAppliesToCoreHeaders) {
+  // The same declarations are out of scope in a .cpp or outside core/.
+  EXPECT_TRUE(
+      lint_source("src/core/r4_flag.cpp", read_fixture("r4_flag.h")).empty());
+  EXPECT_TRUE(
+      lint_source("src/sched/r4_flag.h", read_fixture("r4_flag.h")).empty());
+}
+
+TEST(FrapLintRules, R5FlagsEntropyClocksAndStdout) {
+  auto fs = findings_for("r5_flag.cpp", "src/sched/r5_flag.cpp",
+                         "nondeterminism");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{5, 10, 12, 16}));
+}
+
+TEST(FrapLintRules, R5PassesSeededRngAndMemberTimeAccess) {
+  auto all =
+      lint_source("src/sched/r5_pass.cpp", read_fixture("r5_pass.cpp"));
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(FrapLintRules, R5ExemptsRngHelperAndNonLibraryCode) {
+  // util/rng.* is the sanctioned entropy boundary; tests/ and bench/ are
+  // outside library scope for this rule.
+  EXPECT_TRUE(
+      lint_source("src/util/rng.cpp", read_fixture("r5_flag.cpp")).empty());
+  EXPECT_TRUE(
+      lint_source("tests/r5_flag.cpp", read_fixture("r5_flag.cpp")).empty());
+}
+
+TEST(FrapLintSuppression, DirectivesBindSuppressOrReport) {
+  auto all = lint_source("src/workload/suppress.cpp",
+                         read_fixture("suppress.cpp"));
+
+  std::vector<int> suppressed, active_div, bad;
+  for (const auto& f : all) {
+    if (f.rule == "unsafe-division" && f.suppressed)
+      suppressed.push_back(f.line);
+    else if (f.rule == "unsafe-division" && active(f))
+      active_div.push_back(f.line);
+    else if (f.rule == "bad-suppression")
+      bad.push_back(f.line);
+  }
+  std::sort(suppressed.begin(), suppressed.end());
+  std::sort(active_div.begin(), active_div.end());
+  std::sort(bad.begin(), bad.end());
+
+  // Trailing directive (line 3) and standalone directive whose reason
+  // continues across comment lines (binds to line 8) both suppress.
+  EXPECT_EQ(suppressed, (std::vector<int>{3, 8}));
+  // Reason-less (12), wrong-rule (16), and unknown-rule (20) cases stay
+  // active.
+  EXPECT_EQ(active_div, (std::vector<int>{12, 16, 20}));
+  // The malformed directives themselves are reported and cannot be
+  // silenced.
+  EXPECT_EQ(bad, (std::vector<int>{11, 19}));
+}
+
+TEST(FrapLintSuppression, SuppressedFindingsAreNotActive) {
+  auto all = lint_source("src/workload/suppress.cpp",
+                         read_fixture("suppress.cpp"));
+  for (const auto& f : all) {
+    if (f.suppressed) {
+      EXPECT_FALSE(active(f));
+    }
+  }
+}
+
+TEST(FrapLintApi, CanonicalRuleMapsAliases) {
+  EXPECT_EQ(canonical_rule("r1"), "unsafe-division");
+  EXPECT_EQ(canonical_rule("r2"), "rederived-admission");
+  EXPECT_EQ(canonical_rule("r3"), "float-equality");
+  EXPECT_EQ(canonical_rule("r4"), "missing-nodiscard");
+  EXPECT_EQ(canonical_rule("r5"), "nondeterminism");
+  EXPECT_EQ(canonical_rule("float-equality"), "float-equality");
+  EXPECT_EQ(canonical_rule("no-such-rule"), "");
+}
+
+TEST(FrapLintApi, BaselineMarksMatchingFindings) {
+  auto all = lint_source("src/util/r3_flag.cpp", read_fixture("r3_flag.cpp"));
+  ASSERT_FALSE(all.empty());
+
+  std::set<std::string> baseline{"src/util/r3_flag.cpp:float-equality"};
+  apply_baseline(all, baseline);
+  for (const auto& f : all) {
+    EXPECT_TRUE(f.baselined) << f.file << ":" << f.line;
+    EXPECT_FALSE(active(f));
+  }
+
+  // A baseline for a different file leaves findings active.
+  auto again =
+      lint_source("src/util/r3_flag.cpp", read_fixture("r3_flag.cpp"));
+  std::set<std::string> other{"src/util/other.cpp:float-equality"};
+  apply_baseline(again, other);
+  for (const auto& f : again) EXPECT_TRUE(active(f));
+}
+
+}  // namespace

@@ -104,8 +104,8 @@ TEST_F(GraphAdmissionTest, DecisionReportsLhsValues) {
 }
 
 TEST_F(GraphAdmissionTest, CountsAttempts) {
-  controller_.try_admit(fork_join(1, 1.0, 0.05));
-  controller_.try_admit(fork_join(2, 1.0, 0.9));
+  (void)controller_.try_admit(fork_join(1, 1.0, 0.05));
+  (void)controller_.try_admit(fork_join(2, 1.0, 0.9));
   EXPECT_EQ(controller_.attempts(), 2u);
   EXPECT_EQ(controller_.admitted(), 1u);
 }

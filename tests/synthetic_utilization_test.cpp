@@ -171,6 +171,8 @@ double recomputed_lhs(const SyntheticUtilizationTracker& t) {
   for (std::size_t j = 0; j < t.num_stages(); ++j) {
     const double u = t.utilization(j);
     if (u >= 1.0) return std::numeric_limits<double>::infinity();
+    // frap-lint: allow(unsafe-division) -- the test recomputes f(U) by hand,
+    // independent of stage_delay_factor, to cross-check the cached LHS.
     sum += u * (1.0 - u / 2.0) / (1.0 - u);
   }
   return sum;
@@ -188,6 +190,7 @@ TEST_F(TrackerTest, CachedLhsTracksEveryMutation) {
   EXPECT_NEAR(t.cached_lhs(), recomputed_lhs(t), 1e-12);
   for (std::size_t j = 0; j < 3; ++j) {
     const double u = t.utilization(j);
+    // frap-lint: allow(unsafe-division) -- same hand-derived cross-check.
     EXPECT_NEAR(t.stage_lhs_term(j), u * (1.0 - u / 2.0) / (1.0 - u), 1e-12);
   }
 

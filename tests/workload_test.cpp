@@ -26,7 +26,10 @@ TEST(PipelineWorkloadConfigTest, DeadlineRangeGrowsWithStages) {
   // with the number of stages".
   const auto c2 = PipelineWorkloadConfig::balanced(2, 0.01, 1.0);
   const auto c5 = PipelineWorkloadConfig::balanced(5, 0.01, 1.0);
+  // frap-lint: allow(unsafe-division) -- ratio of two known-positive
+  // configured deadlines, asserting the growth law, not an admission value.
   EXPECT_NEAR(c5.mean_deadline() / c2.mean_deadline(), 2.5, 1e-12);
+  // frap-lint: allow(unsafe-division) -- same growth-law ratio as above.
   EXPECT_NEAR(c5.deadline_max() / c2.deadline_max(), 2.5, 1e-12);
 }
 

@@ -1,0 +1,11 @@
+// R1 must-flag: raw divisions by a deadline and by (1 - U)-shaped terms.
+double contribution(double compute, double deadline) {
+  return compute / deadline;  // line 3: deadline division
+}
+double member_deadline(double c, const struct S* s);
+double delay(double u) {
+  return u * (1.0 - u / 2.0) / (1.0 - u);  // line 7: (1 - U) denominator
+}
+double parenthesized(double c, double spec_deadline_x) {
+  return c / (2.0 * spec_deadline_x);  // line 10: deadline inside parens
+}

@@ -1,0 +1,17 @@
+// R1 must-pass: sanctioned helper routing and benign divisions.
+namespace util {
+double safe_div(double a, double b);
+double safe_inv(double b);
+}  // namespace util
+double contribution(double compute, double deadline) {
+  return util::safe_div(compute, deadline);  // helper call, no raw division
+}
+double benign(double total, double count) {
+  return total / count;  // denominator is neither a deadline nor (1 - U)
+}
+double scaled(double deadline, double x) {
+  return deadline * x / 2.0;  // deadline in the numerator is fine
+}
+double shifted(double u) {
+  return u / (2.0 - u);  // does not match the (1 - ...) shape
+}

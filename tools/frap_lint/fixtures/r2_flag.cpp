@@ -1,0 +1,13 @@
+// R2 must-flag: re-derived admission comparisons on lhs-named values.
+struct Region {
+  double bound() const;
+};
+bool admit(double lhs, const Region& r) {
+  return lhs <= r.bound();  // line 6: classic re-derivation
+}
+bool cached(double cached_lhs, double alpha) {
+  return cached_lhs < alpha;  // line 9: lhs-named on the left
+}
+bool reversed(double budget, double lhs_with_task) {
+  return budget >= lhs_with_task;  // line 12: lhs-named on the right
+}

@@ -1,0 +1,16 @@
+// R2 must-pass: decisions routed through the region predicate; ordinary
+// comparisons that do not involve lhs-named operands.
+struct FeasibleRegion {
+  static bool admits_lhs(double lhs, double bound);
+  bool admits(double lhs) const;
+};
+bool admit(double candidate, const FeasibleRegion& r) {
+  return r.admits(candidate);
+}
+bool admit_static(double value, double cap) {
+  return FeasibleRegion::admits_lhs(value, cap);  // call, not a comparison
+}
+bool ordinary(double margin, double threshold) {
+  return margin <= threshold;  // no lhs-named operand
+}
+bool counter(int updates, int interval) { return updates >= interval; }

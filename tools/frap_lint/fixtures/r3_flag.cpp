@@ -1,0 +1,13 @@
+// R3 must-flag: raw floating-point equality against literals.
+bool shape_degenerate(double alpha) {
+  return alpha == 1.0;  // line 3
+}
+bool nonzero(double x) {
+  return x != 0.5;  // line 6
+}
+bool literal_left(double y) {
+  return 2.5 == y;  // line 9
+}
+bool signed_literal(double z) {
+  return z == -1.25;  // line 12
+}

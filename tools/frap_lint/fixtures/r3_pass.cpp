@@ -1,0 +1,13 @@
+// R3 must-pass: tolerance-based comparison and integer equality.
+namespace util {
+bool almost_equal(double a, double b, double rel, double abs);
+bool time_close(double a, double b, double tol);
+}  // namespace util
+bool shape_degenerate(double alpha) {
+  return util::almost_equal(alpha, 1.0, 1e-9, 1e-12);
+}
+bool at_time(double t, double expected) {
+  return util::time_close(t, expected, 1e-9);
+}
+bool integers(int a) { return a == 1; }
+bool ordering(double x) { return x <= 1.0; }  // relational, not equality

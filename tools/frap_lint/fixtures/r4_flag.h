@@ -1,0 +1,19 @@
+// R4 must-flag: public decision-returning APIs without [[nodiscard]].
+// Linted under a pretend path of src/core/<name>.h.
+#pragma once
+struct AdmissionDecision {
+  bool admitted = false;
+};
+class Controller {
+ public:
+  AdmissionDecision try_admit(int spec);  // line 9
+  bool test(int spec) const;              // line 10
+  static bool enabled();                  // line 11
+
+ private:
+  int attempts_ = 0;
+};
+struct Spec {
+  bool valid() const;  // line 17: struct default access is public
+};
+bool free_decision(int x);  // line 19: namespace scope counts as public

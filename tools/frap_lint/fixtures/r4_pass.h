@@ -1,0 +1,22 @@
+// R4 must-pass: annotated, private, non-decision, or out-of-scope cases.
+#pragma once
+struct AdmissionDecision {
+  bool admitted = false;  // member variable, not a function
+};
+class Controller {
+ public:
+  [[nodiscard]] AdmissionDecision try_admit(int spec);
+  [[nodiscard]] bool test(int spec) const;
+  void commit(int spec);       // void return: not a decision
+  double acceptance() const;   // double return: not auto-flagged
+  Controller(bool flag);       // constructor parameter, not a declaration
+
+ private:
+  bool internal_check() const;  // private: caller is the class itself
+  bool retrying_ = false;
+};
+[[nodiscard]] bool free_decision(int x);
+inline void body() {
+  bool ok(free_decision(1));  // local variable inside a function body
+  (void)ok;
+}

@@ -1,0 +1,17 @@
+// R5 must-flag: ambient entropy, wall clocks, stdout in library code.
+// Linted under a pretend path of src/sched/<name>.cpp.
+int seed_from_entropy();
+int bad_entropy() {
+  return seed_from_entropy() + rand();  // line 5
+}
+void bad_device() {
+  auto r = random_device_marker();  // placeholder; real match below
+}
+int random_device;  // line 10: std::random_device spelled anywhere
+long bad_clock() {
+  return time(nullptr);  // line 12
+}
+int random_device_marker();
+void bad_stdout(const char* msg) {
+  printf("%s", msg);  // line 16
+}

@@ -1,0 +1,15 @@
+// R5 must-pass: seeded Rng, member `.time()` access, buffer formatting.
+// Linted under a pretend path of src/sched/<name>.cpp. (Fixtures are lexed,
+// not compiled, so called members need no declarations here.)
+struct Rng {
+  explicit Rng(unsigned long seed);
+  double uniform01();
+};
+double sample(Rng& rng) { return rng.uniform01(); }
+double when(const Event& e) { return e.time(); }  // member, not wall clock
+double late(const Event* e) { return e->time(); }
+int snprintf_like(char* buf, unsigned long n, const char* fmt);
+void format(char* buf) { (void)snprintf_like(buf, 16, "x"); }
+struct Clock {
+  long time_point = 0;  // identifier merely containing "time"
+};

@@ -1,0 +1,21 @@
+// Suppression-handling fixture.
+double trailing(double c, double deadline) {
+  return c / deadline;  // frap-lint: allow(unsafe-division) -- fixture: trailing directive
+}
+double standalone(double c, double deadline) {
+  // frap-lint: allow(unsafe-division) -- fixture: standalone directive
+  // whose explanation continues on a second comment line before the code.
+  return c / deadline;
+}
+double missing_reason(double c, double deadline) {
+  // frap-lint: allow(unsafe-division)
+  return c / deadline;  // stays flagged: directive above lacks a reason
+}
+double wrong_rule(double c, double deadline) {
+  // frap-lint: allow(float-equality) -- fixture: wrong rule name
+  return c / deadline;  // stays flagged: directive allows a different rule
+}
+double unknown_rule(double c, double deadline) {
+  // frap-lint: allow(no-such-rule) -- fixture: unknown rule
+  return c / deadline;  // stays flagged: directive is malformed
+}

@@ -1,0 +1,177 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace frap::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first so greedy matching is correct.
+// `[[` / `]]` are lexed as single tokens for attribute detection; the rare
+// `a[b[i]]` mis-pairing this causes is harmless because no rule matches
+// brackets structurally except attribute scanning, which starts at `[[`.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "<=>", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "++",  "--",  "[[", "]]", "##",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_line = [&] { ++line; at_line_start = true; };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      advance_line();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: drop the whole logical line.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance_line();
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      out.push_back({TokKind::kComment, std::string(src.substr(i, j - i)),
+                     line, false});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') advance_line();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+
+    // Raw strings: R"delim( ... )delim", with optional L/u/u8/U prefix
+    // already consumed as part of the identifier scan below.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string_view id = src.substr(i, j - i);
+      const bool raw_prefix = (id == "R" || id == "LR" || id == "uR" ||
+                               id == "u8R" || id == "UR");
+      if (raw_prefix && j < n && src[j] == '"') {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(') delim += src[k++];
+        const std::string close = ")" + delim + "\"";
+        std::size_t end = src.find(close, k);
+        if (end == std::string_view::npos) end = n;
+        for (std::size_t p = i; p < end && p < n; ++p)
+          if (src[p] == '\n') advance_line();
+        out.push_back({TokKind::kString, "", line, false});
+        i = (end == n) ? n : end + close.size();
+        continue;
+      }
+      out.push_back({TokKind::kIdentifier, std::string(id), line, false});
+      i = j;
+      continue;
+    }
+
+    // Ordinary string / char literals (contents dropped).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') advance_line();  // unterminated; stay sane
+        ++j;
+      }
+      out.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit, "",
+                     line, false});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    // Numbers (pp-number-ish; covers hex, exponents, digit separators).
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      std::size_t j = i;
+      bool is_float = false;
+      const bool hex = (c == '0' && i + 1 < n &&
+                        (src[i + 1] == 'x' || src[i + 1] == 'X'));
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          if (d == '.') is_float = true;
+          if (!hex && (d == 'e' || d == 'E') && j + 1 < n &&
+              (src[j + 1] == '+' || src[j + 1] == '-' || digit(src[j + 1]))) {
+            is_float = true;
+            ++j;  // keep the sign with the exponent
+            if (src[j] == '+' || src[j] == '-') ++j;
+            continue;
+          }
+          if (hex && (d == 'p' || d == 'P')) {
+            is_float = true;
+            ++j;
+            if (j < n && (src[j] == '+' || src[j] == '-')) ++j;
+            continue;
+          }
+          ++j;
+          continue;
+        }
+        break;
+      }
+      out.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)),
+                     line, is_float});
+      i = j;
+      continue;
+    }
+
+    // Punctuators, longest match first.
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        out.push_back({TokKind::kPunct, std::string(p), line, false});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back({TokKind::kPunct, std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace frap::lint

@@ -1,0 +1,40 @@
+// Minimal C++ tokenizer for frap-lint.
+//
+// Produces just enough structure for the repo-specific rules in lint.h:
+// identifiers, numeric literals (with a float/integer distinction), multi-
+// character punctuators, and line comments (kept, because suppression
+// directives live there). String/char literals are lexed and skipped so
+// their contents can never trigger a rule; preprocessor directive lines are
+// dropped entirely (including backslash continuations); block comments are
+// dropped. This is NOT a conforming C++ lexer — it is deliberately small,
+// deterministic, and easy to audit, which matters more here than covering
+// trigraphs or exotic literal prefixes the frap tree never uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frap::lint {
+
+enum class TokKind {
+  kIdentifier,  // keywords are identifiers too; rules match by text
+  kNumber,
+  kPunct,
+  kString,   // text dropped; placeholder keeps operand positions honest
+  kCharLit,  // likewise
+  kComment,  // line comments only, full text including the leading //
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+  bool is_float = false;  // kNumber only: has '.' or a decimal exponent
+};
+
+// Tokenizes one translation unit. Never throws; unrecognized bytes are
+// skipped so a weird file degrades to fewer tokens, not a crash.
+std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace frap::lint

@@ -1,0 +1,592 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "lexer.h"
+
+namespace frap::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule names and file scoping.
+
+constexpr const char* kUnsafeDivision = "unsafe-division";       // R1
+constexpr const char* kRederivedAdmission = "rederived-admission";  // R2
+constexpr const char* kFloatEquality = "float-equality";         // R3
+constexpr const char* kMissingNodiscard = "missing-nodiscard";   // R4
+constexpr const char* kNondeterminism = "nondeterminism";        // R5
+constexpr const char* kBadSuppression = "bad-suppression";
+
+bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+bool ends_with(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.substr(s.size() - p.size()) == p;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return lower(haystack).find(lower(needle)) != std::string::npos;
+}
+
+// R1: files allowed to spell the guarded divisions out directly.
+bool r1_sanctioned(std::string_view f) {
+  return f == "src/core/feasible_region.h" ||
+         f == "src/core/feasible_region.cpp" || f == "src/util/math.h";
+}
+
+// R2: the single home of the admission comparison.
+bool r2_sanctioned(std::string_view f) {
+  return f == "src/core/feasible_region.h";
+}
+
+// R4 only audits the core public headers.
+bool r4_in_scope(std::string_view f) {
+  return starts_with(f, "src/core/") && ends_with(f, ".h");
+}
+
+// R5 only audits library code; executables (bench/examples/tests) may print
+// and measure wall time freely. util/rng.* is the sanctioned RNG home.
+bool r5_in_scope(std::string_view f) {
+  return starts_with(f, "src/") && !starts_with(f, "src/util/rng.");
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers. All rules run over `sig`, the comment-free token view.
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdentifier && t.text == s;
+}
+
+// Skips a balanced (...) / [...] / {...} group; `i` indexes the opener.
+// Returns the index one past the closer (or toks.size() when unbalanced).
+std::size_t skip_balanced(const Tokens& toks, std::size_t i) {
+  const std::string& open = toks[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// Is the numeric literal exactly one? (1, 1., 1.0, 1.00, 1e0, ...)
+bool is_one(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  return std::strtod(t.text.c_str(), nullptr) == 1.0;  // exact by intent
+}
+
+// ---------------------------------------------------------------------------
+// R1 — unsafe-division.
+//
+// Flags `/` whose denominator is (a) a parenthesized expression of the
+// shape (1 - ...), i.e. the 1/(1−U) family that saturates as U -> 1, or
+// (b) a primary expression naming a deadline (any identifier containing
+// "deadline", case-insensitive) — divisions that must instead route through
+// the saturation-safe helpers (util::safe_div / safe_inv, stage_delay_factor,
+// FeasibleRegion) so a zero/negative denominator degrades to +inf instead
+// of UB-adjacent garbage that an admission test then trusts.
+void rule_unsafe_division(const std::string& file, const Tokens& sig,
+                          std::vector<Finding>& out) {
+  if (r1_sanctioned(file)) return;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (!is_punct(sig[i], "/") && !is_punct(sig[i], "/=")) continue;
+    std::size_t j = i + 1;
+    if (j >= sig.size()) break;
+    if (is_punct(sig[j], "(")) {
+      const std::size_t end = skip_balanced(sig, j);
+      // Shape test: the group starts `(1 -`.
+      if (j + 2 < end && is_one(sig[j + 1]) && is_punct(sig[j + 2], "-")) {
+        out.push_back({file, sig[i].line, kUnsafeDivision,
+                       "division by a (1 - ...) denominator; use the "
+                       "saturation-safe helpers (stage_delay_factor, "
+                       "FeasibleRegion, util::safe_div) or suppress with a "
+                       "reason"});
+      }
+      for (std::size_t k = j + 1; k + 1 < end; ++k) {
+        if (is_ident(sig[k]) && contains_ci(sig[k].text, "deadline")) {
+          out.push_back({file, sig[i].line, kUnsafeDivision,
+                         "division by deadline '" + sig[k].text +
+                             "'; route through util::safe_div/safe_inv so a "
+                             "non-positive deadline rejects instead of "
+                             "corrupting the admission arithmetic"});
+          break;
+        }
+      }
+      i = end - 1;
+      continue;
+    }
+    // Unparenthesized primary: identifier chain with optional call suffix.
+    bool flagged = false;
+    while (j < sig.size()) {
+      if (is_ident(sig[j])) {
+        if (!flagged && contains_ci(sig[j].text, "deadline")) {
+          out.push_back({file, sig[j].line, kUnsafeDivision,
+                         "division by deadline '" + sig[j].text +
+                             "'; route through util::safe_div/safe_inv so a "
+                             "non-positive deadline rejects instead of "
+                             "corrupting the admission arithmetic"});
+          flagged = true;
+        }
+        ++j;
+      } else if (is_punct(sig[j], "::") || is_punct(sig[j], ".") ||
+                 is_punct(sig[j], "->")) {
+        ++j;
+      } else if (is_punct(sig[j], "(") || is_punct(sig[j], "[")) {
+        j = skip_balanced(sig, j);
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2 — rederived-admission.
+//
+// Flags relational comparisons (<=, <, >=, >) where either primary operand
+// names an LHS (identifier containing "lhs", case-insensitive). PR 1's bug
+// class: three code paths each spelling `lhs <= bound` drifted on boundary
+// ties; FeasibleRegion::admits()/admits_lhs() is now the single predicate.
+void rule_rederived_admission(const std::string& file, const Tokens& sig,
+                              std::vector<Finding>& out) {
+  if (r2_sanctioned(file)) return;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& t = sig[i];
+    if (!(is_punct(t, "<=") || is_punct(t, ">=") || is_punct(t, "<") ||
+          is_punct(t, ">")))
+      continue;
+    bool lhs_named = false;
+    // Left operand: walk back over a call/index suffix and the id-chain.
+    if (i > 0) {
+      std::size_t k = i - 1;
+      // Balance back over trailing (...) / [...] groups.
+      while (is_punct(sig[k], ")") || is_punct(sig[k], "]")) {
+        const std::string close = sig[k].text;
+        const std::string open = close == ")" ? "(" : "[";
+        int depth = 0;
+        while (true) {
+          if (is_punct(sig[k], close)) ++depth;
+          if (is_punct(sig[k], open) && --depth == 0) break;
+          if (k == 0) break;
+          --k;
+        }
+        if (k == 0) break;
+        --k;
+      }
+      while (true) {
+        if (is_ident(sig[k]) && contains_ci(sig[k].text, "lhs"))
+          lhs_named = true;
+        if (k == 0) break;
+        const Token& p = sig[k - 1];
+        if (is_ident(sig[k]) &&
+            (is_punct(p, "::") || is_punct(p, ".") || is_punct(p, "->"))) {
+          if (k < 2) break;
+          k -= 2;
+        } else {
+          break;
+        }
+      }
+    }
+    // Right operand: first primary expression.
+    std::size_t j = i + 1;
+    while (j < sig.size() &&
+           (is_punct(sig[j], "-") || is_punct(sig[j], "+") ||
+            is_punct(sig[j], "!")))
+      ++j;
+    while (j < sig.size()) {
+      if (is_ident(sig[j])) {
+        if (contains_ci(sig[j].text, "lhs")) lhs_named = true;
+        ++j;
+      } else if (is_punct(sig[j], "::") || is_punct(sig[j], ".") ||
+                 is_punct(sig[j], "->")) {
+        ++j;
+      } else if (is_punct(sig[j], "(") || is_punct(sig[j], "[")) {
+        j = skip_balanced(sig, j);
+      } else {
+        break;
+      }
+    }
+    if (lhs_named) {
+      out.push_back({file, t.line, kRederivedAdmission,
+                     "re-derived admission comparison on an lhs value; call "
+                     "FeasibleRegion::admits()/admits_lhs() so every "
+                     "decision path agrees on boundary ties"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 — float-equality.
+//
+// Flags ==/!= with a floating-point literal operand (either side, allowing
+// a unary sign). Exact comparison against a computed double is the sharp-
+// threshold failure mode; util::almost_equal / util::time_close are the
+// sanctioned comparators.
+void rule_float_equality(const std::string& file, const Tokens& sig,
+                         std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (!is_punct(sig[i], "==") && !is_punct(sig[i], "!=")) continue;
+    bool flt = false;
+    if (i > 0 && sig[i - 1].kind == TokKind::kNumber && sig[i - 1].is_float)
+      flt = true;
+    std::size_t j = i + 1;
+    while (j < sig.size() &&
+           (is_punct(sig[j], "-") || is_punct(sig[j], "+")))
+      ++j;
+    if (j < sig.size() && sig[j].kind == TokKind::kNumber &&
+        sig[j].is_float)
+      flt = true;
+    if (flt) {
+      out.push_back({file, sig[i].line, kFloatEquality,
+                     "raw floating-point " + sig[i].text +
+                         " against a literal; use util::almost_equal / "
+                         "util::time_close (or suppress with the reason the "
+                         "exact compare is sound)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4 — missing-nodiscard.
+//
+// In src/core/*.h, a public function (namespace scope, or public class
+// scope) whose return type is a decision type must carry [[nodiscard]]:
+// dropping an admission decision on the floor is how infeasible tasks walk
+// in. Heuristic single-token return types only; compound returns (e.g.
+// const std::vector<AdmissionDecision>&) are annotated by hand and kept
+// honest by review, not by this rule.
+bool is_decision_type(const Token& t) {
+  return is_ident(t, "bool") || is_ident(t, "AdmissionDecision") ||
+         is_ident(t, "AdaptiveDecision");
+}
+
+void rule_missing_nodiscard(const std::string& file, const Tokens& sig,
+                            std::vector<Finding>& out) {
+  if (!r4_in_scope(file)) return;
+
+  enum class Scope { kNamespace, kPublic, kPrivate, kOpaque };
+  std::vector<Scope> scopes;  // empty = file scope (public)
+  Scope pending = Scope::kOpaque;
+  bool pending_set = false;
+
+  auto current = [&] {
+    return scopes.empty() ? Scope::kNamespace : scopes.back();
+  };
+  auto decl_position = [&] {
+    const Scope s = current();
+    return s == Scope::kNamespace || s == Scope::kPublic;
+  };
+
+  bool at_decl_start = true;  // after { } ; or an access-specifier colon
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& t = sig[i];
+
+    if (is_ident(t, "namespace")) {
+      pending = Scope::kNamespace;
+      pending_set = true;
+      continue;
+    }
+    if (is_ident(t, "class") || is_ident(t, "struct")) {
+      // `enum class` was already claimed by the enum branch below.
+      pending = is_ident(t, "struct") ? Scope::kPublic : Scope::kPrivate;
+      pending_set = true;
+      continue;
+    }
+    if (is_ident(t, "enum")) {
+      pending = Scope::kOpaque;
+      pending_set = true;
+      if (i + 1 < sig.size() && (is_ident(sig[i + 1], "class") ||
+                                 is_ident(sig[i + 1], "struct")))
+        ++i;
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      pending_set = false;  // forward declaration or plain statement
+      at_decl_start = true;
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      scopes.push_back(pending_set ? pending : Scope::kOpaque);
+      pending_set = false;
+      at_decl_start = true;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (!scopes.empty()) scopes.pop_back();
+      at_decl_start = true;
+      continue;
+    }
+    if ((is_ident(t, "public") || is_ident(t, "private") ||
+         is_ident(t, "protected")) &&
+        i + 1 < sig.size() && is_punct(sig[i + 1], ":")) {
+      if (!scopes.empty())
+        scopes.back() =
+            is_ident(t, "public") ? Scope::kPublic : Scope::kPrivate;
+      ++i;
+      at_decl_start = true;
+      continue;
+    }
+
+    if (!at_decl_start) continue;
+    if (!decl_position()) {
+      at_decl_start = false;
+      continue;
+    }
+
+    // Parse one would-be declaration: attributes + specifiers + return type
+    // + name + '('.
+    std::size_t j = i;
+    bool has_nodiscard = false;
+    bool is_friend = false;
+    while (j < sig.size()) {
+      if (is_punct(sig[j], "[[")) {
+        std::size_t k = j;
+        while (k < sig.size() && !is_punct(sig[k], "]]")) {
+          if (is_ident(sig[k], "nodiscard")) has_nodiscard = true;
+          ++k;
+        }
+        j = k + 1;
+        continue;
+      }
+      if (is_ident(sig[j], "static") || is_ident(sig[j], "inline") ||
+          is_ident(sig[j], "constexpr") || is_ident(sig[j], "consteval") ||
+          is_ident(sig[j], "virtual") || is_ident(sig[j], "explicit") ||
+          is_ident(sig[j], "extern") || is_ident(sig[j], "friend")) {
+        if (is_ident(sig[j], "friend")) is_friend = true;
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (!is_friend && j + 2 < sig.size() && is_decision_type(sig[j]) &&
+        is_ident(sig[j + 1]) && !is_ident(sig[j + 1], "operator") &&
+        is_punct(sig[j + 2], "(") && !has_nodiscard) {
+      out.push_back({file, sig[j + 1].line, kMissingNodiscard,
+                     "public decision-returning API '" + sig[j + 1].text +
+                         "' lacks [[nodiscard]]; a dropped decision admits "
+                         "by accident"});
+    }
+    at_decl_start = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5 — nondeterminism.
+//
+// Library code must be replayable bit-for-bit from an explicit seed and must
+// not write to stdout (sinks take an ostream&). Flags ambient entropy
+// (rand/srand/drand48/random_device), wall clocks (time(), clock(),
+// chrono::*_clock), and stdout writes (cout/printf/puts/putchar).
+void rule_nondeterminism(const std::string& file, const Tokens& sig,
+                         std::vector<Finding>& out) {
+  if (!r5_in_scope(file)) return;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& t = sig[i];
+    if (!is_ident(t)) continue;
+    const bool member_access =
+        i > 0 && (is_punct(sig[i - 1], ".") || is_punct(sig[i - 1], "->"));
+
+    if (t.text == "rand" || t.text == "srand" || t.text == "drand48" ||
+        t.text == "random_device") {
+      if (!member_access)
+        out.push_back({file, t.line, kNondeterminism,
+                       "'" + t.text +
+                           "' in library code; all randomness must flow "
+                           "through an explicitly seeded util::Rng"});
+      continue;
+    }
+    if ((t.text == "time" || t.text == "clock") && !member_access &&
+        i + 1 < sig.size() && is_punct(sig[i + 1], "(")) {
+      out.push_back({file, t.line, kNondeterminism,
+                     "wall-clock '" + t.text +
+                         "()' in library code; simulated time comes from "
+                         "sim::Simulator::now()"});
+      continue;
+    }
+    if (t.text == "system_clock" || t.text == "steady_clock" ||
+        t.text == "high_resolution_clock") {
+      out.push_back({file, t.line, kNondeterminism,
+                     "chrono wall clock '" + t.text +
+                         "' in library code; timing belongs in bench/, "
+                         "simulated time in sim::Simulator"});
+      continue;
+    }
+    if (t.text == "cout" || t.text == "printf" || t.text == "puts" ||
+        t.text == "putchar") {
+      if (!member_access)
+        out.push_back({file, t.line, kNondeterminism,
+                       "stdout write ('" + t.text +
+                           "') in library code; report through an ostream& "
+                           "parameter or metrics counters"});
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+struct LineSuppression {
+  std::set<std::string> rules;  // canonical names allowed on that line
+};
+
+// Parses every `// frap-lint:` comment. Trailing comments attach to their
+// own line; standalone comments (no code token on the line) attach to the
+// next line. Malformed directives become bad-suppression findings.
+std::map<int, LineSuppression> collect_suppressions(
+    const std::string& file, const Tokens& all, const Tokens& sig,
+    std::vector<Finding>& out) {
+  std::set<int> code_lines;
+  for (const Token& t : sig) code_lines.insert(t.line);
+
+  std::map<int, LineSuppression> by_line;
+  for (const Token& t : all) {
+    if (t.kind != TokKind::kComment) continue;
+    const std::size_t tag = t.text.find("frap-lint:");
+    if (tag == std::string::npos) continue;
+    std::string_view rest = std::string_view(t.text).substr(tag + 10);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+    const bool is_allow = starts_with(rest, "allow(");
+    const std::size_t close = rest.find(')');
+    const std::size_t dashes = rest.find(" -- ");
+    std::set<std::string> rules;
+    bool ok = is_allow && close != std::string::npos && dashes != std::string::npos &&
+              dashes > close && dashes + 4 < rest.size();
+    if (ok) {
+      std::string_view list = rest.substr(6, close - 6);
+      while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        std::string_view one = list.substr(0, comma);
+        while (!one.empty() && one.front() == ' ') one.remove_prefix(1);
+        while (!one.empty() && one.back() == ' ') one.remove_suffix(1);
+        const std::string canon = canonical_rule(one);
+        if (canon.empty()) {
+          ok = false;
+          break;
+        }
+        rules.insert(canon);
+        list = comma == std::string_view::npos ? std::string_view{}
+                                               : list.substr(comma + 1);
+      }
+      if (rules.empty()) ok = false;
+    }
+    if (!ok) {
+      out.push_back(
+          {file, t.line, kBadSuppression,
+           "malformed frap-lint directive; expected `// frap-lint: "
+           "allow(<rule>[,<rule>]) -- <reason>` with a non-empty reason"});
+      continue;
+    }
+    // Trailing directives bind to their own line; standalone directives
+    // bind to the next code line (comment continuation lines in between
+    // are skipped, so a directive may open a multi-line explanation).
+    if (code_lines.count(t.line)) {
+      by_line[t.line].rules.insert(rules.begin(), rules.end());
+    } else {
+      const auto next = code_lines.upper_bound(t.line);
+      if (next != code_lines.end())
+        by_line[*next].rules.insert(rules.begin(), rules.end());
+    }
+  }
+  return by_line;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      kUnsafeDivision, kRederivedAdmission, kFloatEquality,
+      kMissingNodiscard, kNondeterminism, kBadSuppression};
+  return kRules;
+}
+
+std::string canonical_rule(std::string_view name) {
+  const std::string n = lower(name);
+  if (n == "r1" || n == kUnsafeDivision) return kUnsafeDivision;
+  if (n == "r2" || n == kRederivedAdmission) return kRederivedAdmission;
+  if (n == "r3" || n == kFloatEquality) return kFloatEquality;
+  if (n == "r4" || n == kMissingNodiscard) return kMissingNodiscard;
+  if (n == "r5" || n == kNondeterminism) return kNondeterminism;
+  return "";
+}
+
+std::vector<Finding> lint_source(const std::string& relpath,
+                                 std::string_view src) {
+  const Tokens all = tokenize(src);
+  Tokens sig;
+  sig.reserve(all.size());
+  for (const Token& t : all)
+    if (t.kind != TokKind::kComment) sig.push_back(t);
+
+  std::vector<Finding> out;
+  rule_unsafe_division(relpath, sig, out);
+  rule_rederived_admission(relpath, sig, out);
+  rule_float_equality(relpath, sig, out);
+  rule_missing_nodiscard(relpath, sig, out);
+  rule_nondeterminism(relpath, sig, out);
+
+  const auto suppressions = collect_suppressions(relpath, all, sig, out);
+  for (Finding& f : out) {
+    if (f.rule == kBadSuppression) continue;  // never suppressible
+    const auto it = suppressions.find(f.line);
+    if (it != suppressions.end() && it->second.rules.count(f.rule))
+      f.suppressed = true;
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+std::set<std::string> load_baseline(const std::string& path,
+                                    std::string* error) {
+  std::set<std::string> entries;
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open baseline file: " + path;
+    return entries;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
+                             line.back() == '\t'))
+      line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && (line[start] == ' ' || line[start] == '\t'))
+      ++start;
+    if (start < line.size()) entries.insert(line.substr(start));
+  }
+  return entries;
+}
+
+void apply_baseline(std::vector<Finding>& findings,
+                    const std::set<std::string>& baseline) {
+  for (Finding& f : findings) {
+    if (f.suppressed) continue;
+    if (baseline.count(f.file + ":" + f.rule)) f.baselined = true;
+  }
+}
+
+}  // namespace frap::lint

@@ -1,0 +1,79 @@
+// frap-lint: repo-specific static analysis for the frap tree.
+//
+// The admission predicate Σ_j f(U_j) <= α(1 − Σ_j β_j) has sharp threshold
+// behavior: a NaN from inf − inf, a saturated 1/(1 − U), or a re-derived
+// `lhs <= bound` comparison that drifts from FeasibleRegion::admits() can
+// silently admit infeasible tasks. Generic linters cannot express these
+// invariants; this one can. Rules (docs/static_analysis.md has the full
+// rationale and the PR-1 bug each rule guards against):
+//
+//   R1 unsafe-division     division whose denominator is a deadline or has
+//                          the (1 − U) shape, outside the sanctioned
+//                          saturation-safe helpers (feasible_region.*,
+//                          util/math.h).
+//   R2 rederived-admission relational comparison involving an `lhs`-named
+//                          operand outside FeasibleRegion (feasible_region.h)
+//                          — every admission decision must funnel through
+//                          FeasibleRegion::admits()/admits_lhs().
+//   R3 float-equality      raw ==/!= against a floating-point literal; use
+//                          util::almost_equal / util::time_close.
+//   R4 missing-nodiscard   public API in src/core/*.h returning a decision
+//                          type (bool, AdmissionDecision, AdaptiveDecision)
+//                          without [[nodiscard]].
+//   R5 nondeterminism      rand()/random_device/time()/wall clocks or
+//                          stdout writes in library code (src/) outside
+//                          util/rng.*; experiments must be replayable
+//                          bit-for-bit from an explicit seed.
+//
+// Suppression: `// frap-lint: allow(<rule>[,<rule>...]) -- <reason>` on the
+// offending line (trailing) or on its own line immediately above. The
+// reason is mandatory; a directive without one is itself reported
+// (bad-suppression) and cannot be silenced.
+//
+// Baseline: a checked-in file of `<path>:<rule>` lines grandfathers known
+// findings without editing the offending files; see load_baseline().
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frap::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, as handed to lint_source()
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;  // matched an inline allow() directive
+  bool baselined = false;   // matched a baseline entry
+};
+
+// A finding still requiring action (neither suppressed nor baselined).
+inline bool active(const Finding& f) { return !f.suppressed && !f.baselined; }
+
+// Canonical rule names, R1..R5 order, plus the directive-syntax rule.
+const std::vector<std::string>& all_rules();
+
+// Maps "r1".."r5" aliases and canonical names to canonical names; returns
+// empty string for unknown rules.
+std::string canonical_rule(std::string_view name);
+
+// Runs every rule over one file. `relpath` must be repo-relative with '/'
+// separators (e.g. "src/core/admission.cpp"); rule scoping and sanctioned-
+// file decisions key off it. Inline suppressions are already applied to the
+// returned findings; baselines are not (see apply_baseline).
+std::vector<Finding> lint_source(const std::string& relpath,
+                                 std::string_view src);
+
+// Baseline file: one `<path>:<rule>` entry per line, `#` comments and blank
+// lines ignored. Returns the entry set; on I/O failure sets *error.
+std::set<std::string> load_baseline(const std::string& path,
+                                    std::string* error);
+
+// Marks findings whose `<file>:<rule>` key is in the baseline.
+void apply_baseline(std::vector<Finding>& findings,
+                    const std::set<std::string>& baseline);
+
+}  // namespace frap::lint

@@ -1,0 +1,147 @@
+// frap_lint driver.
+//
+//   frap_lint --root <repo-root> [--baseline <file>] [--emit-baseline]
+//             <dir-or-file>...
+//
+// Walks each argument (relative to --root), lints every .h/.hpp/.cc/.cpp,
+// and prints active findings as `path:line: [rule] message`. Exit status:
+// 0 when clean (suppressed/baselined findings are reported but do not
+// fail), 1 when active findings remain, 2 on usage or I/O errors.
+// --emit-baseline prints `path:rule` lines for the active findings instead,
+// ready to append to tools/frap_lint/baseline.txt.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using frap::lint::Finding;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+// Repo-relative path with '/' separators.
+std::string rel(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: frap_lint --root <repo-root> [--baseline <file>] "
+               "[--emit-baseline] <dir-or-file>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  std::string baseline_path;
+  bool emit_baseline = false;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--emit-baseline") {
+      emit_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : frap::lint::all_rules())
+        std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (root.empty() || targets.empty()) return usage();
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string err;
+    baseline = frap::lint::load_baseline(baseline_path, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "frap_lint: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& t : targets) {
+    const fs::path p = root / t;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintable(it->path()))
+          files.push_back(it->path());
+      }
+    } else if (fs::is_regular_file(p, ec) && lintable(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "frap_lint: no such file or directory: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t active = 0, suppressed = 0, baselined = 0;
+  std::set<std::string> baseline_out;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "frap_lint: cannot read %s\n",
+                   f.string().c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string src = ss.str();
+
+    auto findings = frap::lint::lint_source(rel(root, f), src);
+    frap::lint::apply_baseline(findings, baseline);
+    for (const Finding& fd : findings) {
+      if (fd.suppressed) {
+        ++suppressed;
+        continue;
+      }
+      if (fd.baselined) {
+        ++baselined;
+        continue;
+      }
+      ++active;
+      if (emit_baseline) {
+        baseline_out.insert(fd.file + ":" + fd.rule);
+      } else {
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", fd.file.c_str(), fd.line,
+                     fd.rule.c_str(), fd.message.c_str());
+      }
+    }
+  }
+
+  if (emit_baseline) {
+    for (const std::string& e : baseline_out) std::printf("%s\n", e.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "frap_lint: %zu file(s), %zu active finding(s), %zu "
+               "suppressed, %zu baselined\n",
+               files.size(), active, suppressed, baselined);
+  return active == 0 ? 0 : 1;
+}
