@@ -18,6 +18,7 @@
 
 #include "core/admission.h"
 #include "core/feasible_region.h"
+#include "core/reference_admitter.h"
 #include "core/stage_delay.h"
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
@@ -124,9 +125,10 @@ void AdmissionReferencePath(benchmark::State& state) {
   core::AdmissionController controller(
       sim, tracker, core::FeasibleRegion::deadline_monotonic(kSweepStages));
   prefill_near_boundary(controller, kSweepStages);
+  frap::testing::ReferenceAdmitter reference(controller);
   const auto probe = sparse_task(2, kSweepStages, kProbeCompute);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.try_admit_reference(probe));
+    benchmark::DoNotOptimize(reference.try_admit(probe));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }

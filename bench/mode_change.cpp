@@ -63,16 +63,16 @@ int main() {
     return w >= kWindows ? kWindows - 1 : w;
   };
 
-  waiting.set_decision_callback([&](const core::TaskSpec& spec, bool ok,
-                                    Time arrival, Time) {
-    auto& w = windows[window_of(arrival)];
-    if (!ok) {
-      ++w.rejected;
-      return;
-    }
-    ++w.admitted;
-    runtime.start_task(spec, arrival + spec.deadline);
-  });
+  waiting.set_decision_callback(
+      [&](const core::TaskSpec& spec, const core::AdmissionDecision& d) {
+        auto& w = windows[window_of(d.arrival)];
+        if (!d.admitted) {
+          ++w.rejected;
+          return;
+        }
+        ++w.admitted;
+        runtime.start_task(spec, d.arrival + spec.deadline);
+      });
   runtime.set_on_task_complete(
       [&](const core::TaskSpec&, Duration, bool missed) {
         if (missed) ++misses;

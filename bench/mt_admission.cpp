@@ -1,0 +1,156 @@
+// Multi-threaded admission throughput: the sharded service's uncontended
+// hot path at 1/2/4/8 threads against the single-threaded PR-1 fast path.
+//
+// Scenario mirrors micro_admission's AdmissionFastPath steady state scaled
+// into each shard's quota slice: every shard is prefilled to ~94% of the
+// balanced per-stage cap IN ITS SCALED VIEW, and each thread hammers its
+// own home shard with a sparse probe that is rejected right at the
+// boundary — the full test runs, nothing commits, state stays constant.
+// Fallback and auto-rebalance are disabled so the measurement isolates the
+// zero-cross-shard-synchronization claim: attempts/sec should scale with
+// threads until the core count runs out (on a single-core container expect
+// flat real-time throughput; per-thread CPU time is the honest signal).
+//
+// Acceptance target (ISSUE): >= 3x aggregate attempts/sec at 8 threads vs
+// MtSingleThreadFastPath, on hardware with >= 8 cores.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/stage_delay.h"
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "service/sharded_admission.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace frap;
+
+constexpr std::size_t kStages = 5;
+constexpr std::size_t kShards = 8;
+constexpr double kProbeContribution = 0.1;  // rejected at the boundary
+
+// A task whose per-stage contribution (compute / deadline) is `c[j]`.
+core::TaskSpec contribution_task(std::uint64_t id,
+                                 const std::vector<double>& c) {
+  core::TaskSpec spec;
+  spec.id = id;
+  spec.deadline = 1.0;
+  spec.stages.resize(c.size());
+  for (std::size_t j = 0; j < c.size(); ++j) spec.stages[j].compute = c[j];
+  return spec;
+}
+
+// Fills every stage to ~94% of the balanced cap in the tested view. For the
+// sharded service the fill contribution is scaled by the shard's weight so
+// the shard-local (1/w-scaled) utilization matches the single-threaded
+// scenario exactly.
+std::vector<double> near_boundary_fill(double weight) {
+  const double cap = core::balanced_stage_bound(kStages);
+  return std::vector<double>(kStages, 0.94 * cap * weight);
+}
+
+// --- single-threaded PR-1 fast path (the baseline for the speedup ratio) ---
+
+void MtSingleThreadFastPath(benchmark::State& state) {
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, kStages);
+  core::AdmissionController controller(
+      sim, tracker, core::FeasibleRegion::deadline_monotonic(kStages));
+  const auto fill = contribution_task(1, near_boundary_fill(1.0));
+  if (!controller.try_admit(fill, 0.0).admitted) std::abort();
+
+  std::vector<double> c(kStages, 0.0);
+  c[0] = kProbeContribution;
+  const auto probe = contribution_task(2, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.try_admit(probe, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(MtSingleThreadFastPath);
+
+// --- sharded hot path, T threads on K=8 shards --------------------------
+
+void MtShardedHotPath(benchmark::State& state) {
+  static std::unique_ptr<service::ShardedAdmissionService> svc;
+  if (state.thread_index() == 0) {
+    svc = std::make_unique<service::ShardedAdmissionService>(
+        core::FeasibleRegion::deadline_monotonic(kStages),
+        service::ShardedAdmissionConfig{.num_shards = kShards,
+                                        .enable_fallback = false,
+                                        .rebalance_interval = 0});
+    const double w = 1.0 / static_cast<double>(kShards);
+    for (std::size_t k = 0; k < kShards; ++k) {
+      // id = kShards + k routes to shard k and stays clear of probe ids.
+      const auto fill =
+          contribution_task(kShards + k, near_boundary_fill(w));
+      if (!svc->try_admit(fill, 0.0).admitted) std::abort();
+    }
+  }
+
+  // Thread t probes its own home shard: contribution 0.1 in the scaled
+  // view, rejected at the boundary like the single-threaded scenario.
+  const double w = 1.0 / static_cast<double>(kShards);
+  std::vector<double> c(kStages, 0.0);
+  c[0] = kProbeContribution * w;
+  const auto probe = contribution_task(
+      static_cast<std::uint64_t>(state.thread_index()), c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc->try_admit(probe, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  if (state.thread_index() == 0) {
+    const auto s = svc->stats();
+    state.counters["rejects"] = static_cast<double>(s.total_rejects());
+    svc.reset();
+  }
+}
+BENCHMARK(MtShardedHotPath)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --- sharded global fallback path (for contrast: every probe takes the
+// --- global lock, so this should NOT scale) ------------------------------
+
+void MtShardedFallbackPath(benchmark::State& state) {
+  static std::unique_ptr<service::ShardedAdmissionService> svc;
+  if (state.thread_index() == 0) {
+    svc = std::make_unique<service::ShardedAdmissionService>(
+        core::FeasibleRegion::deadline_monotonic(kStages),
+        service::ShardedAdmissionConfig{.num_shards = kShards,
+                                        .enable_fallback = true,
+                                        .rebalance_interval = 0});
+    const double w = 1.0 / static_cast<double>(kShards);
+    for (std::size_t k = 0; k < kShards; ++k) {
+      const auto fill =
+          contribution_task(kShards + k, near_boundary_fill(w));
+      if (!svc->try_admit(fill, 0.0).admitted) std::abort();
+    }
+  }
+
+  // A probe too large for any slice OR the whole region: rejected on the
+  // home shard, retried (and rejected again) under the global lock.
+  std::vector<double> c(kStages, 2.0);
+  const auto probe = contribution_task(
+      static_cast<std::uint64_t>(state.thread_index()), c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc->try_admit(probe, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  if (state.thread_index() == 0) svc.reset();
+}
+BENCHMARK(MtShardedFallbackPath)->Threads(1)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

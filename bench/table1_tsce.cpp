@@ -74,12 +74,12 @@ TsceResult run_tsce(std::size_t num_tracks, Duration sim_end,
       });
 
   waiting.set_decision_callback(
-      [&](const core::TaskSpec& spec, bool admitted, Time arrival, Time) {
-        if (!admitted) {
+      [&](const core::TaskSpec& spec, const core::AdmissionDecision& d) {
+        if (!d.admitted) {
           ++result.track_rejections;
           return;
         }
-        runtime.start_task(spec, arrival + spec.deadline);
+        runtime.start_task(spec, d.arrival + spec.deadline);
       });
 
   // --- critical streams: pre-certified, run against the reservation ---

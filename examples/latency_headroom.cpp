@@ -49,7 +49,7 @@ int main() {
     req.deadline = kDeadline;
     req.stages.resize(kStages);
     for (auto& s : req.stages) s.compute = rng->exponential(10 * kMilli);
-    if (admission.try_admit(req).admitted) {
+    if (admission.try_admit(req, sim.now()).admitted) {
       runtime.start_task(req, sim.now() + req.deadline);
     }
   };

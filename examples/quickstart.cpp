@@ -46,7 +46,7 @@ int main() {
     if (t > horizon) return;
     sim.at(t, [&] {
       const core::TaskSpec task = gen.next_task();
-      const auto decision = admission.try_admit(task);
+      const auto decision = admission.try_admit(task, sim.now());
       if (decision.admitted) {
         runtime.start_task(task, sim.now() + task.deadline);
       }

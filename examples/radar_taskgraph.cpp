@@ -65,7 +65,7 @@ int main() {
   // ~135% of its capacity — the admission controller earns its keep.
   workload::schedule_poisson(sim, 90.0, horizon, 4242, [&](Time) {
     const auto contact = radar_contact(next_id++, rng);
-    if (admission.try_admit(contact).admitted) {
+    if (admission.try_admit(contact, sim.now()).admitted) {
       runtime.start_task(contact, sim.now() + contact.deadline);
     }
   });

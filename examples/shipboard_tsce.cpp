@@ -57,14 +57,14 @@ int main() {
   std::uint64_t critical_misses = 0;
   std::uint64_t track_misses = 0;
 
-  waiting.set_decision_callback([&](const core::TaskSpec& spec, bool ok,
-                                    Time arrival, Time) {
-    if (!ok) {
-      ++track_rejections;
-      return;
-    }
-    runtime.start_task(spec, arrival + spec.deadline);
-  });
+  waiting.set_decision_callback(
+      [&](const core::TaskSpec& spec, const core::AdmissionDecision& d) {
+        if (!d.admitted) {
+          ++track_rejections;
+          return;
+        }
+        runtime.start_task(spec, d.arrival + spec.deadline);
+      });
   runtime.set_on_task_complete(
       [&](const core::TaskSpec& spec, Duration, bool missed) {
         if (!missed) return;

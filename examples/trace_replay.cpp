@@ -44,7 +44,7 @@ ReplayResult replay(const workload::ArrivalTrace& trace, bool approximate,
   std::uint64_t admitted = 0;
   for (const auto& rec : trace.records()) {
     sim.at(rec.time, [&] {
-      if (controller.try_admit(rec.task).admitted) {
+      if (controller.try_admit(rec.task, sim.now()).admitted) {
         ++admitted;
         runtime.start_task(rec.task, sim.now() + rec.task.deadline);
       }

@@ -104,7 +104,7 @@ int main() {
         for (std::size_t j = 0; j < kTiers; ++j) {
           req.stages[j].compute = rng.exponential(cls.mean_compute[j]);
         }
-        if (admission.try_admit(req).admitted) {
+        if (admission.try_admit(req, sim.now()).admitted) {
           ++cls.admitted;
           runtime.start_task(req, sim.now() + req.deadline);
         }

@@ -1,12 +1,22 @@
 #include "core/admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/stage_delay.h"
 #include "util/check.h"
 #include "util/math.h"
 
 namespace frap::core {
+
+namespace {
+
+AdmissionDecision::Reason reject_reason(double lhs_with_task) {
+  return std::isinf(lhs_with_task) ? AdmissionDecision::Reason::kStageSaturated
+                                   : AdmissionDecision::Reason::kRegionFull;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- exact ---
 
@@ -25,15 +35,26 @@ void AdmissionController::set_approximate_means(
   mean_compute_ = std::move(mean_compute);
 }
 
+void AdmissionController::set_contribution_scale(double scale) {
+  FRAP_EXPECTS(scale > 0 && std::isfinite(scale));
+  contribution_scale_ = scale;
+}
+
 std::vector<double> AdmissionController::contributions_for(
     const TaskSpec& spec) const {
   FRAP_EXPECTS(spec.valid());
   FRAP_EXPECTS(spec.num_stages() == region_.num_stages());
-  if (mean_compute_.empty()) return spec.contributions();
   std::vector<double> c;
-  c.reserve(mean_compute_.size());
-  for (Duration m : mean_compute_)
-    c.push_back(util::safe_div(m, spec.deadline));
+  if (mean_compute_.empty()) {
+    c = spec.contributions();
+  } else {
+    c.reserve(mean_compute_.size());
+    for (Duration m : mean_compute_)
+      c.push_back(util::safe_div(m, spec.deadline));
+  }
+  if (!util::almost_equal(contribution_scale_, 1.0)) {
+    for (double& x : c) x *= contribution_scale_;
+  }
   return c;
 }
 
@@ -77,12 +98,8 @@ bool AdmissionController::test(const TaskSpec& spec) const {
   return region_.admits(incremental_lhs_with(spec, tracker_.cached_lhs()));
 }
 
-AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec) {
-  return try_admit(spec, sim_.now() + spec.deadline);
-}
-
 AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
-                                                 Time absolute_deadline) {
+                                                 Time now) {
   ++attempts_;
   // Admission reads only deadline and per-stage computes; the full
   // spec.valid() walk (segment sums) is the runtime's precondition and too
@@ -91,38 +108,18 @@ AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
   FRAP_EXPECTS(spec.num_stages() == region_.num_stages());
 
   AdmissionDecision d;
+  d.arrival = now;
+  d.decided_at = sim_.now();
+  d.bound = region_.bound();
   d.lhs_before = tracker_.cached_lhs();
   d.lhs_with_task = incremental_lhs_with(spec, d.lhs_before);
   d.admitted = region_.admits(d.lhs_with_task);
+  d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
+                        : reject_reason(d.lhs_with_task);
 
   if (d.admitted) {
     ++admitted_;
-    commit(spec, absolute_deadline);
-  }
-  record_audit(spec, d);
-  return d;
-}
-
-AdmissionDecision AdmissionController::try_admit_reference(
-    const TaskSpec& spec) {
-  return try_admit_reference(spec, sim_.now() + spec.deadline);
-}
-
-AdmissionDecision AdmissionController::try_admit_reference(
-    const TaskSpec& spec, Time absolute_deadline) {
-  ++attempts_;
-  const auto add = contributions_for(spec);
-  auto u = tracker_.utilizations();
-
-  AdmissionDecision d;
-  d.lhs_before = region_.lhs(u);
-  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
-  d.lhs_with_task = region_.lhs(u);
-  d.admitted = region_.admits(d.lhs_with_task);
-
-  if (d.admitted) {
-    ++admitted_;
-    tracker_.add(spec.id, add, absolute_deadline);
+    commit(spec, now + spec.deadline);
   }
   record_audit(spec, d);
   return d;
@@ -143,6 +140,7 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
   SyntheticUtilizationTracker& tracker = inner_.tracker_;
   const FeasibleRegion& region = inner_.region_;
   const std::size_t n = region.num_stages();
+  const Time now = inner_.sim_.now();
 
   // One shared snapshot for the whole burst.
   for (std::size_t j = 0; j < n; ++j) {
@@ -159,6 +157,9 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
     const double inv_d = util::safe_inv(spec.deadline);
 
     AdmissionDecision d;
+    d.arrival = now;
+    d.decided_at = now;
+    d.bound = region.bound();
     d.lhs_before = lhs;
     double delta = 0;
     bool saturates = false;
@@ -174,10 +175,12 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
     }
     d.lhs_with_task = saturates ? util::kInf : lhs + delta;
     d.admitted = region.admits(d.lhs_with_task);
+    d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
+                          : reject_reason(d.lhs_with_task);
 
     if (d.admitted) {
       ++inner_.admitted_;
-      inner_.commit(spec, inner_.sim_.now() + spec.deadline);
+      inner_.commit(spec, now + spec.deadline);
       // Mirror the commit into the snapshot from the tracker itself, so the
       // burst's working state is bit-identical to what sequential fast-path
       // admissions would observe.
@@ -206,27 +209,45 @@ void WaitingAdmissionController::attach() {
   inner_.tracker().set_on_decrease([this] { retry(); });
 }
 
-void WaitingAdmissionController::decide(const Pending& p, bool admitted) {
-  if (decide_) decide_(p.spec, admitted, p.arrival, sim_.now());
+void WaitingAdmissionController::decide(const Pending& p,
+                                        const AdmissionDecision& d) {
+  if (decide_) decide_(p.spec, d);
+}
+
+AdmissionDecision WaitingAdmissionController::timed_out_decision(
+    const Pending& p) const {
+  // Final rejection after waiting: report the LHS pair of the last failed
+  // test so the callback still sees how far outside the region the task was.
+  AdmissionDecision d = p.last_test;
+  d.admitted = false;
+  d.reason = AdmissionDecision::Reason::kTimedOut;
+  d.arrival = p.arrival;
+  d.decided_at = sim_.now();
+  return d;
 }
 
 void WaitingAdmissionController::submit(const TaskSpec& spec) {
   const Time arrival = sim_.now();
+  Pending p{spec, arrival, AdmissionDecision{}, sim::kInvalidEventId};
   // FIFO: while earlier arrivals wait, newcomers queue behind them even if
   // they would fit — otherwise small tasks would starve large waiting ones.
   if (queue_.empty()) {
-    const auto d = inner_.try_admit(spec, arrival + spec.deadline);
+    const auto d = inner_.try_admit(spec, arrival);
     if (d.admitted) {
-      if (decide_) decide_(spec, true, arrival, arrival);
+      decide(p, d);
       return;
     }
+    p.last_test = d;
+  } else {
+    p.last_test.bound = inner_.region().bound();
+    p.last_test.lhs_before = inner_.tracker().cached_lhs();
+    p.last_test.lhs_with_task = p.last_test.lhs_before;
   }
   if (patience_ <= 0) {
-    if (decide_) decide_(spec, false, arrival, arrival);
+    decide(p, timed_out_decision(p));
     return;
   }
   const std::uint64_t id = spec.id;
-  Pending p{spec, arrival, sim::kInvalidEventId};
   p.timeout_event = sim_.after(patience_, [this, id] { timeout(id); });
   queue_.push_back(std::move(p));
 }
@@ -248,12 +269,15 @@ void WaitingAdmissionController::retry() {
     rearm_ = false;
     while (!queue_.empty()) {
       Pending& p = queue_.front();
-      const auto d = inner_.try_admit(p.spec, p.arrival + p.spec.deadline);
-      if (!d.admitted) break;  // FIFO: later tasks wait their turn
+      const auto d = inner_.try_admit(p.spec, p.arrival);
+      if (!d.admitted) {
+        p.last_test = d;
+        break;  // FIFO: later tasks wait their turn
+      }
       sim_.cancel(p.timeout_event);
       Pending done = std::move(p);
       queue_.pop_front();
-      decide(done, true);
+      decide(done, d);
     }
     if (rearm_) ++rearmed_retries_;
   } while (rearm_);
@@ -267,7 +291,7 @@ void WaitingAdmissionController::timeout(std::uint64_t task_id) {
   Pending done = std::move(*it);
   queue_.erase(it);
   ++timed_out_;
-  decide(done, false);
+  decide(done, timed_out_decision(done));
 }
 
 // ------------------------------------------------------------- shedding ---
@@ -278,9 +302,9 @@ SheddingAdmissionController::SheddingAdmissionController(
   FRAP_EXPECTS(shed_ != nullptr);
 }
 
-AdmissionDecision SheddingAdmissionController::try_admit(
-    const TaskSpec& spec) {
-  AdmissionDecision d = inner_.try_admit(spec);
+AdmissionDecision SheddingAdmissionController::try_admit(const TaskSpec& spec,
+                                                         Time now) {
+  AdmissionDecision d = inner_.try_admit(spec, now);
   if (!d.admitted) {
     // Shed in increasing importance, but never a task at least as important
     // as the newcomer.
@@ -299,8 +323,11 @@ AdmissionDecision SheddingAdmissionController::try_admit(
       inner_.tracker().remove_task(victim);
       shed_(victim);
       ++tasks_shed_;
-      d = inner_.try_admit(spec);
-      if (d.admitted) break;
+      d = inner_.try_admit(spec, now);
+      if (d.admitted) {
+        d.reason = AdmissionDecision::Reason::kShed;
+        break;
+      }
     }
   }
   if (d.admitted) {
@@ -316,25 +343,34 @@ GraphAdmissionController::GraphAdmissionController(
     GraphRegionEvaluator evaluator)
     : sim_(sim), tracker_(tracker), evaluator_(std::move(evaluator)) {}
 
-AdmissionDecision GraphAdmissionController::try_admit(
-    const GraphTaskSpec& spec) {
+AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
+                                                      Time now) {
   ++attempts_;
   FRAP_EXPECTS(spec.valid(tracker_.num_stages()));
   const auto add = spec.resource_contributions(tracker_.num_stages());
   auto u = tracker_.utilizations();
 
   AdmissionDecision d;
+  d.arrival = now;
+  d.decided_at = sim_.now();
+  d.bound = evaluator_.bound(spec);
   d.lhs_before = evaluator_.lhs(spec, u);
   for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
   d.lhs_with_task = evaluator_.lhs(spec, u);
-  d.admitted =
-      FeasibleRegion::admits_lhs(d.lhs_with_task, evaluator_.bound(spec));
+  d.admitted = FeasibleRegion::admits_lhs(d.lhs_with_task, d.bound);
+  d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
+                        : reject_reason(d.lhs_with_task);
 
   if (d.admitted) {
     ++admitted_;
-    tracker_.add(spec.id, add, sim_.now() + spec.deadline);
+    tracker_.add(spec.id, add, now + spec.deadline);
   }
   return d;
+}
+
+AdmissionDecision GraphAdmissionController::try_admit(const TaskSpec& spec,
+                                                      Time now) {
+  return try_admit(GraphTaskSpec::from_pipeline(spec), now);
 }
 
 }  // namespace frap::core

@@ -1,5 +1,15 @@
 // Admission control against the feasible region (Sec. 4 and Sec. 5).
 //
+// Every controller here implements the unified frap::Admitter interface
+// (src/service/admitter.h) with the one canonical signature
+//
+//   [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec, Time now)
+//
+// where `now` is the task's arrival instant: an admitted task's contribution
+// is committed with expiry at now + spec.deadline, and the decision records
+// the evaluated LHS pair, the bound, and a machine-readable Reason
+// (core/admission_decision.h).
+//
 // The base controller implements the paper's admission test: tentatively add
 // the arriving task's per-stage contributions to the tracked synthetic
 // utilizations and admit iff the result stays inside the feasible region.
@@ -10,8 +20,9 @@
 // f(U_j) per stage plus the running LHS scalar, so a task touching k stages
 // is tested against cached_lhs + sum of k deltas in O(k), without snapshot
 // vectors and without evaluating untouched stages (docs/incremental_lhs.md).
-// try_admit_reference() keeps the original full O(N)-with-snapshots
-// evaluation for A/B verification and benchmarking.
+// The original full O(N)-with-snapshots evaluation lives in
+// frap::testing::ReferenceAdmitter (core/reference_admitter.h), used by the
+// A/B identity tests and benchmarks only.
 //
 // Variants layered on top:
 //   * approximate admission (Sec. 4.4): the test uses per-stage MEAN
@@ -37,21 +48,21 @@
 #include <vector>
 
 #include "core/admission_audit.h"
+#include "core/admission_decision.h"
 #include "core/feasible_region.h"
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
 #include "core/task_graph.h"
+#include "service/admitter.h"
 #include "sim/simulator.h"
+
+namespace frap::testing {
+class ReferenceAdmitter;  // test-only full-evaluation A/B path
+}  // namespace frap::testing
 
 namespace frap::core {
 
-struct AdmissionDecision {
-  bool admitted = false;
-  double lhs_before = 0;     // region LHS before the task
-  double lhs_with_task = 0;  // region LHS including the task (tested value)
-};
-
-class AdmissionController {
+class AdmissionController : public Admitter {
  public:
   AdmissionController(sim::Simulator& sim,
                       SyntheticUtilizationTracker& tracker,
@@ -62,21 +73,31 @@ class AdmissionController {
   void set_approximate_means(std::vector<Duration> mean_compute);
   [[nodiscard]] bool approximate() const { return !mean_compute_.empty(); }
 
-  // Tests the task at the current instant; on admission its contribution is
-  // committed to the tracker with expiry at `absolute_deadline` (defaults to
-  // now + spec.deadline). Incremental fast path: O(stages the task touches),
-  // no heap allocation on the test (the commit of an admitted task still
-  // creates its tracker record).
-  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec);
-  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec,
-                                            Time absolute_deadline);
+  // Quota-capped region view (docs/admission_service.md): every per-stage
+  // contribution is multiplied by `scale` before it is tested or committed.
+  // With scale = 1/w an unmodified controller enforces the w-slice of the
+  // region budget — Jensen's inequality on the convex f makes the per-shard
+  // tests globally sound. Must be set while no tasks are live (the tracker's
+  // committed contributions are not retroactively rescaled here; the sharded
+  // service uses SyntheticUtilizationTracker::rescale_dynamic for that).
+  void set_contribution_scale(double scale);
+  [[nodiscard]] double contribution_scale() const {
+    return contribution_scale_;
+  }
 
-  // The original full evaluation (two snapshot vectors, whole-region LHS
-  // twice). Same decisions and same counters as try_admit(); kept so tests
-  // and bench/micro_admission can A/B the fast path against it.
-  [[nodiscard]] AdmissionDecision try_admit_reference(const TaskSpec& spec);
-  [[nodiscard]] AdmissionDecision try_admit_reference(const TaskSpec& spec,
-                                                      Time absolute_deadline);
+  // Canonical admission (Admitter): tests the task arriving at `now`; on
+  // admission its contribution is committed with expiry at
+  // now + spec.deadline (which must not precede the simulation clock).
+  // Incremental fast path: O(stages the task touches), no heap allocation
+  // on the test (the commit of an admitted task still creates its tracker
+  // record).
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec,
+                                            Time now) override;
+
+  // Deprecated shim: forwards the simulator clock as the arrival instant.
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec) {
+    return try_admit(spec, sim_.now());
+  }
 
   // Would the task be admitted right now? No state change. Shares the exact
   // LHS computation and the region's admits() predicate with try_admit(), so
@@ -85,6 +106,7 @@ class AdmissionController {
 
   const FeasibleRegion& region() const { return region_; }
   SyntheticUtilizationTracker& tracker() { return tracker_; }
+  Time now() const { return sim_.now(); }
 
   // Optional decision auditing; the audit must outlive the controller.
   void set_audit(AdmissionAudit* audit) { audit_ = audit; }
@@ -100,15 +122,17 @@ class AdmissionController {
 
  private:
   friend class BatchAdmissionController;
+  friend class ::frap::testing::ReferenceAdmitter;
 
   std::vector<double> contributions_for(const TaskSpec& spec) const;
 
-  // Per-stage contribution of the task (exact C_ij/D_i or mean_j/D_i).
+  // Per-stage contribution of the task (exact C_ij/D_i or mean_j/D_i),
+  // scaled by the quota view.
   double contribution(const TaskSpec& spec, std::size_t j,
                       double inv_deadline) const {
     return (mean_compute_.empty() ? spec.stages[j].compute
                                   : mean_compute_[j]) *
-           inv_deadline;
+           inv_deadline * contribution_scale_;
   }
 
   // LHS including the task, computed incrementally from the tracker's
@@ -126,6 +150,7 @@ class AdmissionController {
   FeasibleRegion region_;
   std::vector<Duration> mean_compute_;  // empty = exact admission
   std::vector<double> scratch_;         // reused contribution buffer
+  double contribution_scale_ = 1.0;     // 1/w under a quota plan
   AdmissionAudit* audit_ = nullptr;
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
@@ -139,7 +164,7 @@ class AdmissionController {
 // are identical to calling inner.try_admit() sequentially, while the hot
 // loop avoids per-attempt tracker reads. Counters and the audit of the
 // inner controller are updated exactly as for single admissions.
-class BatchAdmissionController {
+class BatchAdmissionController : public Admitter {
  public:
   explicit BatchAdmissionController(AdmissionController& inner);
 
@@ -149,6 +174,12 @@ class BatchAdmissionController {
   // reused by the next call.
   [[nodiscard]] const std::vector<AdmissionDecision>& try_admit_burst(
       std::span<const TaskSpec> specs);
+
+  // Admitter: a burst of one, decided by the inner controller.
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec,
+                                            Time now) override {
+    return inner_.try_admit(spec, now);
+  }
 
   std::uint64_t bursts() const { return bursts_; }
 
@@ -166,11 +197,13 @@ class BatchAdmissionController {
 // arrival time, so waiting consumes the task's own slack.
 class WaitingAdmissionController {
  public:
-  // Decision callback: admitted flag, the task's original arrival time
-  // (its deadline stays anchored there), and the decision time (== the
-  // current simulation time; arrival + waiting).
-  using DecisionCallback = std::function<void(
-      const TaskSpec&, bool admitted, Time arrival, Time decision_time)>;
+  // Decision callback: receives the full decision. decision.arrival is the
+  // task's original arrival (its deadline stays anchored there) and
+  // decision.decided_at the simulation instant of the decision (arrival +
+  // waiting). A task that waits out its patience is reported with
+  // reason == Reason::kTimedOut and the LHS pair of its last failed test.
+  using DecisionCallback =
+      std::function<void(const TaskSpec&, const AdmissionDecision&)>;
 
   WaitingAdmissionController(sim::Simulator& sim, AdmissionController& inner,
                              Duration patience);
@@ -196,12 +229,14 @@ class WaitingAdmissionController {
   struct Pending {
     TaskSpec spec;
     Time arrival;
+    AdmissionDecision last_test;  // most recent failed admission attempt
     sim::EventId timeout_event;
   };
 
   void retry();
   void timeout(std::uint64_t task_id);
-  void decide(const Pending& p, bool admitted);
+  void decide(const Pending& p, const AdmissionDecision& d);
+  AdmissionDecision timed_out_decision(const Pending& p) const;
 
   sim::Simulator& sim_;
   AdmissionController& inner_;
@@ -219,7 +254,7 @@ class WaitingAdmissionController {
 // in increasing importance order until it does. The shed callback must
 // abort the victim's execution in the runtime (its contributions are
 // removed here).
-class SheddingAdmissionController {
+class SheddingAdmissionController : public Admitter {
  public:
   using ShedCallback = std::function<void(std::uint64_t task_id)>;
   // Returns true when the task may be shed. SOUNDNESS: a task that has
@@ -235,7 +270,15 @@ class SheddingAdmissionController {
 
   void set_shed_filter(ShedFilter filter) { filter_ = std::move(filter); }
 
-  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec);
+  // Canonical admission (Admitter). A task admitted only after shedding is
+  // reported with reason == Reason::kShed.
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec,
+                                            Time now) override;
+
+  // Deprecated shim: forwards the simulator clock as the arrival instant.
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec) {
+    return try_admit(spec, inner_.now());
+  }
 
   std::uint64_t tasks_shed() const { return tasks_shed_; }
 
@@ -250,14 +293,24 @@ class SheddingAdmissionController {
 };
 
 // Theorem 2: admission for DAG-structured tasks. The region is evaluated
-// per task over its graph; contributions are per-resource sums.
-class GraphAdmissionController {
+// per task over its graph; contributions are per-resource sums. Pipeline
+// TaskSpecs are admitted through the Admitter interface by converting them
+// to their chain-graph form (GraphTaskSpec::from_pipeline).
+class GraphAdmissionController : public Admitter {
  public:
   GraphAdmissionController(sim::Simulator& sim,
                            SyntheticUtilizationTracker& tracker,
                            GraphRegionEvaluator evaluator);
 
-  [[nodiscard]] AdmissionDecision try_admit(const GraphTaskSpec& spec);
+  [[nodiscard]] AdmissionDecision try_admit(const GraphTaskSpec& spec,
+                                            Time now);
+  [[nodiscard]] AdmissionDecision try_admit(const TaskSpec& spec,
+                                            Time now) override;
+
+  // Deprecated shims: forward the simulator clock as the arrival instant.
+  [[nodiscard]] AdmissionDecision try_admit(const GraphTaskSpec& spec) {
+    return try_admit(spec, sim_.now());
+  }
 
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t admitted() const { return admitted_; }

@@ -39,7 +39,7 @@ DeadlineSplitAdmissionController::DeadlineSplitAdmissionController(
     : sim_(sim), tracker_(tracker) {}
 
 AdmissionDecision DeadlineSplitAdmissionController::try_admit(
-    const TaskSpec& spec) {
+    const TaskSpec& spec, Time now) {
   ++attempts_;
   FRAP_EXPECTS(spec.valid());
   const std::size_t n = tracker_.num_stages();
@@ -58,9 +58,12 @@ AdmissionDecision DeadlineSplitAdmissionController::try_admit(
   auto u = tracker_.utilizations();
 
   AdmissionDecision d;
+  d.arrival = now;
+  d.decided_at = sim_.now();
   // Report the worst per-stage margin consumption through the lhs fields so
   // experiments can log comparable quantities (scaled so that 1.0 = at the
   // bound, like the region controllers).
+  d.bound = 1.0;
   double worst_before = 0;
   double worst_after = 0;
   bool ok = true;
@@ -73,10 +76,12 @@ AdmissionDecision DeadlineSplitAdmissionController::try_admit(
   d.lhs_before = worst_before;
   d.lhs_with_task = worst_after;
   d.admitted = ok;
+  d.reason = ok ? AdmissionDecision::Reason::kAdmitted
+                : AdmissionDecision::Reason::kRegionFull;
 
   if (ok) {
     ++admitted_;
-    tracker_.add(spec.id, add, sim_.now() + spec.deadline);
+    tracker_.add(spec.id, add, now + spec.deadline);
   }
   return d;
 }

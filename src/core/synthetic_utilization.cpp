@@ -118,6 +118,21 @@ void SyntheticUtilizationTracker::remove_task(std::uint64_t task_id) {
   if (decreased) notify_decrease();
 }
 
+void SyntheticUtilizationTracker::rescale_dynamic(double factor) {
+  FRAP_EXPECTS(factor > 0 && std::isfinite(factor));
+  if (util::almost_equal(factor, 1.0)) return;
+  for (auto& [id, rec] : tasks_) {
+    for (double& c : rec.contribution) c *= factor;
+  }
+  for (StageState& s : stage_) s.dynamic *= factor;
+  // One from-scratch pass refreshes every cached f-term coherently.
+  rebuild_lhs_cache();
+#ifndef NDEBUG
+  verify_lhs_cache();
+#endif
+  if (factor < 1.0) notify_decrease();
+}
+
 void SyntheticUtilizationTracker::refresh_stage_lhs(std::size_t stage) {
   StageState& s = stage_[stage];
   const double f_new = stage_delay_factor(s.reserved + std::max(0.0, s.dynamic));

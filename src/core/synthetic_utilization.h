@@ -82,6 +82,15 @@ class SyntheticUtilizationTracker {
   // shedding and by aborted tasks). No-op for unknown ids.
   void remove_task(std::uint64_t task_id);
 
+  // Multiplies every live task contribution and per-stage dynamic
+  // utilization by `factor` (> 0, finite) and rebuilds the LHS cache.
+  // Reservation floors are unaffected. The sharded admission service
+  // (src/service/) uses this when a shard's quota weight changes: tracked
+  // contributions are stored pre-divided by the weight, so a weight move
+  // w_old -> w_new rescales the tracked view by w_old / w_new. Fires the
+  // on-decrease notification when factor < 1.
+  void rescale_dynamic(double factor);
+
   // Callback fired after any utilization decrease (expiry, idle reset,
   // removal); waiting admission controllers retry from here.
   void set_on_decrease(std::function<void()> cb) {

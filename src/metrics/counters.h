@@ -1,7 +1,12 @@
 // Simple event-counting metrics used by experiments: acceptance ratio of the
 // admission controller, deadline-miss ratio of admitted tasks, etc.
+//
+// The Atomic* variants at the bottom are the only concurrency-aware types in
+// the library outside src/service/ (frap-lint R5 sanctions exactly this
+// header); everything else here is single-threaded by design.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace frap::metrics {
@@ -72,6 +77,56 @@ class RunningStats {
   double m2_ = 0;
   double min_ = 0;
   double max_ = 0;
+};
+
+// Monotonic event counter safe to bump from concurrent admission shards.
+// Relaxed ordering on purpose: counts are eventually consistent
+// observability data, never control flow — readers may see a slightly stale
+// total while increments are in flight, which is fine for metrics and keeps
+// the hot path to a single uncontended RMW.
+class AtomicCounter {
+ public:
+  AtomicCounter() = default;
+  // Counters are identity-less tallies; copying snapshots the value so the
+  // service can return aggregated stats structs by value.
+  AtomicCounter(const AtomicCounter& other) : n_(other.value()) {}
+  AtomicCounter& operator=(const AtomicCounter& other) {
+    n_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void increment(std::uint64_t by = 1) {
+    n_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return n_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> n_{0};
+};
+
+// RatioTracker variant for concurrent recorders. hits() and total() are each
+// exact; a ratio() read concurrent with record() calls may pair a numerator
+// and denominator from slightly different instants (again: observability,
+// not control flow).
+class AtomicRatioTracker {
+ public:
+  void record(bool hit) {
+    total_.increment();
+    if (hit) hits_.increment();
+  }
+
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t total() const { return total_.value(); }
+
+  double ratio() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(hits()) / static_cast<double>(t);
+  }
+
+ private:
+  AtomicCounter hits_;
+  AtomicCounter total_;
 };
 
 }  // namespace frap::metrics

@@ -81,7 +81,7 @@ struct Harness {
         ++admitted;
         return;
       case AdmissionMode::kDeadlineSplit: {
-        const auto d = split_controller->try_admit(spec);
+        const auto d = split_controller->try_admit(spec, now);
         if (d.admitted) {
           ++admitted;
           runtime.start_task(spec, now + spec.deadline);
@@ -96,7 +96,7 @@ struct Harness {
       waiting->submit(spec);  // counts admitted via decision callback
       return;
     }
-    const auto d = controller->try_admit(spec);
+    const auto d = controller->try_admit(spec, now);
     if (d.admitted) {
       ++admitted;
       runtime.start_task(spec, now + spec.deadline);
@@ -139,10 +139,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     // Count admissions through the waiting path; deadlines stay anchored at
     // the original arrival so waiting consumes the task's own slack.
     h.waiting->set_decision_callback(
-        [&h](const core::TaskSpec& spec, bool admitted, Time arrival, Time) {
-          if (!admitted) return;
+        [&h](const core::TaskSpec& spec, const core::AdmissionDecision& d) {
+          if (!d.admitted) return;
           ++h.admitted;
-          h.runtime.start_task(spec, arrival + spec.deadline);
+          h.runtime.start_task(spec, d.arrival + spec.deadline);
         });
   }
   h.schedule_next_arrival();

@@ -1,0 +1,66 @@
+#include "service/quota.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::service {
+
+namespace {
+// Weight-sum and per-weight floor checks tolerate accumulated FP noise from
+// repeated proportional reassignment.
+constexpr double kWeightTolerance = 1e-9;
+}  // namespace
+
+QuotaPlan::QuotaPlan(std::size_t num_shards, double min_weight)
+    : min_weight_(min_weight) {
+  FRAP_EXPECTS(num_shards >= 1);
+  FRAP_EXPECTS(min_weight > 0);
+  FRAP_EXPECTS(min_weight * static_cast<double>(num_shards) <= 1.0);
+  w_.assign(num_shards, 1.0 / static_cast<double>(num_shards));
+}
+
+double QuotaPlan::weight(std::size_t k) const {
+  FRAP_EXPECTS(k < w_.size());
+  return w_[k];
+}
+
+void QuotaPlan::set_weights(std::vector<double> weights) {
+  FRAP_EXPECTS(weights.size() == w_.size());
+  double sum = 0;
+  for (double w : weights) {
+    FRAP_EXPECTS(std::isfinite(w));
+    FRAP_EXPECTS(w + kWeightTolerance >= min_weight_);
+    sum += w;
+  }
+  FRAP_EXPECTS(std::fabs(sum - 1.0) <= kWeightTolerance);
+  w_ = std::move(weights);
+}
+
+std::vector<double> QuotaPlan::proportional(std::span<const double> demand,
+                                            std::span<const double> floor) {
+  FRAP_EXPECTS(!demand.empty());
+  FRAP_EXPECTS(demand.size() == floor.size());
+  double total_floor = 0;
+  double total_demand = 0;
+  for (std::size_t k = 0; k < demand.size(); ++k) {
+    FRAP_EXPECTS(demand[k] >= 0);
+    FRAP_EXPECTS(floor[k] >= 0);
+    total_floor += floor[k];
+    total_demand += demand[k];
+  }
+  FRAP_EXPECTS(total_floor <= 1.0 + kWeightTolerance);
+
+  const double spare = std::max(0.0, 1.0 - total_floor);
+  const double equal_share = 1.0 / static_cast<double>(demand.size());
+  std::vector<double> w(demand.size());
+  for (std::size_t k = 0; k < demand.size(); ++k) {
+    const double share = total_demand > 0 ? demand[k] / total_demand
+                                          : equal_share;
+    w[k] = floor[k] + spare * share;
+  }
+  return w;
+}
+
+}  // namespace frap::service

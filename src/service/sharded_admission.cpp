@@ -1,0 +1,301 @@
+#include "service/sharded_admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stage_delay.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::service {
+
+namespace {
+
+using core::AdmissionDecision;
+
+// Scaled per-stage utilization above this is treated as saturated in the
+// weight-search arithmetic (the exact test uses u >= 1; the margin keeps the
+// bisection away from f's pole).
+constexpr double kMaxScaledUtil = 0.999;
+
+// Weight moves smaller than this are not worth a rescale pass.
+constexpr double kRebalanceDeadband = 0.02;
+
+}  // namespace
+
+ShardedAdmissionService::Shard::Shard(const core::FeasibleRegion& region,
+                                      double w)
+    : tracker(sim, region.num_stages()),
+      controller(sim, tracker, region),
+      weight(w) {
+  controller.set_contribution_scale(1.0 / w);
+}
+
+ShardedAdmissionService::ShardedAdmissionService(core::FeasibleRegion region,
+                                                 ShardedAdmissionConfig config)
+    : region_(std::move(region)),
+      cfg_(config),
+      quota_(config.num_shards, config.min_weight) {
+  FRAP_EXPECTS(cfg_.num_shards >= 1);
+  shards_.reserve(cfg_.num_shards);
+  for (std::size_t k = 0; k < cfg_.num_shards; ++k) {
+    shards_.push_back(std::make_unique<Shard>(region_, quota_.weight(k)));
+  }
+}
+
+core::AdmissionDecision ShardedAdmissionService::try_admit(
+    const core::TaskSpec& spec, Time now) {
+  const std::size_t k = route(spec.id);
+  Shard& sh = *shards_[k];
+
+  AdmissionDecision d;
+  {
+    std::scoped_lock lk(sh.mu);
+    // Per-shard time is monotone: a caller presenting a timestamp older
+    // than the shard clock is anchored at the shard clock.
+    const Time eff = std::max(now, sh.sim.now());
+    sh.sim.run_until(eff);
+    d = sh.controller.try_admit(spec, eff);
+  }
+
+  if (d.admitted) {
+    sh.admits.increment();
+  } else if (cfg_.enable_fallback) {
+    d = fallback(k, spec, now);
+  } else {
+    sh.rejects.increment();
+  }
+  maybe_auto_rebalance(now);
+  return d;
+}
+
+Time ShardedAdmissionService::advance_all_locked(Time now) {
+  Time eff = now;
+  for (const auto& sh : shards_) eff = std::max(eff, sh->sim.now());
+  for (const auto& sh : shards_) sh->sim.run_until(eff);
+  return eff;
+}
+
+std::vector<std::size_t> ShardedAdmissionService::shards_by_headroom_locked()
+    const {
+  // Largest scaled headroom (bound - L_k) first; a shard at or beyond the
+  // boundary sorts last.
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    order.emplace_back(region_.bound() - shards_[k]->tracker.cached_lhs(), k);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  std::vector<std::size_t> idx;
+  idx.reserve(order.size());
+  for (const auto& [headroom, k] : order) idx.push_back(k);
+  return idx;
+}
+
+std::vector<double> ShardedAdmissionService::true_utilizations_locked() const {
+  std::vector<double> u(region_.num_stages(), 0.0);
+  for (const auto& sh : shards_) {
+    for (std::size_t j = 0; j < u.size(); ++j) {
+      u[j] += sh->weight * sh->tracker.utilization(j);
+    }
+  }
+  return u;
+}
+
+double ShardedAdmissionService::min_feasible_weight_locked(
+    const Shard& sh) const {
+  const std::size_t n = region_.num_stages();
+  std::vector<double> x(n);  // true per-stage load of this shard
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = sh.weight * sh.tracker.utilization(j);
+  }
+  const auto feasible = [&](double w) {
+    double scaled_lhs = 0;
+    for (double xj : x) {
+      const double u = xj / w;
+      if (u >= kMaxScaledUtil) return false;
+      scaled_lhs += core::stage_delay_factor(u);
+    }
+    return region_.admits(scaled_lhs);
+  };
+
+  const double floor = cfg_.min_weight;
+  if (feasible(floor)) return floor;
+  // feasible is monotone in w and holds at the current weight (the shard's
+  // running LHS is kept within the bound by every admission); bisect to the
+  // boundary from there.
+  double lo = floor;
+  double hi = sh.weight;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+bool ShardedAdmissionService::fits_at_weight_locked(
+    const Shard& sh, const std::vector<double>& add, double w) const {
+  double scaled_lhs = 0;
+  for (std::size_t j = 0; j < add.size(); ++j) {
+    const double u = (sh.weight * sh.tracker.utilization(j) + add[j]) / w;
+    if (u >= kMaxScaledUtil) return false;
+    scaled_lhs += core::stage_delay_factor(u);
+  }
+  return region_.admits(scaled_lhs);
+}
+
+void ShardedAdmissionService::apply_weight_locked(Shard& sh, double w_new) {
+  if (util::almost_equal(sh.weight, w_new)) return;
+  // Tracked contributions are stored pre-divided by the weight, so a move
+  // w_old -> w_new multiplies the scaled view by w_old / w_new.
+  sh.tracker.rescale_dynamic(sh.weight / w_new);
+  sh.controller.set_contribution_scale(1.0 / w_new);
+  sh.weight = w_new;
+}
+
+core::AdmissionDecision ShardedAdmissionService::fallback(
+    std::size_t origin, const core::TaskSpec& spec, Time now) {
+  // Lock order: global_mu_, then every shard mutex in index order. Hot-path
+  // holders only ever hold their own shard's mutex and never block on
+  // global_mu_, so the fixed order cannot deadlock.
+  std::scoped_lock g(global_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+
+  const Time eff = advance_all_locked(now);
+  const std::vector<std::size_t> order = shards_by_headroom_locked();
+
+  // Pass 1: some shard may already have local headroom for the task (the
+  // home shard only sees its own slice).
+  for (std::size_t k : order) {
+    Shard& sh = *shards_[k];
+    if (!sh.controller.test(spec)) continue;
+    AdmissionDecision d = sh.controller.try_admit(spec, eff);
+    FRAP_ASSERT(d.admitted);  // test() and try_admit() share the predicate
+    d.reason = AdmissionDecision::Reason::kQuotaFallback;
+    sh.fallback_admits.increment();
+    return d;
+  }
+
+  // Pass 2: steal unused quota — shrink every donor to its minimum feasible
+  // weight and grow one receiver until the task fits in its slice.
+  const std::vector<double> add = spec.contributions();
+  std::vector<double> minw(shards_.size());
+  double total_minw = 0;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    minw[k] = min_feasible_weight_locked(*shards_[k]);
+    total_minw += minw[k];
+  }
+  for (std::size_t r : order) {
+    const double w_r = 1.0 - (total_minw - minw[r]);
+    if (w_r < minw[r]) continue;  // donors leave no room to grow
+    if (!fits_at_weight_locked(*shards_[r], add, w_r)) continue;
+
+    std::vector<double> w = minw;
+    w[r] = w_r;
+    quota_.set_weights(w);  // validates floors and Σ = 1
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      apply_weight_locked(*shards_[k], w[k]);
+    }
+    AdmissionDecision d = shards_[r]->controller.try_admit(spec, eff);
+    if (d.admitted) {
+      d.reason = AdmissionDecision::Reason::kQuotaFallback;
+      shards_[r]->fallback_admits.increment();
+      return d;
+    }
+    // The arithmetic precheck and the controller's cached view disagreed at
+    // the boundary (FP); the rescale is harmless — fall through to reject.
+    break;
+  }
+
+  // Rejected even globally. Report the TRUE global LHS pair so operators
+  // see how far outside the region the task actually was.
+  AdmissionDecision d;
+  d.admitted = false;
+  d.reason = AdmissionDecision::Reason::kQuotaFallbackRejected;
+  d.bound = region_.bound();
+  d.arrival = now;
+  d.decided_at = eff;
+  std::vector<double> u = true_utilizations_locked();
+  d.lhs_before = region_.lhs(u);
+  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
+  d.lhs_with_task = region_.lhs(u);
+  shards_[origin]->fallback_rejects.increment();
+  return d;
+}
+
+void ShardedAdmissionService::rebalance(Time now) {
+  std::scoped_lock g(global_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+  advance_all_locked(now);
+
+  // Demand proxy: each shard's true utilization mass. Floors: whatever
+  // weight its current load needs to stay feasible.
+  std::vector<double> demand(shards_.size(), 0.0);
+  std::vector<double> floor(shards_.size(), 0.0);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& sh = *shards_[k];
+    for (std::size_t j = 0; j < region_.num_stages(); ++j) {
+      demand[k] += sh.weight * sh.tracker.utilization(j);
+    }
+    floor[k] = min_feasible_weight_locked(sh);
+  }
+
+  std::vector<double> w = QuotaPlan::proportional(demand, floor);
+  double max_move = 0;
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    max_move = std::max(max_move, std::fabs(w[k] - shards_[k]->weight));
+  }
+  if (max_move < kRebalanceDeadband) return;
+
+  quota_.set_weights(w);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    apply_weight_locked(*shards_[k], w[k]);
+  }
+  rebalances_.increment();
+}
+
+void ShardedAdmissionService::maybe_auto_rebalance(Time now) {
+  const std::uint64_t n =
+      decisions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cfg_.rebalance_interval == 0) return;
+  if (n % cfg_.rebalance_interval != 0) return;
+  rebalance(now);
+}
+
+ServiceStats ShardedAdmissionService::stats() const {
+  ServiceStats s;
+  s.decisions = decisions_.load(std::memory_order_relaxed);
+  s.rebalances = rebalances_.value();
+  s.shards.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardStats out;
+    out.admits = sh->admits.value();
+    out.rejects = sh->rejects.value();
+    out.fallback_admits = sh->fallback_admits.value();
+    out.fallback_rejects = sh->fallback_rejects.value();
+    {
+      std::scoped_lock lk(sh->mu);
+      out.weight = sh->weight;
+      out.live_tasks = sh->tracker.live_tasks();
+    }
+    s.shards.push_back(out);
+  }
+  return s;
+}
+
+std::vector<double> ShardedAdmissionService::global_utilizations(Time now) {
+  std::scoped_lock g(global_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+  advance_all_locked(now);
+  return true_utilizations_locked();
+}
+
+}  // namespace frap::service

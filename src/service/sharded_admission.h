@@ -1,0 +1,180 @@
+// K-way sharded concurrent admission service.
+//
+// Partitions the region budget Σ_j f(U_j) ≤ B across K shards by quota
+// WEIGHTS (service/quota.h): shard k holds weight w_k, Σ w_k = 1, and runs
+// an unmodified single-threaded core::AdmissionController whose per-task
+// contributions are scaled by 1/w_k but tested against the full bound B.
+// Convexity of f (Jensen) makes every purely local admission globally
+// sound, so the hot path takes exactly one uncontended shard mutex and
+// never synchronizes across shards (docs/admission_service.md derives the
+// invariant and its limits).
+//
+// Three paths:
+//   * HOT PATH — route(spec.id) picks the home shard; under that shard's
+//     mutex its private simulator is advanced and its controller decides.
+//     Zero cross-shard synchronization.
+//   * GLOBAL FALLBACK — a task the home shard cannot take is retried under
+//     the global mutex (all shard locks, fixed order): first against every
+//     other shard's existing headroom, then by shrinking donor shards to
+//     their minimum feasible weights and growing one receiver so the task
+//     fits (work-stealing of unused quota). A task rejected even here is
+//     reported with the TRUE global LHS pair and
+//     Reason::kQuotaFallbackRejected. The weight partition makes per-shard
+//     tests conservative, so the fallback can only ever admit MORE than
+//     pure-local quotas — never a task the unsharded region test rejects.
+//   * PERIODIC REBALANCE — every rebalance_interval decisions (and on
+//     demand) weights are reassigned demand-proportionally, floored at each
+//     shard's minimum feasible weight, so persistent skew does not keep
+//     forcing arrivals through the fallback lock.
+//
+// Time: each shard owns a private sim::Simulator. Shard clocks are advanced
+// to the caller-presented `now` lazily; a caller presenting a timestamp
+// older than the shard's clock is anchored at the shard clock (per-shard
+// time is monotone). Decisions carry the shard's SCALED LHS view for local
+// decisions and the true global LHS for fallback rejections; `bound` is
+// always the full region bound B.
+//
+// Thread safety: try_admit / rebalance / stats / global_utilizations may be
+// called from any thread. Lock order is global_mu_ before shard mutexes in
+// index order; the hot path holds only the home shard's mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/admission_decision.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "metrics/counters.h"
+#include "service/admitter.h"
+#include "service/quota.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace frap::service {
+
+struct ShardedAdmissionConfig {
+  std::size_t num_shards = 4;
+  // Weight floor per shard (see QuotaPlan): keeps every shard able to admit
+  // small tasks locally even after aggressive stealing.
+  double min_weight = QuotaPlan::kDefaultMinWeight;
+  // When false, a local rejection is final (pure-local quotas): used by the
+  // soundness A/B tests as the comparison baseline and by benchmarks to
+  // measure the uncontended hot path.
+  bool enable_fallback = true;
+  // Automatic demand-proportional rebalance every this many decisions;
+  // 0 disables (rebalance() can still be called explicitly).
+  std::uint64_t rebalance_interval = 4096;
+};
+
+struct ShardStats {
+  std::uint64_t admits = 0;           // hot-path admissions
+  std::uint64_t rejects = 0;          // final local rejections
+  std::uint64_t fallback_admits = 0;  // admitted via the global path
+  std::uint64_t fallback_rejects = 0; // rejected even by the global path
+  double weight = 0;
+  std::size_t live_tasks = 0;
+};
+
+struct ServiceStats {
+  std::vector<ShardStats> shards;
+  std::uint64_t decisions = 0;
+  std::uint64_t rebalances = 0;
+
+  std::uint64_t total_admits() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.admits + s.fallback_admits;
+    return n;
+  }
+  std::uint64_t total_rejects() const {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.rejects + s.fallback_rejects;
+    return n;
+  }
+};
+
+class ShardedAdmissionService final : public Admitter {
+ public:
+  ShardedAdmissionService(core::FeasibleRegion region,
+                          ShardedAdmissionConfig config = {});
+
+  ShardedAdmissionService(const ShardedAdmissionService&) = delete;
+  ShardedAdmissionService& operator=(const ShardedAdmissionService&) = delete;
+
+  // Admitter. Decides `spec` presented at `now` on its home shard; falls
+  // back to the global path when enabled and the home shard rejects.
+  [[nodiscard]] core::AdmissionDecision try_admit(const core::TaskSpec& spec,
+                                                  Time now) override;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // Home shard of a task id. Deliberately the plain modulus so tests and
+  // benchmarks can construct ids that land on a chosen shard.
+  std::size_t route(std::uint64_t task_id) const {
+    return static_cast<std::size_t>(task_id % shards_.size());
+  }
+
+  // Demand-proportional weight reassignment, floored at each shard's
+  // minimum feasible weight. No-op (not counted) when every weight would
+  // move by less than the deadband.
+  void rebalance(Time now);
+
+  // Snapshot of per-shard counters and weights. Counters are relaxed
+  // atomics: a snapshot taken concurrently with admissions is eventually
+  // consistent.
+  ServiceStats stats() const;
+
+  // True (unscaled) per-stage utilization across all shards, advanced to
+  // `now`. Takes the global lock.
+  std::vector<double> global_utilizations(Time now);
+
+  const core::FeasibleRegion& region() const { return region_; }
+  const ShardedAdmissionConfig& config() const { return cfg_; }
+
+ private:
+  struct Shard {
+    Shard(const core::FeasibleRegion& region, double w);
+
+    mutable std::mutex mu;
+    sim::Simulator sim;
+    core::SyntheticUtilizationTracker tracker;
+    core::AdmissionController controller;
+    double weight;  // guarded by mu (plus global_mu_ for writers)
+    metrics::AtomicCounter admits;
+    metrics::AtomicCounter rejects;
+    metrics::AtomicCounter fallback_admits;
+    metrics::AtomicCounter fallback_rejects;
+  };
+
+  // All-shard helpers; caller must hold global_mu_ and every shard mutex.
+  Time advance_all_locked(Time now);
+  std::vector<std::size_t> shards_by_headroom_locked() const;
+  std::vector<double> true_utilizations_locked() const;
+  // Smallest weight at which the shard's current true load still passes the
+  // region test in the scaled view (>= cfg_.min_weight; bisection).
+  double min_feasible_weight_locked(const Shard& sh) const;
+  // Would the shard pass the region test at weight `w` with `add` (true,
+  // unscaled contributions) on top of its current load?
+  bool fits_at_weight_locked(const Shard& sh,
+                             const std::vector<double>& add, double w) const;
+  void apply_weight_locked(Shard& sh, double w_new);
+
+  core::AdmissionDecision fallback(std::size_t origin,
+                                   const core::TaskSpec& spec, Time now);
+  void maybe_auto_rebalance(Time now);
+
+  core::FeasibleRegion region_;
+  ShardedAdmissionConfig cfg_;
+  QuotaPlan quota_;  // guarded by global_mu_ + all shard mutexes
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex global_mu_;
+  std::atomic<std::uint64_t> decisions_{0};
+  metrics::AtomicCounter rebalances_;
+};
+
+}  // namespace frap::service

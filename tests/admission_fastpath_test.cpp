@@ -11,6 +11,7 @@
 
 #include "core/admission.h"
 #include "core/feasible_region.h"
+#include "core/reference_admitter.h"
 #include "core/stage_delay.h"
 #include "core/synthetic_utilization.h"
 #include "sim/simulator.h"
@@ -41,6 +42,7 @@ struct Harness {
   sim::Simulator sim;
   SyntheticUtilizationTracker tracker;
   AdmissionController controller;
+  frap::testing::ReferenceAdmitter reference{controller};
 };
 
 TEST(AdmissionFastPathTest, DecisionsIdenticalToReferenceOver10kArrivals) {
@@ -62,7 +64,7 @@ TEST(AdmissionFastPathTest, DecisionsIdenticalToReferenceOver10kArrivals) {
     ref.sim.run_until(t);
 
     const auto df = fast.controller.try_admit(spec);
-    const auto dr = ref.controller.try_admit_reference(spec);
+    const auto dr = ref.reference.try_admit(spec);
     if (df.admitted != dr.admitted) ++mismatches;
     if (df.admitted) ++admitted;
     // The LHS values come from different summation orders but must agree to
@@ -116,7 +118,7 @@ TEST(AdmissionFastPathTest, ApproximateMeansVariantMatchesReference) {
     fast.sim.run_until(t);
     ref.sim.run_until(t);
     const auto df = fast.controller.try_admit(spec);
-    const auto dr = ref.controller.try_admit_reference(spec);
+    const auto dr = ref.reference.try_admit(spec);
     EXPECT_EQ(df.admitted, dr.admitted) << "arrival " << i;
   }
   fast.tracker.verify_lhs_cache(1e-9);
@@ -181,7 +183,7 @@ TEST(AdmissionFastPathTest, SaturatingTaskRejectedWithInfiniteLhs) {
   sat.stages.resize(2);
   sat.stages[0].compute = 2.0;
   const auto df = fast.controller.try_admit(sat);
-  const auto dr = ref.controller.try_admit_reference(sat);
+  const auto dr = ref.reference.try_admit(sat);
   EXPECT_FALSE(df.admitted);
   EXPECT_FALSE(dr.admitted);
   EXPECT_TRUE(std::isinf(df.lhs_with_task));
@@ -218,7 +220,8 @@ TEST(AdmissionFastPathTest, BoundaryTieIsAdmittedConsistently) {
     sim::Simulator sim;
     SyntheticUtilizationTracker tracker(sim, 1);
     AdmissionController c(sim, tracker, FeasibleRegion::with_alpha(1, alpha));
-    const auto d = c.try_admit_reference(spec);
+    frap::testing::ReferenceAdmitter reference(c);
+    const auto d = reference.try_admit(spec);
     EXPECT_TRUE(d.admitted);
   }
 }

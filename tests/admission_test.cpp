@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/admission.h"
@@ -41,8 +42,12 @@ TEST_F(AdmissionTest, AdmitsTaskInsideRegion) {
   // Contribution (0.1, 0.1): f(0.1)*2 ~= 0.211 < 1.
   const auto d = controller_.try_admit(make_task(1, 1.0, {0.1, 0.1}));
   EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.reason, AdmissionDecision::Reason::kAdmitted);
   EXPECT_DOUBLE_EQ(d.lhs_before, 0.0);
   EXPECT_NEAR(d.lhs_with_task, 2 * stage_delay_factor(0.1), 1e-12);
+  EXPECT_DOUBLE_EQ(d.bound, controller_.region().bound());
+  EXPECT_DOUBLE_EQ(d.arrival, 0.0);
+  EXPECT_DOUBLE_EQ(d.decided_at, 0.0);
   EXPECT_DOUBLE_EQ(tracker_.utilization(0), 0.1);
 }
 
@@ -50,9 +55,18 @@ TEST_F(AdmissionTest, RejectsTaskOutsideRegion) {
   // A single task at (0.5, 0.5): f(0.5)*2 = 1.5 > 1.
   const auto d = controller_.try_admit(make_task(1, 1.0, {0.5, 0.5}));
   EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, AdmissionDecision::Reason::kRegionFull);
   // Rejection leaves the tracker untouched.
   EXPECT_DOUBLE_EQ(tracker_.utilization(0), 0.0);
   EXPECT_EQ(tracker_.live_tasks(), 0u);
+}
+
+TEST_F(AdmissionTest, SaturatingTaskReportsStageSaturated) {
+  // Contribution 1.5 on stage 0: U_0 would cross 1, not merely the bound.
+  const auto d = controller_.try_admit(make_task(1, 1.0, {1.5, 0.0}));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, AdmissionDecision::Reason::kStageSaturated);
+  EXPECT_TRUE(std::isinf(d.lhs_with_task));
 }
 
 TEST_F(AdmissionTest, AdmitsUpToTheBalancedCap) {
@@ -99,11 +113,14 @@ TEST_F(AdmissionTest, ApproximateModeUsesMeans) {
   EXPECT_DOUBLE_EQ(tracker_.utilization(0), 0.2);
 }
 
-TEST_F(AdmissionTest, ExplicitAbsoluteDeadline) {
+TEST_F(AdmissionTest, ExplicitArrivalAnchorsDeadline) {
   sim_.at(5.0, [&] {
-    // Task arrived at t=3 (deadline anchor), admitted at t=5.
-    const auto d = controller_.try_admit(make_task(1, 4.0, {0.1, 0.1}), 7.0);
+    // Task arrived at t=3 (deadline anchor), decided at t=5: it expires at
+    // arrival + deadline = 7.
+    const auto d = controller_.try_admit(make_task(1, 4.0, {0.1, 0.1}), 3.0);
     EXPECT_TRUE(d.admitted);
+    EXPECT_DOUBLE_EQ(d.arrival, 3.0);
+    EXPECT_DOUBLE_EQ(d.decided_at, 5.0);
   });
   sim_.run_until(6.9);
   EXPECT_TRUE(tracker_.is_live(1));
@@ -132,7 +149,9 @@ TEST_F(WaitingTest, AdmitsImmediatelyWhenItFits) {
   waiting.attach();
   std::vector<std::pair<std::uint64_t, bool>> decisions;
   waiting.set_decision_callback(
-      [&](const TaskSpec& s, bool ok, Time, Time) { decisions.push_back({s.id, ok}); });
+      [&](const TaskSpec& s, const AdmissionDecision& d) {
+        decisions.push_back({s.id, d.admitted});
+      });
   waiting.submit(make_task(1, 1.0, {0.1, 0.1}));
   ASSERT_EQ(decisions.size(), 1u);
   EXPECT_TRUE(decisions[0].second);
@@ -144,12 +163,14 @@ TEST_F(WaitingTest, WaitsForCapacityThenAdmits) {
   waiting.attach();
   std::vector<std::pair<bool, Time>> decisions;
   waiting.set_decision_callback(
-      [&](const TaskSpec&, bool ok, Time, Time t) { decisions.push_back({ok, t}); });
+      [&](const TaskSpec&, const AdmissionDecision& d) {
+        decisions.push_back({d.admitted, d.decided_at});
+      });
 
   // Fill the region with a task expiring at t=0.3.
   sim_.at(0.0, [&] {
     (void)controller_.try_admit(make_task(1, 0.3, {0.09, 0.09}),
-                                0.3);  // u=(0.3,0.3)
+                                0.0);  // u=(0.3,0.3)
     waiting.submit(make_task(2, 1.0, {0.3, 0.3}));  // does not fit yet
     EXPECT_EQ(waiting.pending(), 1u);
   });
@@ -162,16 +183,21 @@ TEST_F(WaitingTest, WaitsForCapacityThenAdmits) {
 TEST_F(WaitingTest, TimesOutWhenNothingFrees) {
   WaitingAdmissionController waiting(sim_, controller_, 0.2);
   waiting.attach();
-  std::vector<bool> decisions;
+  std::vector<AdmissionDecision> decisions;
   waiting.set_decision_callback(
-      [&](const TaskSpec&, bool ok, Time, Time) { decisions.push_back(ok); });
+      [&](const TaskSpec&, const AdmissionDecision& d) {
+        decisions.push_back(d);
+      });
   sim_.at(0.0, [&] {
-    (void)controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 10.0);
+    (void)controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 0.0);
     waiting.submit(make_task(2, 1.0, {0.3, 0.3}));
   });
   sim_.run_until(0.3);
   ASSERT_EQ(decisions.size(), 1u);
-  EXPECT_FALSE(decisions[0]);
+  EXPECT_FALSE(decisions[0].admitted);
+  EXPECT_EQ(decisions[0].reason, AdmissionDecision::Reason::kTimedOut);
+  EXPECT_DOUBLE_EQ(decisions[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(decisions[0].decided_at, 0.2);  // patience exhausted
   EXPECT_EQ(waiting.timed_out(), 1u);
   EXPECT_EQ(waiting.pending(), 0u);
 }
@@ -180,11 +206,12 @@ TEST_F(WaitingTest, FifoOrderPreserved) {
   WaitingAdmissionController waiting(sim_, controller_, 5.0);
   waiting.attach();
   std::vector<std::uint64_t> admitted_order;
-  waiting.set_decision_callback([&](const TaskSpec& s, bool ok, Time, Time) {
-    if (ok) admitted_order.push_back(s.id);
-  });
+  waiting.set_decision_callback(
+      [&](const TaskSpec& s, const AdmissionDecision& d) {
+        if (d.admitted) admitted_order.push_back(s.id);
+      });
   sim_.at(0.0, [&] {
-    (void)controller_.try_admit(make_task(1, 1.0, {0.35, 0.35}), 1.0);
+    (void)controller_.try_admit(make_task(1, 1.0, {0.35, 0.35}), 0.0);
     waiting.submit(make_task(2, 2.0, {0.6, 0.6}));
     waiting.submit(make_task(3, 2.0, {0.02, 0.02}));
     // Task 3 would fit right now, but FIFO holds it behind task 2.
@@ -199,13 +226,16 @@ TEST_F(WaitingTest, FifoOrderPreserved) {
 TEST_F(WaitingTest, ZeroPatienceDecidesSynchronously) {
   WaitingAdmissionController waiting(sim_, controller_, 0.0);
   waiting.attach();
-  std::vector<bool> decisions;
+  std::vector<AdmissionDecision> decisions;
   waiting.set_decision_callback(
-      [&](const TaskSpec&, bool ok, Time, Time) { decisions.push_back(ok); });
-  (void)controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 10.0);
+      [&](const TaskSpec&, const AdmissionDecision& d) {
+        decisions.push_back(d);
+      });
+  (void)controller_.try_admit(make_task(1, 10.0, {3.0, 3.0}), 0.0);
   waiting.submit(make_task(2, 1.0, {0.3, 0.3}));
   ASSERT_EQ(decisions.size(), 1u);
-  EXPECT_FALSE(decisions[0]);
+  EXPECT_FALSE(decisions[0].admitted);
+  EXPECT_EQ(decisions[0].reason, AdmissionDecision::Reason::kTimedOut);
   EXPECT_EQ(waiting.pending(), 0u);
 }
 
@@ -219,9 +249,9 @@ TEST_F(WaitingTest, DecreaseDuringRetryRearmsAndAdmitsCascade) {
   waiting.attach();
   std::vector<std::pair<std::uint64_t, Time>> admitted;
   waiting.set_decision_callback(
-      [&](const TaskSpec& s, bool ok, Time, Time t) {
-        ASSERT_TRUE(ok) << "task " << s.id;
-        admitted.push_back({s.id, t});
+      [&](const TaskSpec& s, const AdmissionDecision& d) {
+        ASSERT_TRUE(d.admitted) << "task " << s.id;
+        admitted.push_back({s.id, d.decided_at});
         // Admitting B frees more capacity: drop blocker Y. This decrease
         // fires while retry() is mid-scan.
         if (s.id == 1) tracker_.remove_task(11);
@@ -268,6 +298,7 @@ TEST_F(SheddingTest, ShedsLessImportantVictims) {
   // Important arrival needs room: shed id 1 (first at lowest importance).
   const auto d = shedder.try_admit(make_task(3, 1.0, {0.2, 0.2}, 9.0));
   EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.reason, AdmissionDecision::Reason::kShed);
   ASSERT_EQ(shed.size(), 1u);
   EXPECT_EQ(shed[0], 1u);
   EXPECT_EQ(shedder.tasks_shed(), 1u);

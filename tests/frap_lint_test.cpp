@@ -112,10 +112,10 @@ TEST(FrapLintRules, R4OnlyAppliesToCoreHeaders) {
       lint_source("src/sched/r4_flag.h", read_fixture("r4_flag.h")).empty());
 }
 
-TEST(FrapLintRules, R5FlagsEntropyClocksAndStdout) {
+TEST(FrapLintRules, R5FlagsEntropyClocksStdoutAndConcurrency) {
   auto fs = findings_for("r5_flag.cpp", "src/sched/r5_flag.cpp",
                          "nondeterminism");
-  EXPECT_EQ(lines_of(fs), (std::vector<int>{5, 10, 12, 16}));
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{5, 10, 12, 16, 20, 21, 23}));
 }
 
 TEST(FrapLintRules, R5PassesSeededRngAndMemberTimeAccess) {
@@ -131,6 +131,17 @@ TEST(FrapLintRules, R5ExemptsRngHelperAndNonLibraryCode) {
       lint_source("src/util/rng.cpp", read_fixture("r5_flag.cpp")).empty());
   EXPECT_TRUE(
       lint_source("tests/r5_flag.cpp", read_fixture("r5_flag.cpp")).empty());
+}
+
+TEST(FrapLintRules, R5ServiceMayUseConcurrencyButNotClocksOrEntropy) {
+  // src/service/ (and metrics/counters.h) may use threads and atomics, but
+  // the entropy/wall-clock/stdout half of the rule still applies there.
+  auto svc = findings_for("r5_flag.cpp", "src/service/r5_flag.cpp",
+                          "nondeterminism");
+  EXPECT_EQ(lines_of(svc), (std::vector<int>{5, 10, 12, 16}));
+  auto counters = findings_for("r5_flag.cpp", "src/metrics/counters.h",
+                               "nondeterminism");
+  EXPECT_EQ(lines_of(counters), (std::vector<int>{5, 10, 12, 16}));
 }
 
 TEST(FrapLintSuppression, DirectivesBindSuppressOrReport) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "metrics/counters.h"
 #include "metrics/histogram.h"
 #include "metrics/utilization_meter.h"
@@ -168,6 +171,50 @@ TEST(HistogramTest, QuantileApproximation) {
 TEST(HistogramTest, QuantileEmpty) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+// --------------------------------------------------------- AtomicCounter ---
+
+TEST(AtomicCounterTest, StartsAtZeroAndIncrements) {
+  AtomicCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.increment(3);
+  EXPECT_EQ(c.value(), 4u);
+}
+
+TEST(AtomicCounterTest, CopySnapshotsValue) {
+  AtomicCounter c;
+  c.increment(7);
+  AtomicCounter snap = c;
+  c.increment();
+  EXPECT_EQ(snap.value(), 7u);
+  EXPECT_EQ(c.value(), 8u);
+}
+
+TEST(AtomicCounterTest, ConcurrentIncrementsAreLossless) {
+  AtomicCounter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(AtomicRatioTrackerTest, TracksHitsOverTotal) {
+  AtomicRatioTracker r;
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+  r.record(true);
+  r.record(true);
+  r.record(false);
+  EXPECT_EQ(r.hits(), 2u);
+  EXPECT_EQ(r.total(), 3u);
+  EXPECT_NEAR(r.ratio(), 2.0 / 3.0, 1e-12);
 }
 
 }  // namespace

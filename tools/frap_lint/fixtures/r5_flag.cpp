@@ -15,3 +15,10 @@ int random_device_marker();
 void bad_stdout(const char* msg) {
   printf("%s", msg);  // line 16
 }
+// Concurrency primitives are banned outside src/service/ and
+// metrics/counters.h (which holds the sanctioned atomics).
+int mutex;  // line 20
+int atomic;  // line 21
+void bad_spawn() {
+  thread(0);  // line 23
+}

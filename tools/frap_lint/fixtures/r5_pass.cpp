@@ -13,3 +13,8 @@ void format(char* buf) { (void)snprintf_like(buf, 16, "x"); }
 struct Clock {
   long time_point = 0;  // identifier merely containing "time"
 };
+long thread_count = 0;  // identifier merely containing "thread"
+struct Task {
+  int mutex_rank;  // not the bare token
+};
+double drain(Worker& w) { return w.atomic(); }  // member, not std::atomic

@@ -62,6 +62,14 @@ bool r5_in_scope(std::string_view f) {
   return starts_with(f, "src/") && !starts_with(f, "src/util/rng.");
 }
 
+// The concurrency half of R5 additionally exempts the sharded admission
+// service (threads are its whole point) and the atomic counters it exports;
+// both still answer to the entropy/wall-clock/stdout checks, so even
+// concurrent code stays replayable and silent.
+bool r5_concurrency_exempt(std::string_view f) {
+  return starts_with(f, "src/service/") || f == "src/metrics/counters.h";
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers. All rules run over `sig`, the comment-free token view.
 
@@ -395,7 +403,9 @@ void rule_missing_nodiscard(const std::string& file, const Tokens& sig,
 // Library code must be replayable bit-for-bit from an explicit seed and must
 // not write to stdout (sinks take an ostream&). Flags ambient entropy
 // (rand/srand/drand48/random_device), wall clocks (time(), clock(),
-// chrono::*_clock), and stdout writes (cout/printf/puts/putchar).
+// chrono::*_clock), stdout writes (cout/printf/puts/putchar), and — outside
+// src/service/ and metrics/counters.h — concurrency primitives (thread,
+// atomic, mutex, condition_variable, ...).
 void rule_nondeterminism(const std::string& file, const Tokens& sig,
                          std::vector<Finding>& out) {
   if (!r5_in_scope(file)) return;
@@ -437,6 +447,19 @@ void rule_nondeterminism(const std::string& file, const Tokens& sig,
                        "stdout write ('" + t.text +
                            "') in library code; report through an ostream& "
                            "parameter or metrics counters"});
+      continue;
+    }
+    if (t.text == "thread" || t.text == "jthread" || t.text == "async" ||
+        t.text == "atomic" || t.text == "atomic_flag" || t.text == "mutex" ||
+        t.text == "shared_mutex" || t.text == "recursive_mutex" ||
+        t.text == "timed_mutex" || t.text == "condition_variable" ||
+        t.text == "condition_variable_any") {
+      if (!member_access && !r5_concurrency_exempt(file))
+        out.push_back({file, t.line, kNondeterminism,
+                       "concurrency primitive '" + t.text +
+                           "' in library code; threads live in "
+                           "src/service/ (metrics/counters.h holds the "
+                           "sanctioned atomics)"});
       continue;
     }
   }
