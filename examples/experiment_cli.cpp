@@ -3,17 +3,57 @@
 //   ./experiment_cli --stages=3 --load=1.5 --resolution=50 --seed=7
 //   ./experiment_cli --admission=approx --patience=200
 //   ./experiment_cli --no-idle-reset --load=2.0
+//
+// `obs` subcommand — traced run, rendered as JSONL or Prometheus text:
+//
+//   ./experiment_cli obs --format=jsonl --seed=7
+//   ./experiment_cli obs --format=prom --out=metrics.prom --load=1.5
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "pipeline/cli.h"
 #include "pipeline/experiment.h"
 
+namespace {
+
+int run_obs_main(const std::vector<std::string>& args) {
+  using namespace frap;
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(pipeline::obs_cli_usage().c_str(), stdout);
+      return 0;
+    }
+  }
+  const auto parsed = pipeline::parse_obs_args(args);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: %s\n\n%s", parsed.error.c_str(),
+                 pipeline::obs_cli_usage().c_str());
+    return 2;
+  }
+  if (parsed.config.out_path.empty()) {
+    return pipeline::run_obs_command(parsed.config, std::cout);
+  }
+  std::ofstream out(parsed.config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 parsed.config.out_path.c_str());
+    return 1;
+  }
+  return pipeline::run_obs_command(parsed.config, out);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace frap;
 
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args.front() == "obs") {
+    return run_obs_main({args.begin() + 1, args.end()});
+  }
   for (const auto& a : args) {
     if (a == "--help" || a == "-h") {
       std::fputs(pipeline::experiment_cli_usage().c_str(), stdout);

@@ -58,18 +58,29 @@ std::vector<double> AdmissionController::contributions_for(
   return c;
 }
 
-double AdmissionController::incremental_lhs_with(const TaskSpec& spec,
-                                                 double lhs_before) const {
+double AdmissionController::incremental_lhs_with(
+    const TaskSpec& spec, double lhs_before,
+    std::uint16_t* touched_out) const {
   const double inv_d = util::safe_inv(spec.deadline);
   const std::size_t n = region_.num_stages();
   double delta = 0;
+  std::uint16_t touched = 0;
+  bool saturated = false;
   for (std::size_t j = 0; j < n; ++j) {
     const double c = contribution(spec, j, inv_d);
     if (c <= 0) continue;  // sparse task: untouched stage, no delta
+    ++touched;
+    if (saturated) continue;  // only the touched count still matters
     const double u_new = tracker_.utilization(j) + c;
-    if (u_new >= 1.0) return util::kInf;  // the task saturates stage j
+    if (u_new >= 1.0) {  // the task saturates stage j
+      if (touched_out == nullptr) return util::kInf;
+      saturated = true;  // keep scanning so the count covers every stage
+      continue;
+    }
     delta += stage_delay_factor(u_new) - tracker_.stage_lhs_term(j);
   }
+  if (touched_out != nullptr) *touched_out = touched;
+  if (saturated) return util::kInf;
   // lhs_before is +infinity while some stage is already saturated; adding a
   // finite delta keeps it +infinity, as the full evaluation would.
   return lhs_before + delta;
@@ -92,6 +103,16 @@ void AdmissionController::record_audit(const TaskSpec& spec,
   }
 }
 
+std::uint16_t AdmissionController::touched_stages(const TaskSpec& spec) const {
+  std::uint16_t k = 0;
+  for (std::size_t j = 0; j < region_.num_stages(); ++j) {
+    const Duration c =
+        mean_compute_.empty() ? spec.stages[j].compute : mean_compute_[j];
+    if (c > 0) ++k;
+  }
+  return k;
+}
+
 bool AdmissionController::test(const TaskSpec& spec) const {
   FRAP_EXPECTS(spec.deadline > 0);
   FRAP_EXPECTS(spec.num_stages() == region_.num_stages());
@@ -101,6 +122,7 @@ bool AdmissionController::test(const TaskSpec& spec) const {
 AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
                                                  Time now) {
   ++attempts_;
+  const std::uint64_t t0 = sink_ != nullptr ? sink_->begin_decision() : 0;
   // Admission reads only deadline and per-stage computes; the full
   // spec.valid() walk (segment sums) is the runtime's precondition and too
   // expensive for the attempt hot path.
@@ -112,7 +134,9 @@ AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
   d.decided_at = sim_.now();
   d.bound = region_.bound();
   d.lhs_before = tracker_.cached_lhs();
-  d.lhs_with_task = incremental_lhs_with(spec, d.lhs_before);
+  std::uint16_t touched = 0;
+  d.lhs_with_task = incremental_lhs_with(
+      spec, d.lhs_before, sink_ != nullptr ? &touched : nullptr);
   d.admitted = region_.admits(d.lhs_with_task);
   d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
                         : reject_reason(d.lhs_with_task);
@@ -122,6 +146,7 @@ AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
     commit(spec, now + spec.deadline);
   }
   record_audit(spec, d);
+  if (sink_ != nullptr) sink_->record(d, spec.id, touched, t0);
   return d;
 }
 
@@ -152,6 +177,8 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
   decisions_.clear();
   for (const TaskSpec& spec : specs) {
     ++inner_.attempts_;
+    obs::DecisionSink* sink = inner_.sink_;
+    const std::uint64_t t0 = sink != nullptr ? sink->begin_decision() : 0;
     FRAP_EXPECTS(spec.deadline > 0);
     FRAP_EXPECTS(spec.num_stages() == n);
     const double inv_d = util::safe_inv(spec.deadline);
@@ -192,6 +219,8 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
       lhs = tracker.cached_lhs();
     }
     inner_.record_audit(spec, d);
+    if (sink != nullptr)
+      sink->record(d, spec.id, inner_.touched_stages(spec), t0);
     decisions_.push_back(d);
   }
   return decisions_;
@@ -346,6 +375,7 @@ GraphAdmissionController::GraphAdmissionController(
 AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
                                                       Time now) {
   ++attempts_;
+  const std::uint64_t t0 = sink_ != nullptr ? sink_->begin_decision() : 0;
   FRAP_EXPECTS(spec.valid(tracker_.num_stages()));
   const auto add = spec.resource_contributions(tracker_.num_stages());
   auto u = tracker_.utilizations();
@@ -364,6 +394,13 @@ AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
   if (d.admitted) {
     ++admitted_;
     tracker_.add(spec.id, add, now + spec.deadline);
+  }
+  if (sink_ != nullptr) {
+    std::uint16_t touched = 0;
+    for (double a : add) {
+      if (a > 0) ++touched;
+    }
+    sink_->record(d, spec.id, touched, t0);
   }
   return d;
 }

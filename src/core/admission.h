@@ -53,6 +53,7 @@
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
 #include "core/task_graph.h"
+#include "obs/decision_sink.h"
 #include "service/admitter.h"
 #include "sim/simulator.h"
 
@@ -111,6 +112,13 @@ class AdmissionController : public Admitter {
   // Optional decision auditing; the audit must outlive the controller.
   void set_audit(AdmissionAudit* audit) { audit_ = audit; }
 
+  // Optional decision tracing (docs/observability.md); the sink must
+  // outlive the controller. Tracing is passive: it NEVER changes a decision
+  // (tests/obs_trace_test.cpp proves bit-identical decisions on/off), and a
+  // null sink costs one predictable branch on the hot path.
+  void set_sink(obs::DecisionSink* sink) { sink_ = sink; }
+  [[nodiscard]] obs::DecisionSink* sink() const { return sink_; }
+
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t admitted() const { return admitted_; }
   double acceptance_ratio() const {
@@ -136,14 +144,22 @@ class AdmissionController : public Admitter {
   }
 
   // LHS including the task, computed incrementally from the tracker's
-  // cached per-stage f-terms; allocation-free, O(touched stages).
-  double incremental_lhs_with(const TaskSpec& spec, double lhs_before) const;
+  // cached per-stage f-terms; allocation-free, O(touched stages). When
+  // touched_out is non-null it receives the touched-stage count (c_j > 0),
+  // piggybacked on the loop this evaluation already runs so an attached
+  // DecisionSink never pays a second pass over the stages.
+  double incremental_lhs_with(const TaskSpec& spec, double lhs_before,
+                              std::uint16_t* touched_out = nullptr) const;
 
   // Commits an admitted task's contributions via the reusable scratch
   // buffer (no per-call allocation beyond the tracker's task record).
   void commit(const TaskSpec& spec, Time absolute_deadline);
 
   void record_audit(const TaskSpec& spec, const AdmissionDecision& d);
+
+  // Stages the task contributes to (c_j > 0) under the active admission
+  // mode; only evaluated when a sink is attached.
+  std::uint16_t touched_stages(const TaskSpec& spec) const;
 
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
@@ -152,6 +168,7 @@ class AdmissionController : public Admitter {
   std::vector<double> scratch_;         // reused contribution buffer
   double contribution_scale_ = 1.0;     // 1/w under a quota plan
   AdmissionAudit* audit_ = nullptr;
+  obs::DecisionSink* sink_ = nullptr;
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
 };
@@ -315,12 +332,17 @@ class GraphAdmissionController : public Admitter {
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t admitted() const { return admitted_; }
 
+  // Optional decision tracing; same passivity contract as
+  // AdmissionController::set_sink.
+  void set_sink(obs::DecisionSink* sink) { sink_ = sink; }
+
  private:
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
   GraphRegionEvaluator evaluator_;
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
+  obs::DecisionSink* sink_ = nullptr;
 };
 
 }  // namespace frap::core

@@ -8,23 +8,9 @@ namespace frap::metrics {
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
-      counts_(buckets, 0) {
+      inv_width_(1.0 / width_), counts_(buckets, 0) {
   FRAP_EXPECTS(hi > lo);
   FRAP_EXPECTS(buckets >= 1);
-}
-
-void Histogram::add(double x) {
-  std::size_t i;
-  if (x < lo_) {
-    i = 0;
-  } else if (x >= hi_) {
-    i = counts_.size() - 1;
-  } else {
-    i = static_cast<std::size_t>((x - lo_) / width_);
-    if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge case at hi_
-  }
-  ++counts_[i];
-  ++total_;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {

@@ -1,8 +1,12 @@
 // Fixed-range linear histogram for distribution-shaped metrics (response
-// times, stage delays). Out-of-range samples are clamped into the edge
-// buckets so totals always match the number of samples.
+// times, stage delays). Out-of-range samples (including infinities) are
+// clamped into the edge buckets so totals always match the number of finite
+// or infinite samples; NaN is counted separately in nan_rejected() and never
+// enters a bucket. Exact bucket edges always land in the bucket whose left
+// edge they are, even when (x - lo)/width rounds across the edge.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -13,11 +17,62 @@ class Histogram {
   // Buckets partition [lo, hi) evenly. Requires hi > lo and buckets >= 1.
   Histogram(double lo, double hi, std::size_t buckets);
 
-  void add(double x);
+  // Inline: this sits on per-decision observability hot paths where an
+  // out-of-line call is a measurable fraction of the budget.
+  void add(double x) {
+    if (std::isnan(x)) {
+      // static_cast<size_t> of NaN is undefined behavior; count the reject
+      // so a poisoned input stream is visible instead of silently vanishing.
+      ++nan_rejected_;
+      return;
+    }
+    if (std::isfinite(x)) {
+      add_finite(x);
+      return;
+    }
+    // +/-infinity clamps into the edge bucket but never enters sum_.
+    ++counts_[x < 0 ? 0 : counts_.size() - 1];
+    ++total_;
+  }
+
+  // add() for callers that guarantee a FINITE x by construction (e.g. a
+  // difference of two values already checked finite, or a converted
+  // integer). Skips the NaN/infinity classification branches, which are a
+  // measurable slice of the per-decision observability budget.
+  void add_finite(double x) {
+    std::size_t i;
+    if (x < lo_) {
+      i = 0;
+    } else if (x >= hi_) {
+      i = counts_.size() - 1;
+    } else {
+      i = static_cast<std::size_t>((x - lo_) * inv_width_);
+      if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge case at hi_
+      // (x - lo_) * inv_width_ can round across an exact bucket edge in
+      // either direction (e.g. (0.3 - 0)/0.1 -> 2.999...). Snap against the
+      // same expressions bucket_lo()/bucket_hi() use so x always lands in
+      // the bucket satisfying lo(i) <= x < hi(i).
+      if (i > 0 && x < lo_ + width_ * static_cast<double>(i)) {
+        --i;
+      } else if (i + 1 < counts_.size() &&
+                 x >= lo_ + width_ * static_cast<double>(i + 1)) {
+        ++i;
+      }
+    }
+    ++counts_[i];
+    ++total_;
+    sum_ += x;
+  }
 
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   std::uint64_t total() const { return total_; }
+  // NaN inputs handed to add(): counted here, never bucketed.
+  std::uint64_t nan_rejected() const { return nan_rejected_; }
+  // Sum of the FINITE samples added (infinities are bucketed but would
+  // poison the sum, so they are excluded here; exporters pair this with
+  // total() for Prometheus `_sum`/`_count`).
+  double sum() const { return sum_; }
 
   // Left / right edge of bucket i.
   double bucket_lo(std::size_t i) const;
@@ -31,8 +86,13 @@ class Histogram {
   double lo_;
   double hi_;
   double width_;
+  // 1/width_, so add() multiplies instead of paying a hardware divide per
+  // sample; the edge-snap in add() absorbs the (identical-class) rounding.
+  double inv_width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_rejected_ = 0;
+  double sum_ = 0;
 };
 
 }  // namespace frap::metrics

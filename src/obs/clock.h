@@ -1,0 +1,56 @@
+// The observability clock seam.
+//
+// Decision-latency measurement needs a real monotonic clock, but library
+// code must stay replayable bit-for-bit (frap-lint R5): experiments and
+// tests cannot depend on wall time. The seam is this tiny interface — every
+// obs component takes a `const Clock&` and calls now_nanos(); production
+// wires monotonic_clock() (the ONLY wall-clock read in src/, confined to
+// clock.cpp, see docs/static_analysis.md), while tests and simulations wire
+// a ManualClock they advance explicitly, so traced runs stay deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace frap::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic nanoseconds since an arbitrary epoch. Must never decrease.
+  [[nodiscard]] virtual std::uint64_t now_nanos() const = 0;
+
+ protected:
+  Clock() = default;
+  Clock(const Clock&) = default;
+  Clock& operator=(const Clock&) = default;
+};
+
+// The process-wide monotonic wall clock (std::chrono::steady_clock).
+// Reference stays valid for the whole process lifetime.
+const Clock& monotonic_clock();
+
+// Deterministic clock for tests and simulated runs: time moves only when
+// the owner advances it. The counter is a relaxed atomic so a test driver
+// may advance while traced admission shards read concurrently.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_nanos = 0) : t_(start_nanos) {}
+
+  [[nodiscard]] std::uint64_t now_nanos() const override {
+    return t_.load(std::memory_order_relaxed);
+  }
+
+  void advance(std::uint64_t nanos) {
+    t_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t nanos) {
+    t_.store(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> t_;
+};
+
+}  // namespace frap::obs

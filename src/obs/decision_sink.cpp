@@ -1,0 +1,39 @@
+#include "obs/decision_sink.h"
+
+#include <cmath>
+
+namespace frap::obs {
+
+DecisionSink::DecisionSink(std::uint16_t shard, const SinkConfig& cfg,
+                           const Clock& clock)
+    : shard_(shard),
+      clock_(&clock),
+      sample_period_(cfg.latency_sample_period),
+      sample_countdown_(cfg.latency_sample_period),
+      latency_nanos_(cfg.latency_lo_nanos, cfg.latency_hi_nanos,
+                     cfg.latency_buckets),
+      headroom_(cfg.headroom_lo, cfg.headroom_hi, cfg.headroom_buckets),
+      ring_(cfg.ring_capacity) {}
+
+void DecisionSink::record_span(SpanKind kind, const core::AdmissionDecision& d,
+                               std::uint64_t task_id, std::uint16_t touched) {
+  ++span_events_;
+  push_event(kind, d, task_id, touched, 0);
+}
+
+SinkSnapshot DecisionSink::snapshot() const {
+  SinkSnapshot snap{shard_,
+                    {},
+                    span_events_,
+                    ring_.pushed(),
+                    ring_.dropped(),
+                    ring_.overwritten(),
+                    latency_nanos_,
+                    headroom_};
+  for (std::size_t i = 0; i < kReasonCount; ++i) {
+    snap.decisions_by_reason[i] = decisions_by_reason_[i];
+  }
+  return snap;
+}
+
+}  // namespace frap::obs

@@ -1,0 +1,114 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace frap::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)), mask_(slots_.size() - 1) {
+  FRAP_EXPECTS(capacity >= 1);
+}
+
+void TraceRing::unpack_meta(std::uint64_t meta, DecisionEvent& ev) {
+  ev.reason = static_cast<core::AdmissionDecision::Reason>(meta & 0xF);
+  ev.kind = static_cast<SpanKind>((meta >> 4) & 0x3);
+  ev.admitted = ((meta >> 6) & 1) != 0;
+  ev.shard = static_cast<std::uint16_t>((meta >> 8) & 0xFFFF);
+  ev.touched = static_cast<std::uint16_t>((meta >> 24) & 0xFFFF);
+  ev.latency_nanos = meta >> 40;
+}
+
+void TraceRing::push(const DecisionEvent& ev) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & mask_];
+
+  std::uint64_t prev = s.seq.load(std::memory_order_relaxed);
+  if ((prev & 1) != 0 ||
+      !s.seq.compare_exchange_strong(prev, prev | 1,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+    // A producer from a previous lap still owns the slot: overwrite-by-drop,
+    // never block (the loss is counted, docs/observability.md).
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (prev != 0) overwritten_.fetch_add(1, std::memory_order_relaxed);
+
+  // Keep the field stores from becoming visible before the odd claim above,
+  // mirroring push_serialized(): a reader that sees any new field then sees
+  // the claim on its acquire re-check and discards the copy.
+  std::atomic_thread_fence(std::memory_order_release);
+
+  s.task_id.store(ev.task_id, std::memory_order_relaxed);
+  s.arrival.store(ev.arrival, std::memory_order_relaxed);
+  s.decided_at.store(ev.decided_at, std::memory_order_relaxed);
+  s.lhs_before.store(ev.lhs_before, std::memory_order_relaxed);
+  s.lhs_with_task.store(ev.lhs_with_task, std::memory_order_relaxed);
+  s.bound.store(ev.bound, std::memory_order_relaxed);
+  s.meta.store(pack_meta(ev), std::memory_order_relaxed);
+
+  s.seq.store((ticket + 1) << 1, std::memory_order_release);
+
+  // A large ring streams through memory, so the NEXT slot's line is cold
+  // and the claim CAS above would stall a full cache miss. Prefetching it
+  // now (write intent) overlaps that miss with the admission work between
+  // decisions.
+  __builtin_prefetch(&slots_[(ticket + 1) & mask_], 1, 1);
+}
+
+std::vector<DecisionEvent> TraceRing::snapshot() const {
+  std::vector<DecisionEvent> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+
+    DecisionEvent ev;
+    ev.task_id = s.task_id.load(std::memory_order_relaxed);
+    ev.arrival = s.arrival.load(std::memory_order_relaxed);
+    ev.decided_at = s.decided_at.load(std::memory_order_relaxed);
+    ev.lhs_before = s.lhs_before.load(std::memory_order_relaxed);
+    ev.lhs_with_task = s.lhs_with_task.load(std::memory_order_relaxed);
+    ev.bound = s.bound.load(std::memory_order_relaxed);
+    unpack_meta(s.meta.load(std::memory_order_relaxed), ev);
+
+    // Seqlock validation: the fence orders the field loads above before the
+    // re-read of seq, so a changed sequence means the copy may mix laps and
+    // is discarded.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) continue;
+    ev.ticket = (s1 >> 1) - 1;
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DecisionEvent& a, const DecisionEvent& b) {
+              return a.ticket < b.ticket;
+            });
+  return out;
+}
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kDecision:
+      return "decision";
+    case SpanKind::kFallback:
+      return "fallback";
+    case SpanKind::kRebalance:
+      return "rebalance";
+  }
+  return "unknown";
+}
+
+}  // namespace frap::obs

@@ -2,6 +2,10 @@
 
 #include <cstdlib>
 
+#include "obs/clock.h"
+#include "obs/observer.h"
+#include "obs/prometheus.h"
+
 namespace frap::pipeline {
 
 namespace {
@@ -131,6 +135,80 @@ CliParseResult parse_experiment_args(const std::vector<std::string>& args) {
   cfg.patience = patience_ms * kMilli;
   r.ok = true;
   return r;
+}
+
+ObsCliParseResult parse_obs_args(const std::vector<std::string>& args) {
+  ObsCliParseResult r;
+  std::vector<std::string> experiment_args;
+  for (const auto& arg : args) {
+    std::string key;
+    std::string value;
+    if (!split_flag(arg, key, value)) {
+      r.error = "expected --key[=value], got: " + arg;
+      return r;
+    }
+    std::uint64_t u = 0;
+    if (key == "format") {
+      if (value == "jsonl") {
+        r.config.format = ObsFormat::kJsonl;
+      } else if (value == "prom") {
+        r.config.format = ObsFormat::kPrometheus;
+      } else {
+        r.error = "unknown obs format: " + value;
+        return r;
+      }
+    } else if (key == "out" && !value.empty()) {
+      r.config.out_path = value;
+    } else if (key == "ring" && parse_u64(value, u) && u >= 1) {
+      r.config.ring_capacity = static_cast<std::size_t>(u);
+    } else {
+      experiment_args.push_back(arg);
+    }
+  }
+  CliParseResult exp = parse_experiment_args(experiment_args);
+  if (!exp.ok) {
+    r.error = exp.error;
+    return r;
+  }
+  r.config.experiment = exp.config;
+  r.ok = true;
+  return r;
+}
+
+int run_obs_command(const ObsCliConfig& cfg, std::ostream& os) {
+  // ManualClock + sampling off: the rendered page depends only on flags and
+  // seed, never on host timing, so goldens and replays stay stable.
+  obs::ManualClock clock;
+  obs::SinkConfig sink_cfg;
+  sink_cfg.ring_capacity = cfg.ring_capacity;
+  sink_cfg.latency_sample_period = 0;
+  obs::Observer observer(1, sink_cfg, &clock,
+                         cfg.experiment.workload.num_stages());
+
+  ExperimentConfig ecfg = cfg.experiment;
+  ecfg.observer = &observer;
+  (void)run_experiment(ecfg);
+
+  if (cfg.format == ObsFormat::kJsonl) {
+    obs::render_jsonl(observer.trace(), os);
+  } else {
+    obs::render_prometheus(observer.snapshot(), os);
+  }
+  return os.good() ? 0 : 1;
+}
+
+std::string obs_cli_usage() {
+  return
+      "usage: experiment_cli obs [--format=jsonl|prom] [--out=PATH]\n"
+      "                          [--ring=N] [experiment flags...]\n"
+      "  --format=F          jsonl (decision trace, default) or prom\n"
+      "                      (Prometheus text exposition)\n"
+      "  --out=PATH          write to PATH instead of stdout\n"
+      "  --ring=N            trace-ring capacity, rounded up to a power of\n"
+      "                      two (default 65536)\n"
+      "  plus any experiment flag (see `experiment_cli --help`). Only the\n"
+      "  exact/approx admission modes emit decision events; stage gauges\n"
+      "  render in every mode.\n";
 }
 
 std::string experiment_cli_usage() {

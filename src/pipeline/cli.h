@@ -20,6 +20,7 @@
 //   --no-idle-reset       disable the idle reset (ablation)
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -38,5 +39,42 @@ CliParseResult parse_experiment_args(const std::vector<std::string>& args);
 
 // The flag reference above, for --help output.
 std::string experiment_cli_usage();
+
+// --- `obs` subcommand -----------------------------------------------------
+//
+// `experiment_cli obs [--format=jsonl|prom] [--out=PATH] [--ring=N]
+//  [experiment flags...]` runs one traced experiment and renders either the
+// decision trace as JSONL or the aggregated metrics as a Prometheus text
+// page (docs/observability.md). The run is fully deterministic: the
+// observer is wired with a ManualClock and latency sampling off, so the
+// rendered output depends only on the flags and seed.
+
+enum class ObsFormat {
+  kJsonl,       // one JSON object per DecisionEvent
+  kPrometheus,  // text exposition format 0.0.4
+};
+
+struct ObsCliConfig {
+  ObsFormat format = ObsFormat::kJsonl;
+  std::string out_path;  // empty = caller decides (stdout)
+  std::size_t ring_capacity = std::size_t{1} << 16;
+  ExperimentConfig experiment;
+};
+
+struct ObsCliParseResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  ObsCliConfig config;
+};
+
+// Parses the arguments AFTER the `obs` word (obs-specific flags are
+// consumed here; everything else must be a valid experiment flag).
+ObsCliParseResult parse_obs_args(const std::vector<std::string>& args);
+
+std::string obs_cli_usage();
+
+// Runs the traced experiment and renders cfg.format to `os`. Returns the
+// process exit code (0 = success).
+int run_obs_command(const ObsCliConfig& cfg, std::ostream& os);
 
 }  // namespace frap::pipeline

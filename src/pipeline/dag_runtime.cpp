@@ -33,6 +33,12 @@ void DagRuntime::set_priority_policy(
   policy_ = std::move(policy);
 }
 
+void DagRuntime::set_stage_observer(obs::StageObserver* observer) {
+  FRAP_EXPECTS(observer == nullptr ||
+               observer->num_stages() == servers_.size());
+  stage_obs_ = observer;
+}
+
 void DagRuntime::start_task(const core::GraphTaskSpec& spec,
                             Time absolute_deadline) {
   FRAP_EXPECTS(spec.valid(servers_.size()));
@@ -47,6 +53,7 @@ void DagRuntime::start_task(const core::GraphTaskSpec& spec,
   exec.pending_preds.assign(spec.nodes.size(), 0);
   exec.successors.assign(spec.nodes.size(), {});
   exec.jobs.resize(spec.nodes.size());
+  exec.node_release.assign(spec.nodes.size(), kTimeZero);
   exec.nodes_left_on_resource.assign(servers_.size(), 0);
   for (const auto& e : spec.edges) {
     ++exec.pending_preds[e.to];
@@ -76,6 +83,10 @@ void DagRuntime::release_node(Exec& exec, std::size_t node) {
   exec.jobs[node] = std::make_unique<sched::Job>(
       job_id, exec.priority, exec.spec.nodes[node].demand.make_segments());
   job_context_.emplace(job_id, JobContext{exec.spec.id, node});
+  exec.node_release[node] = sim_.now();
+  if (stage_obs_ != nullptr) {
+    stage_obs_->on_enqueue(exec.spec.nodes[node].resource, sim_.now());
+  }
   servers_[exec.spec.nodes[node].resource]->submit(*exec.jobs[node]);
 }
 
@@ -90,6 +101,9 @@ void DagRuntime::on_node_complete(sched::Job& job) {
   Exec& exec = et->second;
 
   const std::size_t resource = exec.spec.nodes[ctx.node].resource;
+  if (stage_obs_ != nullptr) {
+    stage_obs_->on_depart(resource, exec.node_release[ctx.node], sim_.now());
+  }
   FRAP_ASSERT(exec.nodes_left_on_resource[resource] > 0);
   if (--exec.nodes_left_on_resource[resource] == 0) {
     if (tracker_ != nullptr) tracker_->mark_departed(ctx.task_id, resource);
@@ -135,6 +149,10 @@ void DagRuntime::abort_task(std::uint64_t task_id) {
     if (job == nullptr) continue;  // node never released
     if (job->on_server) {
       servers_[exec.spec.nodes[node].resource]->abort(*job);
+      if (stage_obs_ != nullptr) {
+        stage_obs_->on_depart(exec.spec.nodes[node].resource,
+                              exec.node_release[node], sim_.now());
+      }
     }
     job_context_.erase(job->id);
   }

@@ -18,6 +18,7 @@
 #include "core/synthetic_utilization.h"
 #include "core/task_graph.h"
 #include "metrics/counters.h"
+#include "obs/stage_observer.h"
 #include "pipeline/trace.h"
 #include "sched/stage_server.h"
 #include "sim/simulator.h"
@@ -50,6 +51,12 @@ class DagRuntime {
   // Optional lifecycle tracing (Release / StageDeparture(resource) /
   // Complete). The log must outlive the runtime; nullptr detaches.
   void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Optional per-resource gauges (queue depth, node sojourn histograms; one
+  // observer "stage" per resource). Must outlive the runtime; nullptr
+  // detaches. Every node release is an enqueue on its resource and every
+  // node completion (or abort of a released node) a departure.
+  void set_stage_observer(obs::StageObserver* observer);
 
   // Releases an admitted DAG task now; all source nodes enter their
   // resources immediately.
@@ -87,6 +94,7 @@ class DagRuntime {
     std::vector<std::size_t> pending_preds;  // per node
     std::vector<std::vector<std::size_t>> successors;
     std::vector<std::unique_ptr<sched::Job>> jobs;  // per node
+    std::vector<Time> node_release;                 // per node (if released)
     std::vector<std::size_t> nodes_left_on_resource;  // per resource
     std::size_t nodes_remaining = 0;
   };
@@ -100,6 +108,7 @@ class DagRuntime {
   std::function<sched::PriorityValue(const core::GraphTaskSpec&)> policy_;
   CompletionCallback on_complete_;
   TraceLog* trace_ = nullptr;
+  obs::StageObserver* stage_obs_ = nullptr;
 
   struct JobContext {
     std::uint64_t task_id;

@@ -9,6 +9,7 @@
 #include "core/baselines.h"
 #include "core/feasible_region.h"
 #include "core/synthetic_utilization.h"
+#include "obs/observer.h"
 #include "pipeline/pipeline_runtime.h"
 #include "sim/simulator.h"
 #include "util/check.h"
@@ -68,6 +69,15 @@ struct Harness {
     if (cfg.patience > 0 && controller.has_value()) {
       waiting.emplace(sim, *controller, cfg.patience);
       waiting->attach();
+    }
+
+    if (cfg.observer != nullptr) {
+      if (controller.has_value()) {
+        controller->set_sink(&cfg.observer->sink(0));
+      }
+      if (cfg.observer->has_stage_observer()) {
+        runtime.set_stage_observer(&cfg.observer->stage_observer());
+      }
     }
   }
 

@@ -10,6 +10,10 @@
 #include "util/time.h"
 #include "workload/pipeline_workload.h"
 
+namespace frap::obs {
+class Observer;
+}  // namespace frap::obs
+
 namespace frap::pipeline {
 
 enum class AdmissionMode {
@@ -35,6 +39,13 @@ struct ExperimentConfig {
   PriorityMode priority = PriorityMode::kDeadlineMonotonic;
   bool idle_reset = true;       // ablation A1
   Duration patience = 0;        // >0: waiting admission (Sec. 5 style)
+
+  // Optional decision/stage tracing (docs/observability.md): sink 0 feeds
+  // the admission controller (exact/approximate modes only) and the
+  // observer's stage observer, when it has one, is wired into the runtime
+  // (must then match the workload's stage count). Must outlive the run;
+  // tracing never changes decisions or results.
+  obs::Observer* observer = nullptr;
 };
 
 struct ExperimentResult {

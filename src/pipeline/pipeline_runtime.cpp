@@ -33,6 +33,12 @@ void PipelineRuntime::set_priority_policy(PriorityPolicy policy) {
   policy_ = std::move(policy);
 }
 
+void PipelineRuntime::set_stage_observer(obs::StageObserver* observer) {
+  FRAP_EXPECTS(observer == nullptr ||
+               observer->num_stages() == servers_.size());
+  stage_obs_ = observer;
+}
+
 void PipelineRuntime::start_task(const core::TaskSpec& spec,
                                  Time absolute_deadline) {
   FRAP_EXPECTS(spec.valid());
@@ -55,6 +61,8 @@ void PipelineRuntime::start_task(const core::TaskSpec& spec,
 
 void PipelineRuntime::submit_to_stage(Exec& exec, std::size_t stage) {
   exec.current_stage = stage;
+  exec.stage_enter = sim_.now();
+  if (stage_obs_ != nullptr) stage_obs_->on_enqueue(stage, exec.stage_enter);
   const std::uint64_t job_id = next_job_id_++;
   exec.job = std::make_unique<sched::Job>(
       job_id, exec.priority, exec.spec.stages[stage].make_segments());
@@ -77,6 +85,9 @@ void PipelineRuntime::on_stage_complete(std::size_t stage, sched::Job& job) {
   if (trace_ != nullptr) {
     trace_->record(sim_.now(), TraceEventKind::kStageDeparture, task_id,
                    stage);
+  }
+  if (stage_obs_ != nullptr) {
+    stage_obs_->on_depart(stage, exec.stage_enter, sim_.now());
   }
 
   if (stage + 1 < servers_.size()) {
@@ -111,6 +122,11 @@ void PipelineRuntime::abort_task(std::uint64_t task_id) {
   if (exec.job != nullptr) {
     job_to_task_.erase(exec.job->id);
     servers_[exec.current_stage]->abort(*exec.job);
+    if (stage_obs_ != nullptr) {
+      // The shed task still leaves its stage queue; depart it here so the
+      // observer's depth gauge conserves (enqueues == departs + in-flight).
+      stage_obs_->on_depart(exec.current_stage, exec.stage_enter, sim_.now());
+    }
   }
   execs_.erase(et);
   ++aborted_;

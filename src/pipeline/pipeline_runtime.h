@@ -17,6 +17,7 @@
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
 #include "metrics/counters.h"
+#include "obs/stage_observer.h"
 #include "pipeline/trace.h"
 #include "sched/stage_server.h"
 #include "sim/simulator.h"
@@ -50,6 +51,12 @@ class PipelineRuntime {
   // Optional lifecycle tracing (Release / StageDeparture / Complete / Shed
   // events). The log must outlive the runtime; pass nullptr to detach.
   void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  // Optional per-stage gauges (queue depth, sojourn histograms; see
+  // docs/observability.md). Must have num_stages() stages and outlive the
+  // runtime; nullptr detaches. Aborted tasks depart their current stage so
+  // queue-depth gauges conserve.
+  void set_stage_observer(obs::StageObserver* observer);
 
   // Callback at task completion: (spec, response_time, missed_deadline).
   using CompletionCallback =
@@ -97,6 +104,7 @@ class PipelineRuntime {
     Time absolute_deadline = kTimeZero;
     sched::PriorityValue priority = 0;
     std::size_t current_stage = 0;
+    Time stage_enter = kTimeZero;  // when it entered current_stage's queue
     std::unique_ptr<sched::Job> job;  // job on the current stage
   };
 
@@ -109,6 +117,7 @@ class PipelineRuntime {
   PriorityPolicy policy_;
   CompletionCallback on_complete_;
   TraceLog* trace_ = nullptr;
+  obs::StageObserver* stage_obs_ = nullptr;
 
   // Job ids are globally unique per runtime; map back to the owning task.
   std::unordered_map<std::uint64_t, std::uint64_t> job_to_task_;

@@ -166,6 +166,23 @@ core::AdmissionDecision ShardedAdmissionService::fallback(
   for (const auto& sh : shards_) locks.emplace_back(sh->mu);
 
   const Time eff = advance_all_locked(now);
+  AdmissionDecision d = fallback_decide_locked(origin, spec, now, eff);
+  if (observer_ != nullptr) {
+    // The admitting shard's sink already recorded the local decision (with
+    // its pre-override reason); the service-level span carries the FINAL
+    // reason so the two can be correlated by task_id.
+    std::uint16_t touched = 0;
+    for (double c : spec.contributions()) {
+      if (c > 0) ++touched;
+    }
+    observer_->service_sink().record_span(obs::SpanKind::kFallback, d,
+                                          spec.id, touched);
+  }
+  return d;
+}
+
+core::AdmissionDecision ShardedAdmissionService::fallback_decide_locked(
+    std::size_t origin, const core::TaskSpec& spec, Time now, Time eff) {
   const std::vector<std::size_t> order = shards_by_headroom_locked();
 
   // Pass 1: some shard may already have local headroom for the task (the
@@ -258,6 +275,20 @@ void ShardedAdmissionService::rebalance(Time now) {
     apply_weight_locked(*shards_[k], w[k]);
   }
   rebalances_.increment();
+  if (observer_ != nullptr) {
+    // Rebalance span: no task, but the global LHS at the instant the
+    // weights moved (lhs_before == lhs_with_task) anchors the event in the
+    // region's trajectory.
+    AdmissionDecision d;
+    d.admitted = true;
+    d.reason = AdmissionDecision::Reason::kAdmitted;
+    d.bound = region_.bound();
+    d.lhs_before = region_.lhs(true_utilizations_locked());
+    d.lhs_with_task = d.lhs_before;
+    d.arrival = now;
+    d.decided_at = now;
+    observer_->service_sink().record_span(obs::SpanKind::kRebalance, d, 0, 0);
+  }
 }
 
 void ShardedAdmissionService::maybe_auto_rebalance(Time now) {
@@ -287,6 +318,33 @@ ServiceStats ShardedAdmissionService::stats() const {
     s.shards.push_back(out);
   }
   return s;
+}
+
+void ShardedAdmissionService::enable_tracing(const obs::SinkConfig& sink_cfg,
+                                             const obs::Clock* clock) {
+  std::scoped_lock g(global_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+  FRAP_EXPECTS(observer_ == nullptr);
+  observer_ = std::make_unique<obs::Observer>(shards_.size(), sink_cfg, clock);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->controller.set_sink(&observer_->sink(k));
+  }
+}
+
+obs::Observer& ShardedAdmissionService::observer() {
+  FRAP_EXPECTS(observer_ != nullptr);
+  return *observer_;
+}
+
+obs::MetricsSnapshot ShardedAdmissionService::obs_snapshot() const {
+  FRAP_EXPECTS(observer_ != nullptr);
+  std::scoped_lock g(global_mu_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sh : shards_) locks.emplace_back(sh->mu);
+  return observer_->snapshot();
 }
 
 std::vector<double> ShardedAdmissionService::global_utilizations(Time now) {

@@ -51,6 +51,7 @@
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
 #include "metrics/counters.h"
+#include "obs/observer.h"
 #include "service/admitter.h"
 #include "service/quota.h"
 #include "sim/simulator.h"
@@ -136,6 +137,24 @@ class ShardedAdmissionService final : public Admitter {
   const core::FeasibleRegion& region() const { return region_; }
   const ShardedAdmissionConfig& config() const { return cfg_; }
 
+  // Decision tracing (docs/observability.md): builds one Observer with a
+  // DecisionSink per shard (ring + histograms, serialized by that shard's
+  // mutex) plus a service-level sink that receives kFallback / kRebalance
+  // span events under global_mu_. Call once, before concurrent use; a null
+  // clock wires the real monotonic clock (tests pass a ManualClock).
+  void enable_tracing(const obs::SinkConfig& sink_cfg = {},
+                      const obs::Clock* clock = nullptr);
+  [[nodiscard]] bool tracing_enabled() const { return observer_ != nullptr; }
+
+  // The live observer (tracing must be enabled). Reading a live sink's ring
+  // via observer().sink(k).ring().snapshot() is always safe; histogram /
+  // counter reads need obs_snapshot().
+  obs::Observer& observer();
+
+  // Consistent metrics snapshot: takes global_mu_ plus every shard mutex,
+  // so counters and histograms are mutually coherent.
+  obs::MetricsSnapshot obs_snapshot() const;
+
  private:
   struct Shard {
     Shard(const core::FeasibleRegion& region, double w);
@@ -166,6 +185,9 @@ class ShardedAdmissionService final : public Admitter {
 
   core::AdmissionDecision fallback(std::size_t origin,
                                    const core::TaskSpec& spec, Time now);
+  core::AdmissionDecision fallback_decide_locked(std::size_t origin,
+                                                 const core::TaskSpec& spec,
+                                                 Time now, Time eff);
   void maybe_auto_rebalance(Time now);
 
   core::FeasibleRegion region_;
@@ -175,6 +197,7 @@ class ShardedAdmissionService final : public Admitter {
   mutable std::mutex global_mu_;
   std::atomic<std::uint64_t> decisions_{0};
   metrics::AtomicCounter rebalances_;
+  std::unique_ptr<obs::Observer> observer_;  // null until enable_tracing
 };
 
 }  // namespace frap::service

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,92 @@ TEST(CliTest, ParsedConfigActuallyRuns) {
   const auto result = run_experiment(r.config);
   EXPECT_GT(result.completed, 0u);
   EXPECT_EQ(result.miss_ratio, 0.0);
+}
+
+// ----------------------------------------------------- obs subcommand ---
+
+TEST(ObsCliTest, DefaultsWithNoArgs) {
+  const auto r = parse_obs_args({});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.format, ObsFormat::kJsonl);
+  EXPECT_TRUE(r.config.out_path.empty());
+  EXPECT_EQ(r.config.ring_capacity, std::size_t{1} << 16);
+  // Experiment flags fall through to the experiment parser's defaults.
+  EXPECT_EQ(r.config.experiment.workload.num_stages(), 2u);
+}
+
+TEST(ObsCliTest, ParsesObsFlagsAndForwardsExperimentFlags) {
+  const auto r = parse_obs_args({"--format=prom", "--out=/tmp/x.prom",
+                                 "--ring=1024", "--stages=3", "--seed=7"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.format, ObsFormat::kPrometheus);
+  EXPECT_EQ(r.config.out_path, "/tmp/x.prom");
+  EXPECT_EQ(r.config.ring_capacity, 1024u);
+  EXPECT_EQ(r.config.experiment.workload.num_stages(), 3u);
+  EXPECT_EQ(r.config.experiment.seed, 7u);
+}
+
+TEST(ObsCliTest, RejectsBadFormatRingAndUnknownFlags) {
+  EXPECT_FALSE(parse_obs_args({"--format=xml"}).ok);
+  // --ring=0 and malformed values are not valid obs flags; they fall
+  // through to the experiment parser, which rejects them as unknown.
+  EXPECT_FALSE(parse_obs_args({"--ring=0"}).ok);
+  EXPECT_FALSE(parse_obs_args({"--ring=abc"}).ok);
+  EXPECT_FALSE(parse_obs_args({"--frobnicate=1"}).ok);
+  EXPECT_FALSE(parse_obs_args({"notaflag"}).ok);
+  const auto r = parse_obs_args({"--format=bogus"});
+  EXPECT_NE(r.error.find("bogus"), std::string::npos);
+}
+
+TEST(ObsCliTest, UsageMentionsEveryObsFlag) {
+  const auto usage = obs_cli_usage();
+  for (const char* flag : {"--format", "--out", "--ring"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(ObsCliTest, RunRendersJsonlDeterministically) {
+  const auto r = parse_obs_args(
+      {"--stages=2", "--duration=5", "--warmup=1", "--seed=3"});
+  ASSERT_TRUE(r.ok) << r.error;
+
+  std::ostringstream a;
+  EXPECT_EQ(run_obs_command(r.config, a), 0);
+  EXPECT_FALSE(a.str().empty());
+  // Every line is one decision event object.
+  EXPECT_EQ(a.str().front(), '{');
+  EXPECT_NE(a.str().find("\"reason\":"), std::string::npos);
+
+  // ManualClock + sampling off: a second run is byte-identical.
+  std::ostringstream b;
+  EXPECT_EQ(run_obs_command(r.config, b), 0);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ObsCliTest, RunRendersPrometheusPage) {
+  auto r = parse_obs_args(
+      {"--format=prom", "--stages=2", "--duration=5", "--warmup=1",
+       "--seed=3"});
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  EXPECT_EQ(run_obs_command(r.config, os), 0);
+  const std::string page = os.str();
+  EXPECT_NE(page.find("# TYPE frap_decisions_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("frap_decisions_total{shard=\"0\","
+                      "reason=\"admitted\"}"),
+            std::string::npos);
+  // The experiment wires stage gauges; the page must include them.
+  EXPECT_NE(page.find("# TYPE frap_stage_queue_depth gauge"),
+            std::string::npos);
+}
+
+TEST(ObsCliTest, RunReportsFailedStream) {
+  const auto r = parse_obs_args({"--duration=5", "--warmup=1"});
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  os.setstate(std::ios::failbit);
+  EXPECT_EQ(run_obs_command(r.config, os), 1);
 }
 
 }  // namespace

@@ -115,7 +115,7 @@ TEST(FrapLintRules, R4OnlyAppliesToCoreHeaders) {
 TEST(FrapLintRules, R5FlagsEntropyClocksStdoutAndConcurrency) {
   auto fs = findings_for("r5_flag.cpp", "src/sched/r5_flag.cpp",
                          "nondeterminism");
-  EXPECT_EQ(lines_of(fs), (std::vector<int>{5, 10, 12, 16, 20, 21, 23}));
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{5, 10, 12, 16, 20, 21, 23, 27}));
 }
 
 TEST(FrapLintRules, R5PassesSeededRngAndMemberTimeAccess) {
@@ -138,10 +138,28 @@ TEST(FrapLintRules, R5ServiceMayUseConcurrencyButNotClocksOrEntropy) {
   // the entropy/wall-clock/stdout half of the rule still applies there.
   auto svc = findings_for("r5_flag.cpp", "src/service/r5_flag.cpp",
                           "nondeterminism");
-  EXPECT_EQ(lines_of(svc), (std::vector<int>{5, 10, 12, 16}));
+  EXPECT_EQ(lines_of(svc), (std::vector<int>{5, 10, 12, 16, 27}));
   auto counters = findings_for("r5_flag.cpp", "src/metrics/counters.h",
                                "nondeterminism");
-  EXPECT_EQ(lines_of(counters), (std::vector<int>{5, 10, 12, 16}));
+  EXPECT_EQ(lines_of(counters), (std::vector<int>{5, 10, 12, 16, 27}));
+}
+
+TEST(FrapLintRules, R5ObsMayUseConcurrencyButNotClocksOrEntropy) {
+  // src/obs/ holds the lock-free trace ring, so the concurrency half of
+  // the rule is exempt there — but entropy, wall clocks, and stdout are
+  // still banned like everywhere else in src/.
+  auto obs = findings_for("r5_flag.cpp", "src/obs/trace_ring.h",
+                          "nondeterminism");
+  EXPECT_EQ(lines_of(obs), (std::vector<int>{5, 10, 12, 16, 27}));
+}
+
+TEST(FrapLintRules, R5ClockSeamExemptsWallClockReadsOnly) {
+  // src/obs/clock.cpp is the ONE file allowed to read a wall clock (the
+  // monotonic_clock() behind the obs::Clock seam): time() and the chrono
+  // clocks pass there, while entropy and stdout remain banned.
+  auto seam = findings_for("r5_flag.cpp", "src/obs/clock.cpp",
+                           "nondeterminism");
+  EXPECT_EQ(lines_of(seam), (std::vector<int>{5, 10, 16}));
 }
 
 TEST(FrapLintSuppression, DirectivesBindSuppressOrReport) {

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "metrics/counters.h"
 #include "metrics/histogram.h"
 #include "metrics/utilization_meter.h"
+#include "util/rng.h"
 
 namespace frap::metrics {
 namespace {
@@ -171,6 +174,76 @@ TEST(HistogramTest, QuantileApproximation) {
 TEST(HistogramTest, QuantileEmpty) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, NanIsRejectedAndCounted) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  h.add(1.0);
+  // NaN never enters a bucket, the total, or the sum — it is only counted.
+  EXPECT_EQ(h.nan_rejected(), 2u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0);
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucketed += h.bucket(i);
+  EXPECT_EQ(bucketed, 1u);
+}
+
+TEST(HistogramTest, InfinitiesClampToEdgeBucketsButSkipSum) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(2.5);
+  EXPECT_EQ(h.bucket(0), 1u);  // -inf
+  EXPECT_EQ(h.bucket(2), 1u);  // 2.5
+  EXPECT_EQ(h.bucket(9), 1u);  // +inf
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan_rejected(), 0u);
+  // sum() stays finite: only finite samples contribute.
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+}
+
+TEST(HistogramTest, ExactBucketEdgesLandInTheirOwnBucket) {
+  // (0.3 - 0) / 0.1 evaluates to 2.999...96 under the reciprocal-multiply
+  // fast path; the edge snap must keep every exact edge in the bucket whose
+  // left edge it is: bucket_lo(i) <= x < bucket_hi(i).
+  Histogram h(0.0, 1.0, 10);
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    h.add(h.bucket_lo(i));
+  }
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), 1u) << "bucket " << i;
+  }
+  EXPECT_EQ(h.total(), h.bucket_count());
+}
+
+TEST(HistogramTest, TopEdgeAndJustBelowClampConsistently) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);                           // == hi: clamps into the last bucket
+  h.add(std::nextafter(1.0, 0.0));      // just inside the range
+  h.add(std::nextafter(0.25, 0.0));     // just below an interior edge
+  h.add(0.25);                          // exactly on the interior edge
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, AddFiniteMatchesAddOnFiniteInputs) {
+  Histogram a(0.0, 50.0, 25);
+  Histogram b(0.0, 50.0, 25);
+  util::Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-10.0, 60.0);  // exercises both clamps
+    a.add(x);
+    b.add_finite(x);
+  }
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << "bucket " << i;
+  }
 }
 
 // --------------------------------------------------------- AtomicCounter ---

@@ -22,3 +22,6 @@ int atomic;  // line 21
 void bad_spawn() {
   thread(0);  // line 23
 }
+// Chrono wall clocks are banned everywhere in src/ except the one
+// sanctioned read behind the obs::Clock seam (src/obs/clock.cpp).
+int steady_clock;  // line 27

@@ -63,11 +63,21 @@ bool r5_in_scope(std::string_view f) {
 }
 
 // The concurrency half of R5 additionally exempts the sharded admission
-// service (threads are its whole point) and the atomic counters it exports;
-// both still answer to the entropy/wall-clock/stdout checks, so even
-// concurrent code stays replayable and silent.
+// service (threads are its whole point), the atomic counters it exports,
+// and the observability layer (the lock-free trace ring is atomics by
+// design); all still answer to the entropy/wall-clock/stdout checks, so
+// even concurrent code stays replayable and silent.
 bool r5_concurrency_exempt(std::string_view f) {
-  return starts_with(f, "src/service/") || f == "src/metrics/counters.h";
+  return starts_with(f, "src/service/") || starts_with(f, "src/obs/") ||
+         f == "src/metrics/counters.h";
+}
+
+// The wall-clock half of R5 exempts exactly one file: the obs::Clock seam's
+// monotonic_clock() implementation. Every other line of src/ receives time
+// through that seam (or sim::Simulator), which is what keeps traced runs
+// replayable — see docs/static_analysis.md.
+bool r5_clock_exempt(std::string_view f) {
+  return f == "src/obs/clock.cpp";
 }
 
 // ---------------------------------------------------------------------------
@@ -403,9 +413,10 @@ void rule_missing_nodiscard(const std::string& file, const Tokens& sig,
 // Library code must be replayable bit-for-bit from an explicit seed and must
 // not write to stdout (sinks take an ostream&). Flags ambient entropy
 // (rand/srand/drand48/random_device), wall clocks (time(), clock(),
-// chrono::*_clock), stdout writes (cout/printf/puts/putchar), and — outside
-// src/service/ and metrics/counters.h — concurrency primitives (thread,
-// atomic, mutex, condition_variable, ...).
+// chrono::*_clock — except src/obs/clock.cpp, the one sanctioned read
+// behind the obs::Clock seam), stdout writes (cout/printf/puts/putchar),
+// and — outside src/service/, src/obs/ and metrics/counters.h —
+// concurrency primitives (thread, atomic, mutex, condition_variable, ...).
 void rule_nondeterminism(const std::string& file, const Tokens& sig,
                          std::vector<Finding>& out) {
   if (!r5_in_scope(file)) return;
@@ -425,15 +436,17 @@ void rule_nondeterminism(const std::string& file, const Tokens& sig,
       continue;
     }
     if ((t.text == "time" || t.text == "clock") && !member_access &&
-        i + 1 < sig.size() && is_punct(sig[i + 1], "(")) {
+        !r5_clock_exempt(file) && i + 1 < sig.size() &&
+        is_punct(sig[i + 1], "(")) {
       out.push_back({file, t.line, kNondeterminism,
                      "wall-clock '" + t.text +
                          "()' in library code; simulated time comes from "
                          "sim::Simulator::now()"});
       continue;
     }
-    if (t.text == "system_clock" || t.text == "steady_clock" ||
-        t.text == "high_resolution_clock") {
+    if ((t.text == "system_clock" || t.text == "steady_clock" ||
+         t.text == "high_resolution_clock") &&
+        !r5_clock_exempt(file)) {
       out.push_back({file, t.line, kNondeterminism,
                      "chrono wall clock '" + t.text +
                          "' in library code; timing belongs in bench/, "

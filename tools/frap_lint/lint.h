@@ -22,7 +22,9 @@
 //                          without [[nodiscard]].
 //   R5 nondeterminism      rand()/random_device/time()/wall clocks or
 //                          stdout writes in library code (src/) outside
-//                          util/rng.*; experiments must be replayable
+//                          util/rng.* and the obs::Clock seam
+//                          (src/obs/clock.cpp holds the one sanctioned
+//                          wall-clock read); experiments must be replayable
 //                          bit-for-bit from an explicit seed.
 //
 // Suppression: `// frap-lint: allow(<rule>[,<rule>...]) -- <reason>` on the
