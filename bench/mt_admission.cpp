@@ -13,6 +13,8 @@
 //
 // Acceptance target (ISSUE): >= 3x aggregate attempts/sec at 8 threads vs
 // MtSingleThreadFastPath, on hardware with >= 8 cores.
+// Writes BENCH_mt_admission.json (override the path with FRAP_BENCH_JSON)
+// with attempts/sec per variant and the traced-overhead percentage.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,6 +22,8 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+
+#include "bench_json.h"
 
 #include "core/admission.h"
 #include "core/feasible_region.h"
@@ -317,4 +321,28 @@ BENCHMARK(MtShardedFallbackPath)->Threads(1)->Threads(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  frap::benchjson::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::map<std::string, double> summary;
+  const auto rate = [&](const char* name) {
+    return reporter.counter_of(name, "items_per_second");
+  };
+  summary["single_thread_attempts_per_sec"] = rate("MtSingleThreadFastPath");
+  summary["single_thread_traced_attempts_per_sec"] =
+      rate("MtSingleThreadFastPathTraced");
+  summary["sharded_1t_attempts_per_sec"] =
+      rate("MtShardedHotPath/real_time/threads:1");
+  summary["sharded_8t_attempts_per_sec"] =
+      rate("MtShardedHotPath/real_time/threads:8");
+  summary["traced_overhead_pct"] =
+      reporter.counter_of("MtTracingOverheadReport*", "overhead_pct");
+  frap::benchjson::write_json(
+      frap::benchjson::json_path("BENCH_mt_admission.json"),
+      reporter.results(), summary);
+  benchmark::Shutdown();
+  return 0;
+}

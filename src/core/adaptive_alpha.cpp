@@ -9,7 +9,10 @@ namespace frap::core {
 
 AdaptiveAlphaAdmissionController::AdaptiveAlphaAdmissionController(
     sim::Simulator& sim, SyntheticUtilizationTracker& tracker)
-    : sim_(sim), tracker_(tracker) {}
+    : sim_(sim), tracker_(tracker) {
+  scratch_add_.resize(tracker_.num_stages());
+  scratch_u_.resize(tracker_.num_stages());
+}
 
 AdaptiveDecision AdaptiveAlphaAdmissionController::try_admit(
     const TaskSpec& spec, sched::PriorityValue priority) {
@@ -21,8 +24,13 @@ AdaptiveDecision AdaptiveAlphaAdmissionController::try_admit(
   AdaptiveDecision d;
   d.alpha_used = estimator_.preview(urgency);
 
-  const auto add = spec.contributions();
-  auto u = tracker_.utilizations();
+  // Hot-path snapshot into retained scratch buffers (no allocation).
+  std::span<double> add{scratch_add_};
+  for (std::size_t j = 0; j < add.size(); ++j) {
+    add[j] = util::safe_div(spec.stages[j].compute, spec.deadline);
+  }
+  std::span<double> u{scratch_u_};
+  tracker_.utilizations(u);
   double lhs = 0;
   for (std::size_t j = 0; j < u.size(); ++j) {
     const double uj = u[j] + add[j];

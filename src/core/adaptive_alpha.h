@@ -52,6 +52,8 @@ class AdaptiveAlphaAdmissionController {
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
   sched::OnlineAlphaEstimator estimator_;
+  std::vector<double> scratch_add_;  // reused contribution buffer
+  std::vector<double> scratch_u_;    // reused utilization snapshot buffer
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
 };

@@ -26,6 +26,8 @@ AdmissionController::AdmissionController(sim::Simulator& sim,
     : sim_(sim), tracker_(tracker), region_(std::move(region)) {
   FRAP_EXPECTS(tracker_.num_stages() == region_.num_stages());
   scratch_.resize(region_.num_stages());
+  commit_stages_.reserve(region_.num_stages());
+  commit_values_.reserve(region_.num_stages());
 }
 
 void AdmissionController::set_approximate_means(
@@ -89,10 +91,20 @@ double AdmissionController::incremental_lhs_with(
 void AdmissionController::commit(const TaskSpec& spec,
                                  Time absolute_deadline) {
   const double inv_d = util::safe_inv(spec.deadline);
-  for (std::size_t j = 0; j < scratch_.size(); ++j) {
-    scratch_[j] = contribution(spec, j, inv_d);
+  // Collect the touched (stage, value) pairs in ascending stage order and
+  // hand them to the sparse add: identical contribution values in the
+  // identical order as the dense walk, minus the tracker's re-scan.
+  commit_stages_.clear();
+  commit_values_.clear();
+  for (std::size_t j = 0; j < region_.num_stages(); ++j) {
+    const double c = contribution(spec, j, inv_d);
+    if (c <= 0) continue;
+    commit_stages_.push_back(static_cast<std::uint32_t>(j));
+    commit_values_.push_back(c);
   }
-  tracker_.add(spec.id, scratch_, absolute_deadline);
+  tracker_.add_sparse(spec.id, commit_stages_.data(), commit_values_.data(),
+                      static_cast<std::uint32_t>(commit_stages_.size()),
+                      absolute_deadline);
 }
 
 void AdmissionController::record_audit(const TaskSpec& spec,
@@ -370,7 +382,9 @@ AdmissionDecision SheddingAdmissionController::try_admit(const TaskSpec& spec,
 GraphAdmissionController::GraphAdmissionController(
     sim::Simulator& sim, SyntheticUtilizationTracker& tracker,
     GraphRegionEvaluator evaluator)
-    : sim_(sim), tracker_(tracker), evaluator_(std::move(evaluator)) {}
+    : sim_(sim), tracker_(tracker), evaluator_(std::move(evaluator)) {
+  scratch_u_.resize(tracker_.num_stages());
+}
 
 AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
                                                       Time now) {
@@ -378,7 +392,8 @@ AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
   const std::uint64_t t0 = sink_ != nullptr ? sink_->begin_decision() : 0;
   FRAP_EXPECTS(spec.valid(tracker_.num_stages()));
   const auto add = spec.resource_contributions(tracker_.num_stages());
-  auto u = tracker_.utilizations();
+  std::span<double> u{scratch_u_};
+  tracker_.utilizations(u);
 
   AdmissionDecision d;
   d.arrival = now;

@@ -166,6 +166,10 @@ class AdmissionController : public Admitter {
   FeasibleRegion region_;
   std::vector<Duration> mean_compute_;  // empty = exact admission
   std::vector<double> scratch_;         // reused contribution buffer
+  // Reused sparse (stage, value) pair buffers for commit(); sized to
+  // num_stages() up front so the hot path never grows them.
+  std::vector<std::uint32_t> commit_stages_;
+  std::vector<double> commit_values_;
   double contribution_scale_ = 1.0;     // 1/w under a quota plan
   AdmissionAudit* audit_ = nullptr;
   obs::DecisionSink* sink_ = nullptr;
@@ -340,6 +344,7 @@ class GraphAdmissionController : public Admitter {
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
   GraphRegionEvaluator evaluator_;
+  std::vector<double> scratch_u_;  // reused utilization snapshot buffer
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
   obs::DecisionSink* sink_ = nullptr;

@@ -36,7 +36,10 @@ bool hyperbolic_schedulable(std::span<const double> task_utilizations) {
 
 DeadlineSplitAdmissionController::DeadlineSplitAdmissionController(
     sim::Simulator& sim, SyntheticUtilizationTracker& tracker)
-    : sim_(sim), tracker_(tracker) {}
+    : sim_(sim), tracker_(tracker) {
+  scratch_add_.resize(tracker_.num_stages());
+  scratch_u_.resize(tracker_.num_stages());
+}
 
 AdmissionDecision DeadlineSplitAdmissionController::try_admit(
     const TaskSpec& spec, Time now) {
@@ -46,16 +49,17 @@ AdmissionDecision DeadlineSplitAdmissionController::try_admit(
   FRAP_EXPECTS(spec.num_stages() == n);
 
   // Intermediate deadline D_i / N per stage: the stage-local contribution is
-  // C_ij / (D_i / N).
-  std::vector<double> add;
-  add.reserve(n);
+  // C_ij / (D_i / N). Retained scratch buffers keep the attempt
+  // allocation-free.
+  std::span<double> add{scratch_add_};
   const double nd = static_cast<double>(n);
-  for (const auto& s : spec.stages) {
-    add.push_back(util::safe_div(s.compute * nd, spec.deadline));
+  for (std::size_t j = 0; j < n; ++j) {
+    add[j] = util::safe_div(spec.stages[j].compute * nd, spec.deadline);
   }
 
   const double cap = uniprocessor_bound();
-  auto u = tracker_.utilizations();
+  std::span<double> u{scratch_u_};
+  tracker_.utilizations(u);
 
   AdmissionDecision d;
   d.arrival = now;

@@ -62,6 +62,8 @@ class DeadlineSplitAdmissionController : public Admitter {
  private:
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
+  std::vector<double> scratch_add_;  // reused contribution buffer
+  std::vector<double> scratch_u_;    // reused utilization snapshot buffer
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
 };

@@ -13,6 +13,8 @@ SyntheticUtilizationTracker::SyntheticUtilizationTracker(
     sim::Simulator& sim, std::size_t num_stages)
     : sim_(sim), stage_(num_stages) {
   FRAP_EXPECTS(num_stages >= 1);
+  scratch_stages_.reserve(num_stages);
+  scratch_values_.reserve(num_stages);
 }
 
 void SyntheticUtilizationTracker::set_reservation(std::size_t stage,
@@ -35,57 +37,95 @@ std::vector<double> SyntheticUtilizationTracker::utilizations() const {
   return u;
 }
 
+void SyntheticUtilizationTracker::utilizations(std::span<double> out) const {
+  FRAP_EXPECTS(out.size() == stage_.size());
+  for (std::size_t j = 0; j < stage_.size(); ++j) out[j] = utilization(j);
+}
+
 void SyntheticUtilizationTracker::add(std::uint64_t task_id,
                                       std::span<const double> per_stage,
                                       Time absolute_deadline) {
   FRAP_EXPECTS(per_stage.size() == stage_.size());
-  FRAP_EXPECTS(absolute_deadline >= sim_.now());
-  FRAP_EXPECTS(tasks_.find(task_id) == tasks_.end());
 
-  TaskRecord rec;
-  rec.contribution.assign(per_stage.begin(), per_stage.end());
-  rec.departed.assign(stage_.size(), false);
+  // Compact to touched (stage, value) pairs; add_sparse applies the stage
+  // accounting in the same ascending order, bit-identical to the dense
+  // per-stage walk this used to do inline.
+  scratch_stages_.clear();
+  scratch_values_.clear();
   for (std::size_t j = 0; j < stage_.size(); ++j) {
-    FRAP_EXPECTS(rec.contribution[j] >= 0);
-    if (rec.contribution[j] == 0) continue;  // untouched stage: cache stays
-    stage_[j].dynamic += rec.contribution[j];
-    refresh_stage_lhs(j);
+    FRAP_EXPECTS(per_stage[j] >= 0);
+    if (per_stage[j] == 0) continue;  // untouched stage: cache stays
+    scratch_stages_.push_back(static_cast<std::uint32_t>(j));
+    scratch_values_.push_back(per_stage[j]);
   }
-  rec.expiry_event =
-      sim_.at(absolute_deadline, [this, task_id] { expire(task_id); });
-  tasks_.emplace(task_id, std::move(rec));
+  add_sparse(task_id, scratch_stages_.data(), scratch_values_.data(),
+             static_cast<std::uint32_t>(scratch_stages_.size()),
+             absolute_deadline);
 }
 
-double SyntheticUtilizationTracker::strip_stage(TaskRecord& rec,
-                                                std::size_t stage) {
-  const double c = rec.contribution[stage];
+void SyntheticUtilizationTracker::add_sparse(std::uint64_t task_id,
+                                             const std::uint32_t* stages,
+                                             const double* values,
+                                             std::uint32_t count,
+                                             Time absolute_deadline) {
+  FRAP_EXPECTS(absolute_deadline >= sim_.now());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t j = stages[i];
+    FRAP_EXPECTS(j < stage_.size());
+    FRAP_EXPECTS(values[i] > 0);
+    stage_[j].dynamic += values[i];
+    refresh_stage_lhs(j);
+  }
+  // Ascending-order validation happens in create(); id uniqueness is
+  // enforced by insert(), whose probe walk asserts the key is absent —
+  // a separate find() here would just pay the same probe twice.
+  const TaskHandle h = store_.create(task_id, stages, values, count);
+  store_.set_expiry(h, sim_.timer_at(absolute_deadline, this, h));
+  id_map_.insert(task_id, TaskStore::index_of(h));
+}
+
+double SyntheticUtilizationTracker::strip_entry(TaskHandle h,
+                                                std::uint32_t i) {
+  const double c = store_.entry_value(h, i);
   if (c > 0) {
+    const std::uint32_t stage = store_.entry_stage(h, i);
     stage_[stage].dynamic -= c;
-    rec.contribution[stage] = 0;
+    store_.set_entry_value(h, i, 0.0);
     refresh_stage_lhs(stage);
   }
   return c;
 }
 
-void SyntheticUtilizationTracker::expire(std::uint64_t task_id) {
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) return;
+void SyntheticUtilizationTracker::on_timer(std::uint64_t payload) {
+  // Expiry: the wheel only fires timers that were never cancelled, and
+  // remove_task cancels eagerly, so the handle must still be live.
+  const TaskHandle h = payload;
+  FRAP_ASSERT(store_.live(h));
   bool decreased = false;
-  for (std::size_t j = 0; j < stage_.size(); ++j) {
-    if (strip_stage(it->second, j) > 0) decreased = true;
-  }
-  tasks_.erase(it);
+  store_.strip_entries(h, [&](std::uint32_t stage, double c) {
+    stage_[stage].dynamic -= c;
+    refresh_stage_lhs(stage);
+    decreased = true;
+  });
+  id_map_.erase(store_.task_id(h));
+  store_.destroy(h);
   if (decreased) notify_decrease();
 }
 
 void SyntheticUtilizationTracker::mark_departed(std::uint64_t task_id,
                                                 std::size_t stage) {
   FRAP_EXPECTS(stage < stage_.size());
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) return;  // contribution already expired
-  if (!it->second.departed[stage]) {
-    it->second.departed[stage] = true;
-    stage_[stage].departed_queue.push_back(task_id);
+  const std::uint32_t idx = id_map_.find(task_id);
+  if (idx == util::IdMap::kNotFound) return;  // already expired
+  const TaskHandle h = store_.handle_at(idx);
+  const std::uint32_t e =
+      store_.find_entry(h, static_cast<std::uint32_t>(stage));
+  // A departure at a stage the task never touched can never strip anything;
+  // recording it would only grow the queue.
+  if (e == TaskStore::kNoEntry) return;
+  if (!store_.entry_departed(h, e)) {
+    store_.set_entry_departed(h, e);
+    stage_[stage].departed_queue.push_back(h);
   }
 }
 
@@ -96,34 +136,47 @@ void SyntheticUtilizationTracker::on_stage_idle(std::size_t stage) {
   }
   bool decreased = false;
   // Remove contributions of all tasks that have departed this stage: they
-  // cannot affect its future schedule (Sec. 4).
-  for (std::uint64_t id : stage_[stage].departed_queue) {
-    auto it = tasks_.find(id);
-    if (it == tasks_.end()) continue;  // expired in the meantime
-    if (strip_stage(it->second, stage) > 0) decreased = true;
+  // cannot affect its future schedule (Sec. 4). Stale handles (the task
+  // expired or was removed since departing) fail the generation check and
+  // are skipped.
+  for (TaskHandle h : stage_[stage].departed_queue) {
+    if (!store_.live(h)) continue;  // expired in the meantime
+    const std::uint32_t e =
+        store_.find_entry(h, static_cast<std::uint32_t>(stage));
+    FRAP_ASSERT(e != TaskStore::kNoEntry);
+    if (strip_entry(h, e) > 0) decreased = true;
   }
   stage_[stage].departed_queue.clear();
   if (decreased) notify_decrease();
 }
 
 void SyntheticUtilizationTracker::remove_task(std::uint64_t task_id) {
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) return;
+  const std::uint32_t idx = id_map_.find(task_id);
+  if (idx == util::IdMap::kNotFound) return;
+  const TaskHandle h = store_.handle_at(idx);
   bool decreased = false;
-  for (std::size_t j = 0; j < stage_.size(); ++j) {
-    if (strip_stage(it->second, j) > 0) decreased = true;
-  }
-  sim_.cancel(it->second.expiry_event);
-  tasks_.erase(it);
+  store_.strip_entries(h, [&](std::uint32_t stage, double c) {
+    stage_[stage].dynamic -= c;
+    refresh_stage_lhs(stage);
+    decreased = true;
+  });
+  // Eager cancellation reclaims the wheel cell now instead of leaving a
+  // dead entry parked until the deadline tick.
+  (void)sim_.cancel_timer(store_.expiry(h));
+  id_map_.erase(task_id);
+  store_.destroy(h);
   if (decreased) notify_decrease();
 }
 
 void SyntheticUtilizationTracker::rescale_dynamic(double factor) {
   FRAP_EXPECTS(factor > 0 && std::isfinite(factor));
   if (util::almost_equal(factor, 1.0)) return;
-  for (auto& [id, rec] : tasks_) {
-    for (double& c : rec.contribution) c *= factor;
-  }
+  store_.for_each([&](TaskHandle h) {
+    const std::uint32_t n = store_.touched(h);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      store_.set_entry_value(h, i, store_.entry_value(h, i) * factor);
+    }
+  });
   for (StageState& s : stage_) s.dynamic *= factor;
   // One from-scratch pass refreshes every cached f-term coherently.
   rebuild_lhs_cache();

@@ -3,7 +3,7 @@
 // U_j(t) = sum over current tasks of C_ij / D_i. The tracker maintains this
 // quantity per stage with three mutations:
 //   * add(): a task is admitted; its contribution joins every stage it
-//     touches and an expiry event is scheduled at its absolute deadline.
+//     touches and an expiry timer is scheduled at its absolute deadline.
 //   * expiry: at A_i + D_i the contribution leaves S(t) automatically.
 //   * idle reset (Sec. 4): when a stage goes idle, contributions of tasks
 //     that already *departed* the stage (finished their subtask there) are
@@ -20,24 +20,38 @@
 // in O(changed stages) on every mutation. Admission controllers test an
 // arrival against `cached_lhs() + sum of per-stage deltas` without touching
 // untouched stages or allocating (docs/incremental_lhs.md).
+//
+// Storage and expiry (docs/perf_internals.md): task records live in a
+// generation-checked slot map with pooled contribution storage (TaskStore),
+// ids resolve through a flat open-addressing map, and expiries are typed
+// timers on the simulator's hierarchical wheel — the tracker IS the
+// TimerClient, the payload is the task's slot-map handle. The steady-state
+// admit -> expire cycle performs zero heap allocations once the pools are
+// warm (tests/alloc_steady_state_test.cpp pins this), and remove_task/shed
+// cancellation reclaims the timer cell immediately instead of leaving a
+// lazily-dead heap entry until the deadline. Departed-task queues carry
+// generation-checked handles, so a task id reused after removal can no
+// longer alias a stale queue entry onto the new task's contribution (a
+// latent defect of the id-keyed map this store replaced).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "core/task_store.h"
 #include "metrics/counters.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/id_map.h"
 #include "util/math.h"
 #include "util/time.h"
 
 namespace frap::core {
 
-class SyntheticUtilizationTracker {
+class SyntheticUtilizationTracker : public sim::TimerClient {
  public:
   SyntheticUtilizationTracker(sim::Simulator& sim, std::size_t num_stages);
 
@@ -64,11 +78,25 @@ class SyntheticUtilizationTracker {
   // Snapshot across stages, in stage order.
   std::vector<double> utilizations() const;
 
+  // Allocation-free snapshot into a caller-owned buffer of exactly
+  // num_stages() elements (hot-path overload for runtimes and meters).
+  void utilizations(std::span<double> out) const;
+
   // Registers an admitted task's contribution: per_stage[j] is C_ij / D_i
   // (zero entries are allowed and ignored). Expires automatically at
   // `absolute_deadline`. Task ids must be unique among live tasks.
   void add(std::uint64_t task_id, std::span<const double> per_stage,
            Time absolute_deadline);
+
+  // Sparse variant of add(): `count` (stage, value) pairs in strictly
+  // ascending stage order, every value > 0. Applies the identical stage
+  // accounting in the identical (ascending) order, so the cache state and
+  // every subsequent decision are bit-identical to the dense overload.
+  // This is the hot-path entry point (AdmissionController::commit); it
+  // skips the dense compaction scan entirely.
+  void add_sparse(std::uint64_t task_id, const std::uint32_t* stages,
+                  const double* values, std::uint32_t count,
+                  Time absolute_deadline);
 
   // Marks that the task finished its work on `stage` (subtask departure).
   // Safe to call for tasks the tracker no longer knows (already expired).
@@ -79,7 +107,8 @@ class SyntheticUtilizationTracker {
   void on_stage_idle(std::size_t stage);
 
   // Removes the task's remaining contributions everywhere (used by load
-  // shedding and by aborted tasks). No-op for unknown ids.
+  // shedding and by aborted tasks) and cancels its expiry timer, reclaiming
+  // the wheel cell immediately. No-op for unknown ids.
   void remove_task(std::uint64_t task_id);
 
   // Multiplies every live task contribution and per-stage dynamic
@@ -137,34 +166,34 @@ class SyntheticUtilizationTracker {
   static constexpr std::uint64_t kLhsRebuildInterval = 4096;
 
   // Number of tasks with live (unexpired, unremoved) contributions.
-  std::size_t live_tasks() const { return tasks_.size(); }
+  std::size_t live_tasks() const { return store_.size(); }
 
   // True while the task's contribution record exists (not yet expired or
   // removed).
   [[nodiscard]] bool is_live(std::uint64_t task_id) const {
-    return tasks_.find(task_id) != tasks_.end();
+    return id_map_.find(task_id) != util::IdMap::kNotFound;
   }
 
- private:
-  struct TaskRecord {
-    std::vector<double> contribution;  // per stage; 0 = none/removed
-    std::vector<bool> departed;        // subtask finished at stage
-    sim::EventId expiry_event = sim::kInvalidEventId;
-  };
+  // Typed expiry dispatch from the timer wheel; payload is the task's
+  // slot-map handle. Public only because the wheel calls it — not an API.
+  void on_timer(std::uint64_t payload) override;
 
+ private:
   struct StageState {
     double dynamic = 0;  // sum of live contributions
     double reserved = 0; // floor
     double f_term = 0;   // cached stage_delay_factor(utilization)
     // Tasks that departed this stage since it last went idle; drained (and
     // their contributions stripped) on the next idle event. Keeps the idle
-    // reset O(#departures) instead of O(#live tasks).
-    std::vector<std::uint64_t> departed_queue;
+    // reset O(#departures) instead of O(#live tasks). Handles, not ids:
+    // generation checks make entries for expired/removed tasks inert even
+    // when the id is reused.
+    std::vector<TaskHandle> departed_queue;
   };
 
-  void expire(std::uint64_t task_id);
-  // Removes the task's contribution from one stage; returns the amount.
-  double strip_stage(TaskRecord& rec, std::size_t stage);
+  // Removes the contribution of touched-entry `i` of the task; returns the
+  // amount removed.
+  double strip_entry(TaskHandle h, std::uint32_t i);
   // Refreshes the stage's cached f-term and the running LHS sum after its
   // utilization changed. O(1); triggers a periodic full rebuild and, in
   // debug builds, the recompute-and-compare cross-check.
@@ -173,9 +202,14 @@ class SyntheticUtilizationTracker {
 
   sim::Simulator& sim_;
   std::vector<StageState> stage_;
-  std::unordered_map<std::uint64_t, TaskRecord> tasks_;
+  TaskStore store_;
+  util::IdMap id_map_;  // task id -> slot index
   bool idle_reset_ = true;
   std::function<void()> on_decrease_;
+
+  // Reused compaction buffers for add(); capacity is retained across calls.
+  std::vector<std::uint32_t> scratch_stages_;
+  std::vector<double> scratch_values_;
 
   // Running LHS cache state (see cached_lhs()).
   double finite_lhs_ = 0;            // sum of finite f-terms

@@ -16,17 +16,29 @@ void UtilizationMeter::set_busy(Time t) {
 void UtilizationMeter::set_idle(Time t) {
   FRAP_EXPECTS(busy_);
   FRAP_EXPECTS(t >= busy_since_);
-  intervals_.push_back(Interval{busy_since_, t});
+  const Duration prev = intervals_.empty() ? 0 : intervals_.back().cum;
+  intervals_.push_back(Interval{busy_since_, t, prev + (t - busy_since_)});
   busy_ = false;
 }
 
 Duration UtilizationMeter::busy_time(Time from, Time to) const {
   FRAP_EXPECTS(to >= from);
   Duration total = 0;
-  for (const auto& iv : intervals_) {
-    const Time b = std::max(iv.begin, from);
-    const Time e = std::min(iv.end, to);
-    if (e > b) total += e - b;
+  // Intervals are sorted and non-overlapping, so only the first and last
+  // interval of the window can straddle its edges; everything between is
+  // fully inside and comes out of the cumulative sums in O(1).
+  const auto lo = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [&](const Interval& iv) { return iv.end <= from; });
+  const auto hi = std::partition_point(
+      lo, intervals_.end(), [&](const Interval& iv) { return iv.begin < to; });
+  if (lo != hi) {
+    const auto last = hi - 1;
+    const Duration before_lo = lo == intervals_.begin() ? 0 : (lo - 1)->cum;
+    total = last->cum - before_lo;
+    // Clamp the straddling edges (a single interval may straddle both).
+    if (lo->begin < from) total -= from - lo->begin;
+    if (last->end > to) total -= last->end - to;
   }
   if (busy_) {
     const Time b = std::max(busy_since_, from);

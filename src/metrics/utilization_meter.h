@@ -34,11 +34,14 @@ class UtilizationMeter {
   struct Interval {
     Time begin;
     Time end;
+    // Cumulative busy time of intervals[0..this], maintained on append so a
+    // window query is two binary searches plus one subtraction instead of a
+    // scan over the whole history (long simulations accumulate millions of
+    // intervals; experiments query many windows).
+    Duration cum;
   };
-  // Closed intervals are appended in order; we only need aggregate sums per
-  // query window, so we keep a prefix-style accumulation instead of the full
-  // list: total busy time before `window_from` queries is rare, and the
-  // experiments query once at the end, so a simple vector is fine.
+  // Closed intervals are appended in ascending, non-overlapping order
+  // (set_busy enforces t >= the previous end).
   std::vector<Interval> intervals_;
   bool busy_ = false;
   Time busy_since_ = kTimeZero;

@@ -173,12 +173,17 @@ bool DagRuntime::task_started_executing(std::uint64_t task_id) const {
 
 std::vector<double> DagRuntime::resource_utilizations(Time from,
                                                       Time to) const {
-  std::vector<double> u;
-  u.reserve(servers_.size());
-  for (const auto& s : servers_) {
-    u.push_back(s->meter().utilization(from, to));
-  }
+  std::vector<double> u(servers_.size());
+  resource_utilizations(from, to, u);
   return u;
+}
+
+void DagRuntime::resource_utilizations(Time from, Time to,
+                                       std::span<double> out) const {
+  FRAP_EXPECTS(out.size() == servers_.size());
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    out[k] = servers_[k]->meter().utilization(from, to);
+  }
 }
 
 }  // namespace frap::pipeline

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -84,6 +85,10 @@ class DagRuntime {
   const metrics::RunningStats& response_times() const { return response_; }
 
   std::vector<double> resource_utilizations(Time from, Time to) const;
+
+  // Allocation-free overload into a caller-owned buffer of exactly
+  // num_resources() elements.
+  void resource_utilizations(Time from, Time to, std::span<double> out) const;
 
  private:
   struct Exec {

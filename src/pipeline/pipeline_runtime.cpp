@@ -145,12 +145,17 @@ bool PipelineRuntime::task_started_executing(std::uint64_t task_id) const {
 
 std::vector<double> PipelineRuntime::stage_utilizations(Time from,
                                                         Time to) const {
-  std::vector<double> u;
-  u.reserve(servers_.size());
-  for (const auto& s : servers_) {
-    u.push_back(s->meter().utilization(from, to));
-  }
+  std::vector<double> u(servers_.size());
+  stage_utilizations(from, to, u);
   return u;
+}
+
+void PipelineRuntime::stage_utilizations(Time from, Time to,
+                                         std::span<double> out) const {
+  FRAP_EXPECTS(out.size() == servers_.size());
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    out[j] = servers_[j]->meter().utilization(from, to);
+  }
 }
 
 }  // namespace frap::pipeline

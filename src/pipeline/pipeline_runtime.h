@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -96,6 +97,10 @@ class PipelineRuntime {
 
   // Real utilization of each stage over [from, to].
   std::vector<double> stage_utilizations(Time from, Time to) const;
+
+  // Allocation-free overload into a caller-owned buffer of exactly
+  // num_stages() elements.
+  void stage_utilizations(Time from, Time to, std::span<double> out) const;
 
  private:
   struct Exec {

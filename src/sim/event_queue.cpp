@@ -7,13 +7,27 @@
 namespace frap::sim {
 
 EventId EventQueue::push(Time t, std::function<void()> fn) {
+  return push_with_seq(t, next_seq_, std::move(fn));
+}
+
+EventId EventQueue::push_with_seq(Time t, std::uint64_t seq,
+                                  std::function<void()> fn) {
   FRAP_EXPECTS(fn != nullptr);
-  const std::uint64_t seq = next_seq_++;
+  FRAP_EXPECTS(seq >= next_seq_);
+  next_seq_ = seq + 1;
   const EventId id = seq;  // seq doubles as the id; both are unique
   heap_.push_back(Entry{t, seq, id, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
   return id;
+}
+
+bool EventQueue::peek(Time& t, std::uint64_t& seq) {
+  skim();
+  if (heap_.empty()) return false;
+  t = heap_.front().time;
+  seq = heap_.front().seq;
+  return true;
 }
 
 void EventQueue::cancel(EventId id) {

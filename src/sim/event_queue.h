@@ -25,6 +25,16 @@ class EventQueue {
   // Schedules fn at absolute time t. Returns a handle for cancellation.
   EventId push(Time t, std::function<void()> fn);
 
+  // Schedules fn with a caller-supplied sequence number. The Simulator owns
+  // one shared sequence across this heap and the TimerWheel so same-time
+  // events from either source merge in scheduling order. `seq` must be at
+  // least as large as any sequence number this queue has handed out (the
+  // internal counter is advanced past it, so plain push() stays unique).
+  EventId push_with_seq(Time t, std::uint64_t seq, std::function<void()> fn);
+
+  // Earliest live event's (time, seq); false when empty.
+  bool peek(Time& t, std::uint64_t& seq);
+
   // Cancels a pending event. Cancelling an already-fired or already-cancelled
   // event is a harmless no-op, so callers need not track firing themselves.
   void cancel(EventId id);

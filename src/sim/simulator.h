@@ -4,12 +4,23 @@
 // (stage servers, workload generators, admission controllers) interact only
 // through scheduled callbacks, so a whole experiment is a single-threaded,
 // perfectly reproducible computation.
+//
+// Two scheduling surfaces share one clock and one sequence counter:
+//   * at()/after() — arbitrary closures on a binary-heap EventQueue
+//     (O(log n), lazy cancel);
+//   * timer_at() — typed, allocation-free timers on a hierarchical
+//     TimerWheel (O(1) schedule, O(1) cancel with immediate reclamation),
+//     used for the dominant deadline-expiry traffic.
+// Because both draw sequence numbers from the same counter and dispatch
+// merges them by (time, seq), the firing order is exactly what a single
+// queue would produce (docs/perf_internals.md).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "sim/timer_wheel.h"
 #include "util/time.h"
 
 namespace frap::sim {
@@ -17,6 +28,8 @@ namespace frap::sim {
 class Simulator {
  public:
   Simulator() = default;
+  // Overrides the timer-wheel tick (tests exercising wheel granularity).
+  explicit Simulator(Duration timer_tick) : wheel_(timer_tick) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -32,7 +45,23 @@ class Simulator {
   // Cancels a pending event (no-op if it already fired or was cancelled).
   void cancel(EventId id) { queue_.cancel(id); }
 
-  // Runs until the event queue drains.
+  // Schedules a typed timer at absolute time t (>= now()). O(1) and
+  // allocation-free once the wheel's cell pool is warm.
+  TimerId timer_at(Time t, TimerClient* client, std::uint64_t payload);
+
+  // Cancels a pending timer, reclaiming its wheel cell immediately.
+  // Returns false for already-fired / already-cancelled / stale handles.
+  bool cancel_timer(TimerId id) { return wheel_.cancel(id); }
+
+  // True while the timer is still pending.
+  [[nodiscard]] bool timer_pending(TimerId id) const {
+    return wheel_.pending(id);
+  }
+
+  // Read-only wheel access (tests pin overflow/occupancy behavior).
+  const TimerWheel& timer_wheel() const { return wheel_; }
+
+  // Runs until both the event queue and the timer wheel drain.
   void run();
 
   // Runs events with time <= t, then sets the clock to exactly t.
@@ -42,17 +71,23 @@ class Simulator {
   // Executes at most `n` further events (for tests); returns how many ran.
   std::size_t step(std::size_t n = 1);
 
-  // Events executed since construction.
+  // Events executed since construction (closures and timers).
   std::uint64_t events_executed() const { return executed_; }
 
-  std::size_t pending_events() { return queue_.size(); }
+  std::size_t pending_events() { return queue_.size() + wheel_.size(); }
 
  private:
   void dispatch_next();
+  // Earliest pending (time) across the queue and the wheel; false if both
+  // are empty.
+  bool next_event_time(Time& t);
 
   EventQueue queue_;
+  TimerWheel wheel_;
   Time now_ = kTimeZero;
   std::uint64_t executed_ = 0;
+  // Shared sequence counter across the heap and the wheel (see file header).
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace frap::sim

@@ -1,0 +1,469 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace frap::sim {
+
+namespace {
+
+constexpr std::uint32_t kIndexMask = 0xffffffffu;
+
+constexpr TimerId pack_id(std::uint32_t idx, std::uint32_t gen) {
+  return (static_cast<TimerId>(gen) << 32) | (idx + 1u);
+}
+
+// A set bitmask over slot numbers [lo, hi); hi <= 64.
+constexpr std::uint64_t slot_mask(std::uint32_t lo, std::uint32_t hi) {
+  const std::uint64_t upto_hi =
+      hi >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << hi) - 1;
+  return upto_hi & (~std::uint64_t{0} << lo);
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(Duration tick) : tick_(tick), inv_tick_(1.0 / tick) {
+  FRAP_EXPECTS(tick > 0 && std::isfinite(tick));
+  for (auto& level : head_) {
+    for (auto& h : level) h = kNil;
+  }
+}
+
+std::uint64_t TimerWheel::tick_of(Time t) const {
+  FRAP_EXPECTS(t >= 0);
+  const double ticks = t * inv_tick_;
+  if (!(ticks < static_cast<double>(kMaxTick))) return kMaxTick;
+  return static_cast<std::uint64_t>(ticks);
+}
+
+std::uint32_t TimerWheel::alloc_cell() {
+  if (!free_cells_.empty()) {
+    const std::uint32_t idx = free_cells_.back();
+    free_cells_.pop_back();
+    return idx;
+  }
+  FRAP_ASSERT(cells_.size() < kIndexMask);
+  cells_.push_back(Cell{});
+  // The 0-alloc steady-state invariant: every auxiliary vector that takes
+  // push_backs on the free/collect hot paths is kept at capacity >= the
+  // total cell count (their sizes are bounded by it), so growth only ever
+  // happens here, on the cold pool-extension path. Matching cells_'s
+  // geometric capacity keeps the reserves amortized O(1) per cell.
+  free_cells_.reserve(cells_.capacity());
+  due_.reserve(cells_.capacity());
+  cascade_scratch_.reserve(cells_.capacity());
+  return static_cast<std::uint32_t>(cells_.size() - 1);
+}
+
+void TimerWheel::free_cell(std::uint32_t idx) {
+  Cell& c = cells_[idx];
+  ++c.gen;  // any outstanding handle or due entry becomes stale
+  c.loc = Loc::kFree;
+  c.client = nullptr;
+  free_cells_.push_back(idx);
+}
+
+void TimerWheel::place(std::uint32_t idx, std::uint64_t tick) {
+  FRAP_ASSERT(tick >= cur_tick_);
+  FRAP_ASSERT((tick >> kWheelBits) == (cur_tick_ >> kWheelBits));
+  const std::uint64_t diff = tick ^ cur_tick_;
+  const std::uint32_t level =
+      diff == 0 ? 0u
+                : (static_cast<std::uint32_t>(std::bit_width(diff)) - 1u) /
+                      kSlotBits;
+  FRAP_ASSERT(level < kLevels);
+  const auto slot = static_cast<std::uint32_t>(
+      (tick >> (kSlotBits * level)) & (kSlots - 1));
+  Cell& c = cells_[idx];
+  c.loc = Loc::kSlot;
+  c.level = static_cast<std::uint8_t>(level);
+  c.slot = static_cast<std::uint16_t>(slot);
+  c.prev = kNil;
+  c.next = head_[level][slot];
+  if (c.next != kNil) cells_[c.next].prev = idx;
+  head_[level][slot] = idx;
+  occupancy_[level] |= std::uint64_t{1} << slot;
+}
+
+void TimerWheel::link_overflow(std::uint32_t idx) {
+  Cell& c = cells_[idx];
+  c.loc = Loc::kOverflow;
+  c.prev = kNil;
+  c.next = overflow_head_;
+  if (c.next != kNil) cells_[c.next].prev = idx;
+  overflow_head_ = idx;
+  ++overflow_count_;
+}
+
+void TimerWheel::unlink(std::uint32_t idx) {
+  Cell& c = cells_[idx];
+  FRAP_ASSERT(c.loc == Loc::kSlot || c.loc == Loc::kOverflow);
+  if (c.next != kNil) cells_[c.next].prev = c.prev;
+  if (c.prev != kNil) {
+    cells_[c.prev].next = c.next;
+  } else if (c.loc == Loc::kOverflow) {
+    overflow_head_ = c.next;
+  } else {
+    head_[c.level][c.slot] = c.next;
+    if (c.next == kNil) {
+      occupancy_[c.level] &= ~(std::uint64_t{1} << c.slot);
+    }
+  }
+  if (c.loc == Loc::kOverflow) --overflow_count_;
+  c.next = kNil;
+  c.prev = kNil;
+}
+
+TimerId TimerWheel::schedule(Time t, std::uint64_t seq, TimerClient* client,
+                             std::uint64_t payload) {
+  FRAP_EXPECTS(client != nullptr);
+  const std::uint64_t tick = tick_of(t);
+  FRAP_EXPECTS(tick >= cur_tick_);
+  const std::uint32_t idx = alloc_cell();
+  Cell& c = cells_[idx];
+  c.time = t;
+  c.seq = seq;
+  c.payload = payload;
+  c.client = client;
+  if ((tick >> kWheelBits) != (cur_tick_ >> kWheelBits)) {
+    link_overflow(idx);
+  } else {
+    place(idx, tick);
+  }
+  ++live_;
+  // The memo survives unless the newcomer is the new earliest.
+  if (memo_valid_ &&
+      (t > memo_time_ || (t == memo_time_ && seq > memo_seq_))) {
+    // keep memo
+  } else {
+    memo_valid_ = false;
+  }
+  return pack_id(idx, c.gen);
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const std::uint32_t raw = static_cast<std::uint32_t>(id & kIndexMask);
+  if (raw == 0) return false;
+  const std::uint32_t idx = raw - 1;
+  if (idx >= cells_.size()) return false;
+  Cell& c = cells_[idx];
+  if (c.gen != static_cast<std::uint32_t>(id >> 32) || c.loc == Loc::kFree) {
+    return false;  // stale handle: already fired, cancelled, or reused
+  }
+  if (c.loc != Loc::kDue) unlink(idx);
+  // Due entries stay in the buffer; the generation bump below makes them
+  // stale and the drain skips them.
+  free_cell(idx);
+  --live_;
+  // Cancelling anything but the memoized earliest cannot change which timer
+  // is earliest, so the memo survives. (While the memo is valid its cell is
+  // live — every pop and every cancel of that cell invalidates it — so the
+  // index comparison cannot alias a reused cell.)
+  if (memo_valid_ && idx == memo_cell_) memo_valid_ = false;
+  return true;
+}
+
+bool TimerWheel::pending(TimerId id) const {
+  const std::uint32_t raw = static_cast<std::uint32_t>(id & kIndexMask);
+  if (raw == 0) return false;
+  const std::uint32_t idx = raw - 1;
+  if (idx >= cells_.size()) return false;
+  const Cell& c = cells_[idx];
+  return c.gen == static_cast<std::uint32_t>(id >> 32) && c.loc != Loc::kFree;
+}
+
+bool TimerWheel::find_earliest() {
+  memo_valid_ = false;
+  memo_due_ = false;
+  memo_overflow_ = false;
+  memo_cell_ = kNil;
+  if (live_ == 0) return false;
+
+  bool have = false;
+  // Due buffer first: skip entries whose cell was cancelled (stale gen).
+  while (due_next_ < due_.size()) {
+    const DueEntry& e = due_[due_next_];
+    if (cells_[e.cell].gen == e.gen) break;
+    ++due_next_;
+  }
+  if (due_next_ < due_.size()) {
+    const DueEntry& e = due_[due_next_];
+    memo_time_ = e.time;
+    memo_seq_ = e.seq;
+    memo_cell_ = e.cell;
+    memo_due_ = true;
+    have = true;
+  } else if (!due_.empty()) {
+    due_.clear();
+    due_next_ = 0;
+  }
+
+  // First occupied wheel level; every entry of level l precedes every entry
+  // of level l+1 (window invariant, docs/perf_internals.md), so one level's
+  // first occupied slot holds the wheel's earliest entry.
+  for (std::uint32_t l = 0; l < kLevels; ++l) {
+    std::uint64_t mask = occupancy_[l];
+    const auto cur_slot = static_cast<std::uint32_t>(
+        (cur_tick_ >> (kSlotBits * l)) & (kSlots - 1));
+    mask &= ~std::uint64_t{0} << cur_slot;
+    FRAP_ASSERT(mask == occupancy_[l]);  // nothing lingers behind the cursor
+    if (mask == 0) continue;
+    const auto slot = static_cast<std::uint32_t>(std::countr_zero(mask));
+    for (std::uint32_t i = head_[l][slot]; i != kNil; i = cells_[i].next) {
+      const Cell& c = cells_[i];
+      if (!have || c.time < memo_time_ ||
+          (c.time == memo_time_ && c.seq < memo_seq_)) {
+        memo_time_ = c.time;
+        memo_seq_ = c.seq;
+        memo_cell_ = i;
+        memo_due_ = false;
+        have = true;
+      }
+    }
+    break;
+  }
+
+  // Overflow timers are strictly later than every in-wheel timer, so the
+  // list only needs scanning when nothing else is pending.
+  if (!have) {
+    for (std::uint32_t i = overflow_head_; i != kNil; i = cells_[i].next) {
+      const Cell& c = cells_[i];
+      if (!have || c.time < memo_time_ ||
+          (c.time == memo_time_ && c.seq < memo_seq_)) {
+        memo_time_ = c.time;
+        memo_seq_ = c.seq;
+        memo_cell_ = i;
+        memo_overflow_ = true;
+        have = true;
+      }
+    }
+  }
+
+  FRAP_ASSERT(have);  // live_ > 0 implies something is findable
+  memo_valid_ = true;
+  return true;
+}
+
+bool TimerWheel::peek(Time& t, std::uint64_t& seq) {
+  if (live_ == 0) return false;
+  if (!memo_valid_) find_earliest();
+  t = memo_time_;
+  seq = memo_seq_;
+  return true;
+}
+
+bool TimerWheel::none_at_or_before(Time t) {
+  if (live_ == 0) return true;
+  if (memo_valid_) return memo_time_ > t;
+
+  // Cheap rejection before paying for an exact find_earliest(): derive a
+  // lower bound on the earliest pending TICK from the due head, the
+  // occupancy words, and the overflow window — a handful of bit scans, no
+  // cell-list walk. This is what keeps shed-heavy steady states O(1):
+  // removing a task cancels the earliest pending timer (oldest admission,
+  // nearest deadline) and so invalidates the memo every cycle, but the
+  // earliest survivor sits in a far-future high-level slot whose cell list
+  // can be thousands long. The bound answers "nothing can fire by t"
+  // without ever touching that list; the exact scan runs only when a timer
+  // might genuinely be due.
+  while (due_next_ < due_.size() &&
+         cells_[due_[due_next_].cell].gen != due_[due_next_].gen) {
+    ++due_next_;  // cancelled while parked in the batch
+  }
+  if (due_next_ < due_.size()) {
+    // The due batch precedes everything still in the wheel or overflow and
+    // is sorted, so its head is the exact earliest.
+    return due_[due_next_].time > t;
+  }
+
+  std::uint64_t lb = kMaxTick;
+  bool in_wheel = false;
+  for (std::uint32_t l = 0; l < kLevels; ++l) {
+    const std::uint64_t mask = occupancy_[l];
+    if (mask == 0) continue;
+    // Occupied slots never lag the cursor (find_earliest asserts this), so
+    // the first set bit is in the cursor's rotation and the slot's start
+    // tick lower-bounds every cell parked in it; lower levels precede
+    // higher ones (window invariant), so the first occupied level decides.
+    const auto slot = static_cast<std::uint32_t>(std::countr_zero(mask));
+    const std::uint64_t base = (cur_tick_ >> (kSlotBits * l)) &
+                               ~static_cast<std::uint64_t>(kSlots - 1);
+    lb = (base | slot) << (kSlotBits * l);
+    in_wheel = true;
+    break;
+  }
+  if (!in_wheel) {
+    FRAP_ASSERT(overflow_count_ > 0);  // live_ > 0 and the wheel is empty
+    lb = ((cur_tick_ >> kWheelBits) + 1) << kWheelBits;
+  }
+  // Tick comparison is exact in one direction: a pending tick strictly
+  // after t's tick means a fire time strictly after t (tick_of is
+  // monotone). The converse is not decidable from ticks alone, so fall
+  // back to the exact scan.
+  if (lb > tick_of(t)) return true;
+  find_earliest();
+  return memo_time_ > t;
+}
+
+void TimerWheel::advance_clock(Time t) {
+  const std::uint64_t tick = tick_of(t);
+  if (tick <= cur_tick_ || tick >= kMaxTick) return;
+  // Precondition (caller-checked via none_at_or_before): nothing pending at
+  // or before t, so every crossed level-0 slot is empty and advance_to's
+  // invariant holds. Keeping the cursor abreast of simulated time keeps
+  // pending timers in LOW levels relative to it — without this, a workload
+  // that only ever cancels (pure shedding) would pin the cursor while time
+  // runs away, every timer would degrade to the widest level, and the
+  // occupancy lower bound would fall uselessly behind the query tick.
+  advance_to(tick);
+}
+
+void TimerWheel::advance_to(std::uint64_t tick) {
+  FRAP_ASSERT(tick >= cur_tick_);
+  if (tick == cur_tick_) return;
+
+  // Level-0 slots strictly before `tick` must be empty: the cursor only
+  // ever advances to the earliest pending tick.
+  const auto new_slot0 =
+      static_cast<std::uint32_t>(tick & (kSlots - 1));
+  const auto cur_slot0 =
+      static_cast<std::uint32_t>(cur_tick_ & (kSlots - 1));
+  if ((tick >> kSlotBits) == (cur_tick_ >> kSlotBits)) {
+    FRAP_ASSERT((occupancy_[0] & slot_mask(cur_slot0, new_slot0)) == 0);
+  } else {
+    FRAP_ASSERT(occupancy_[0] == 0);
+  }
+
+  // Collect every crossed higher-level slot; its cells re-place relative to
+  // the new cursor (cascading down one or more levels).
+  cascade_scratch_.clear();
+  for (std::uint32_t l = 1; l < kLevels; ++l) {
+    const std::uint64_t old_i = cur_tick_ >> (kSlotBits * l);
+    const std::uint64_t new_i = tick >> (kSlotBits * l);
+    if (old_i == new_i) break;  // higher levels see no boundary
+    const std::uint64_t count = new_i - old_i;  // crossed: old_i+1 .. new_i
+    std::uint64_t mask;
+    if (count >= kSlots) {
+      mask = ~std::uint64_t{0};
+    } else {
+      const auto lo = static_cast<std::uint32_t>((old_i + 1) & (kSlots - 1));
+      const auto n = static_cast<std::uint32_t>(count);
+      mask = lo + n <= kSlots
+                 ? slot_mask(lo, lo + n)
+                 : (slot_mask(lo, kSlots) | slot_mask(0, lo + n - kSlots));
+    }
+    std::uint64_t hit = occupancy_[l] & mask;
+    while (hit != 0) {
+      const auto slot = static_cast<std::uint32_t>(std::countr_zero(hit));
+      hit &= hit - 1;
+      while (head_[l][slot] != kNil) {
+        const std::uint32_t idx = head_[l][slot];
+        unlink(idx);
+        cascade_scratch_.push_back(idx);
+      }
+    }
+  }
+
+  const std::uint64_t old_top = cur_tick_ >> kWheelBits;
+  cur_tick_ = tick;
+
+  for (const std::uint32_t idx : cascade_scratch_) {
+    place(idx, tick_of(cells_[idx].time));
+  }
+  cascade_scratch_.clear();
+
+  if ((cur_tick_ >> kWheelBits) != old_top) {
+    // New top-level window: pull overflow timers that now fit the wheel.
+    std::uint32_t i = overflow_head_;
+    while (i != kNil) {
+      const std::uint32_t next = cells_[i].next;
+      const std::uint64_t cell_tick = tick_of(cells_[i].time);
+      if ((cell_tick >> kWheelBits) == (cur_tick_ >> kWheelBits)) {
+        unlink(i);
+        place(i, cell_tick);
+      }
+      i = next;
+    }
+  }
+}
+
+void TimerWheel::collect_cursor_slot() {
+  const auto slot = static_cast<std::uint32_t>(cur_tick_ & (kSlots - 1));
+  while (head_[0][slot] != kNil) {
+    const std::uint32_t idx = head_[0][slot];
+    unlink(idx);
+    Cell& c = cells_[idx];
+    c.loc = Loc::kDue;
+    due_.push_back(DueEntry{c.time, c.seq, idx, c.gen});
+  }
+  // Typical slots hold a handful of timers; std::sort's fixed set-up cost
+  // dominates at those sizes, so run a straight insertion sort below a
+  // small threshold. Both produce the one total (time, seq) order, so the
+  // fired sequence is identical either way.
+  const auto cmp = [](const DueEntry& a, const DueEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  };
+  DueEntry* const first = due_.data() + due_next_;
+  DueEntry* const last = due_.data() + due_.size();
+  if (last - first > 16) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  for (DueEntry* it = first + 1; it < last; ++it) {
+    DueEntry e = *it;
+    DueEntry* j = it;
+    for (; j > first && cmp(e, *(j - 1)); --j) *j = *(j - 1);
+    *j = e;
+  }
+}
+
+void TimerWheel::pop(Time& t, TimerClient*& client, std::uint64_t& payload) {
+  FRAP_EXPECTS(live_ > 0);
+  if (!memo_valid_) find_earliest();
+
+  if (!memo_due_) {
+    const std::uint32_t idx = memo_cell_;
+    const std::uint64_t tick = tick_of(cells_[idx].time);
+    if (memo_overflow_ && tick >= kMaxTick) {
+      // Beyond representable ticks: fire straight off the overflow list.
+      Cell& c = cells_[idx];
+      t = c.time;
+      client = c.client;
+      payload = c.payload;
+      unlink(idx);
+      free_cell(idx);
+      --live_;
+      memo_valid_ = false;
+      return;
+    }
+    // Advance (cascading, and pulling overflow in when a top window opens),
+    // then batch the whole now-current slot into the sorted due buffer.
+    advance_to(tick);
+    collect_cursor_slot();
+  }
+
+  while (due_next_ < due_.size() &&
+         cells_[due_[due_next_].cell].gen != due_[due_next_].gen) {
+    ++due_next_;  // cancelled while parked in the batch
+  }
+  FRAP_ASSERT(due_next_ < due_.size());
+  const DueEntry e = due_[due_next_++];
+  Cell& c = cells_[e.cell];
+  FRAP_ASSERT(c.loc == Loc::kDue);
+  t = c.time;
+  client = c.client;
+  payload = c.payload;
+  free_cell(e.cell);
+  --live_;
+  if (due_next_ == due_.size()) {
+    due_.clear();
+    due_next_ = 0;
+  }
+  memo_valid_ = false;
+}
+
+}  // namespace frap::sim

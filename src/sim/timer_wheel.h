@@ -1,0 +1,185 @@
+// Hierarchical timer wheel for deadline-expiry traffic.
+//
+// The binary-heap EventQueue is the general scheduling surface: arbitrary
+// closures, O(log n) push/pop, lazy cancel. At production admission rates
+// the dominant event traffic is far more regular — one expiry per admitted
+// task, keyed on its absolute deadline, cancelled eagerly when the task is
+// removed or shed. For that traffic a wheel is strictly better: O(1)
+// schedule, O(1) cancel WITH immediate cell reclamation (no lazily-dead
+// heap entries accumulating until their deadline), and no type-erased
+// std::function allocation — a timer is a typed event, (client, payload),
+// dispatched by a single virtual call.
+//
+// Layout: kLevels levels of kSlots slots each; level l buckets span
+// kSlots^l ticks, so the wheel covers kSlots^kLevels ticks (the "horizon",
+// ~1677 s at the default 100 us tick). Deadlines beyond the horizon sit on
+// an overflow list and are pulled into the wheel when the cursor crosses a
+// top-level window boundary. One 64-bit occupancy word per level makes
+// "next occupied slot" a bit scan.
+//
+// Determinism contract (docs/perf_internals.md): every timer carries the
+// exact double time it was scheduled for plus a sequence number drawn from
+// the Simulator's shared counter. Ticks only ORDER coarsely; within a tick
+// the due batch is sorted by (time, seq) before it fires, so the merged
+// stream of wheel timers and heap events is fired in exactly the (time,
+// seq) order a single binary heap would produce. Tests pin this
+// (tests/timer_wheel_test.cpp).
+//
+// Single-threaded by design, like the rest of src/sim (frap-lint R5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace frap::sim {
+
+// Opaque handle to a scheduled timer: packed (cell index + 1, generation).
+// Cancelling reclaims the cell immediately; a handle held past the timer's
+// fire/cancel is detected by the generation check and rejected.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimerId = 0;
+
+// Receiver of typed timer events. The payload is opaque to the wheel;
+// trackers pack their own slot-map handles into it.
+class TimerClient {
+ public:
+  virtual void on_timer(std::uint64_t payload) = 0;
+
+ protected:
+  ~TimerClient() = default;
+};
+
+class TimerWheel {
+ public:
+  static constexpr Duration kDefaultTick = 100 * kMicro;
+
+  explicit TimerWheel(Duration tick = kDefaultTick);
+
+  // Schedules a typed event at absolute time t with the caller-supplied
+  // sequence number (the Simulator hands out one shared sequence across the
+  // wheel and the heap so same-time events merge deterministically).
+  // O(1); allocation-free once the cell pool is warm.
+  TimerId schedule(Time t, std::uint64_t seq, TimerClient* client,
+                   std::uint64_t payload);
+
+  // Cancels a pending timer and reclaims its cell immediately. Returns
+  // false (and does nothing) for already-fired, already-cancelled, or
+  // stale handles. O(1).
+  bool cancel(TimerId id);
+
+  // True while a live timer with this handle is pending.
+  [[nodiscard]] bool pending(TimerId id) const;
+
+  // Earliest pending timer's (time, seq); false when empty. Non-mutating
+  // apart from an internal memo; repeated peeks are O(1).
+  bool peek(Time& t, std::uint64_t& seq);
+
+  // Exact quiescence test: true iff no pending timer fires at or before t.
+  // Unlike peek() it usually answers from a tick lower bound derived from
+  // the occupancy words alone (O(kLevels) bit scans, no cell-list walk),
+  // paying for the exact earliest scan only when a timer might be due —
+  // the horizon check Simulator::run_until makes once per advance.
+  bool none_at_or_before(Time t);
+
+  // Moves the wheel clock to t. REQUIRES no timer pending at or before t
+  // (i.e. none_at_or_before(t) just returned true). Called by run_until
+  // after a quiescent advance so pending timers stay in low levels
+  // relative to the cursor and the occupancy bound stays tight even when
+  // nothing ever fires (cancel-only workloads).
+  void advance_clock(Time t);
+
+  // Removes the earliest pending timer (by (time, seq)) and reports it.
+  // Requires a pending timer. Same-tick timers are batched: the whole slot
+  // is moved into a sorted due buffer once, so a burst of k same-tick
+  // expiries drains in O(k log k) total instead of O(k^2).
+  void pop(Time& t, TimerClient*& client, std::uint64_t& payload);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] Duration tick() const { return tick_; }
+
+  // Timers currently parked beyond the wheel horizon (observability; the
+  // overflow spill test uses it).
+  [[nodiscard]] std::size_t overflow_size() const { return overflow_count_; }
+
+ private:
+  static constexpr std::uint32_t kSlotBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;     // 64
+  static constexpr std::uint32_t kLevels = 4;
+  static constexpr std::uint32_t kWheelBits = kSlotBits * kLevels;  // 24
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  // Ticks are clamped here so the double->integer conversion is always in
+  // range; clamped timers simply live on the overflow list forever and are
+  // still fired at their exact recorded time.
+  static constexpr std::uint64_t kMaxTick = std::uint64_t{1} << 62;
+
+  // Where a cell currently lives.
+  enum class Loc : std::uint8_t { kFree, kSlot, kOverflow, kDue };
+
+  struct Cell {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t payload = 0;
+    TimerClient* client = nullptr;
+    std::uint32_t gen = 0;  // bumped on every free; stale handles mismatch
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    Loc loc = Loc::kFree;
+    std::uint8_t level = 0;
+    std::uint16_t slot = 0;
+  };
+
+  struct DueEntry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t cell;
+    std::uint32_t gen;
+  };
+
+  std::uint64_t tick_of(Time t) const;
+  std::uint32_t alloc_cell();
+  void free_cell(std::uint32_t idx);
+  // Links an in-horizon cell into its (level, slot) list for `tick`.
+  void place(std::uint32_t idx, std::uint64_t tick);
+  void link_overflow(std::uint32_t idx);
+  void unlink(std::uint32_t idx);
+  // Moves the cursor to `tick`, cascading every crossed higher-level slot
+  // down and re-pulling overflow timers when a top-level window boundary is
+  // crossed. Crossed level-0 slots must be empty (the caller only advances
+  // to the earliest pending tick).
+  void advance_to(std::uint64_t tick);
+  // Moves the cursor slot's remaining cells into the sorted due buffer.
+  void collect_cursor_slot();
+  // Recomputes the earliest-pending memo. Returns false when empty.
+  bool find_earliest();
+
+  Duration tick_;
+  double inv_tick_;
+  std::uint64_t cur_tick_ = 0;
+
+  std::vector<Cell> cells_;
+  std::vector<std::uint32_t> free_cells_;
+  std::size_t live_ = 0;
+
+  std::uint32_t head_[kLevels][kSlots];
+  std::uint64_t occupancy_[kLevels] = {0, 0, 0, 0};
+  std::uint32_t overflow_head_ = kNil;
+  std::size_t overflow_count_ = 0;
+
+  // Sorted (time, seq) batch for the cursor tick; drained front-to-back.
+  std::vector<DueEntry> due_;
+  std::size_t due_next_ = 0;
+  std::vector<std::uint32_t> cascade_scratch_;
+
+  // Earliest-pending memo, invalidated by any mutation.
+  bool memo_valid_ = false;
+  bool memo_due_ = false;       // earliest is due_[due_next_]
+  bool memo_overflow_ = false;  // earliest is an overflow cell
+  std::uint32_t memo_cell_ = kNil;
+  Time memo_time_ = 0;
+  std::uint64_t memo_seq_ = 0;
+};
+
+}  // namespace frap::sim

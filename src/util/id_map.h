@@ -1,0 +1,133 @@
+// Flat open-addressing hash map from 64-bit ids to 32-bit indices.
+//
+// Purpose-built for the tracker's task-id -> slot-index lookup on the
+// allocation-free admission path: linear probing over one contiguous bucket
+// array, backward-shift deletion (no tombstones, so a long-running
+// steady-state insert/erase cycle never degrades probe lengths or forces a
+// rehash), and growth only when the live count crosses the load threshold —
+// in steady state the table stays warm and insert/find/erase are
+// allocation-free. Values are caller-defined indices; the map never
+// interprets them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace frap::util {
+
+class IdMap {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  IdMap() = default;
+
+  // Index stored for `key`, or kNotFound.
+  [[nodiscard]] std::uint32_t find(std::uint64_t key) const {
+    if (size_ == 0) return kNotFound;
+    std::size_t i = probe_start(key);
+    while (buckets_[i].used) {
+      if (buckets_[i].key == key) return buckets_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  // Inserts key -> value. The key must be absent; the value must not be
+  // kNotFound (it is the miss sentinel).
+  void insert(std::uint64_t key, std::uint32_t value) {
+    FRAP_EXPECTS(value != kNotFound);
+    if ((size_ + 1) * 10 > capacity() * 7) grow();
+    std::size_t i = probe_start(key);
+    while (buckets_[i].used) {
+      // Key absence is a caller precondition; the probe walk checks it for
+      // free, so callers need not pay a separate find() first.
+      FRAP_EXPECTS(buckets_[i].key != key);
+      i = (i + 1) & mask_;
+    }
+    buckets_[i] = Bucket{key, value, true};
+    ++size_;
+  }
+
+  // Removes the key; returns false when absent. Backward-shift deletion
+  // keeps every remaining entry reachable with no tombstone left behind.
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    std::size_t i = probe_start(key);
+    while (buckets_[i].used && buckets_[i].key != key) i = (i + 1) & mask_;
+    if (!buckets_[i].used) return false;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!buckets_[j].used) break;
+      const std::size_t home = probe_start(buckets_[j].key);
+      // The entry at j may fill the hole at i only if its probe path does
+      // not start strictly after i (cyclically): home must not lie in
+      // (i, j].
+      const bool home_in_gap =
+          i <= j ? (home > i && home <= j) : (home > i || home <= j);
+      if (!home_in_gap) {
+        buckets_[i] = buckets_[j];
+        i = j;
+      }
+    }
+    buckets_[i].used = false;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  // Pre-sizes the table for `n` live entries without rehashing later.
+  void reserve(std::size_t n) {
+    std::size_t cap = capacity() == 0 ? kInitialCapacity : capacity();
+    while (n * 10 > cap * 7) cap *= 2;
+    if (cap != capacity()) rehash(cap);
+  }
+
+ private:
+  struct Bucket {
+    std::uint64_t key = 0;
+    std::uint32_t value = 0;
+    bool used = false;
+  };
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  [[nodiscard]] std::size_t capacity() const { return buckets_.size(); }
+
+  // splitmix64 finalizer: full-avalanche mixing so sequential task ids do
+  // not cluster in the linear probe.
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const {
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  void grow() {
+    rehash(capacity() == 0 ? kInitialCapacity : capacity() * 2);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.assign(new_capacity, Bucket{});
+    mask_ = new_capacity - 1;
+    for (const Bucket& b : old) {
+      if (!b.used) continue;
+      std::size_t i = probe_start(b.key);
+      while (buckets_[i].used) i = (i + 1) & mask_;
+      buckets_[i] = b;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace frap::util

@@ -1,0 +1,156 @@
+// The ISSUE 5 zero-allocation invariant: once the pools are warm, the
+// steady-state admit -> expire cycle — admission test, tracker add, expiry
+// timer schedule, departures, idle resets, wheel advance, typed expiry
+// dispatch — performs ZERO heap allocations. Pinned with a per-binary
+// operator new/delete replacement that counts while a flag is set.
+//
+// The counting window only ever covers single-threaded simulator code, but
+// the counters are atomics so the hook itself is safe no matter what gtest
+// internals do on other threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+// GCC pairs our replacement operator new (malloc-backed) with the library
+// operator delete and flags the free() as mismatched; the replacement pair
+// below is complete and consistent.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+void count_alloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  count_alloc();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace frap::core {
+namespace {
+
+constexpr std::size_t kStages = 5;
+
+// A sparse spec with tiny contributions: at 10k live tasks the region is
+// nowhere near full, so every attempt is admitted and the live count is
+// governed purely by deadline = 1s vs the arrival spacing.
+TaskSpec tiny_spec(std::uint64_t id) {
+  TaskSpec spec;
+  spec.id = id;
+  spec.deadline = 1.0;
+  spec.stages.resize(kStages);
+  spec.stages[0].compute = 2e-8;
+  spec.stages[2].compute = 1e-8;
+  spec.stages[4].compute = 3e-8;
+  return spec;
+}
+
+TEST(AllocSteadyStateTest, AdmitExpireCycleIsAllocationFree) {
+  constexpr std::uint64_t kLiveTarget = 10000;
+  constexpr Duration kSpacing = 1.0 / static_cast<double>(kLiveTarget);
+
+  sim::Simulator sim;
+  SyntheticUtilizationTracker tracker(sim, kStages);
+  AdmissionController controller(sim, tracker,
+                                 FeasibleRegion::deadline_monotonic(kStages));
+
+  // Warm-up: reach the steady live count and warm every pool (wheel cells,
+  // slot map, arena, id map, departed queues, due buffers, scratch).
+  std::uint64_t id = 1;
+  TaskSpec spec = tiny_spec(0);
+  for (std::uint64_t i = 0; i < 2 * kLiveTarget; ++i) {
+    sim.run_until(sim.now() + kSpacing);
+    spec.id = id++;
+    const auto d = controller.try_admit(spec);
+    ASSERT_TRUE(d.admitted);
+    if (i % 3 == 0) {
+      tracker.mark_departed(spec.id, 0);
+      tracker.on_stage_idle(0);
+    }
+  }
+  ASSERT_GE(tracker.live_tasks(), kLiveTarget - 1);
+
+  // Steady state: measure 2000 full admit -> expire cycles. Every loop
+  // iteration advances past exactly one expiry and admits one replacement,
+  // plus a departure + idle reset every third cycle.
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 2000; ++i) {
+    sim.run_until(sim.now() + kSpacing);
+    spec.id = id++;
+    if (!controller.try_admit(spec).admitted) break;  // assert after window
+    if (i % 3 == 0) {
+      tracker.mark_departed(spec.id, 0);
+      tracker.on_stage_idle(0);
+    }
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "steady-state admit/expire cycles must not allocate";
+  EXPECT_GE(tracker.live_tasks(), kLiveTarget - 1);
+  EXPECT_EQ(controller.attempts(), 2 * kLiveTarget + 2000);
+  EXPECT_EQ(controller.admitted(), controller.attempts());
+  tracker.verify_lhs_cache(1e-9);
+}
+
+// remove_task (the shed path) must also be allocation-free in steady state,
+// including the immediate wheel-cell reclamation.
+TEST(AllocSteadyStateTest, RemoveTaskIsAllocationFree) {
+  sim::Simulator sim;
+  SyntheticUtilizationTracker tracker(sim, kStages);
+
+  const double add[kStages] = {1e-8, 0, 2e-8, 0, 1e-8};
+  // Warm: create and remove a few hundred tasks.
+  std::uint64_t id = 1;
+  for (int i = 0; i < 500; ++i) {
+    tracker.add(id, add, sim.now() + 1.0);
+    tracker.remove_task(id);
+    ++id;
+  }
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    tracker.add(id, add, sim.now() + 1.0);
+    tracker.remove_task(id);
+    ++id;
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u);
+  EXPECT_EQ(tracker.live_tasks(), 0u);
+  EXPECT_EQ(sim.timer_wheel().size(), 0u)
+      << "cancelled expiries must reclaim their wheel cells";
+}
+
+}  // namespace
+}  // namespace frap::core

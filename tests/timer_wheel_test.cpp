@@ -1,0 +1,396 @@
+// Edge cases of the hierarchical timer wheel (ISSUE 5 satellite d):
+// same-tick ordering against the shared sequence counter, far-future
+// overflow spill and re-pull, cancel with immediate reclamation followed by
+// reschedule (stale-handle rejection), cursor advance across long empty
+// spans, and the merged Simulator dispatch being bit-identical to a pure
+// binary-heap schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/timer_wheel.h"
+#include "util/rng.h"
+
+namespace frap::sim {
+namespace {
+
+// Records every firing it receives, in order.
+struct Recorder final : TimerClient {
+  void on_timer(std::uint64_t payload) override { fired.push_back(payload); }
+  std::vector<std::uint64_t> fired;
+};
+
+// Drains the wheel fully, returning (time, payload) in pop order.
+std::vector<std::pair<Time, std::uint64_t>> drain(TimerWheel& w) {
+  std::vector<std::pair<Time, std::uint64_t>> out;
+  while (!w.empty()) {
+    Time t = 0;
+    TimerClient* c = nullptr;
+    std::uint64_t payload = 0;
+    w.pop(t, c, payload);
+    out.emplace_back(t, payload);
+  }
+  return out;
+}
+
+TEST(TimerWheelTest, FiresInTimeOrderAcrossLevels) {
+  TimerWheel w;
+  Recorder r;
+  // Ticks chosen to land on level 0, 1, 2, 3 and overflow: the default tick
+  // is 100us, so level l spans 64^l ticks.
+  const std::vector<Time> times{0.0003, 0.01, 0.5, 40.0, 2000.0};
+  std::uint64_t seq = 1;
+  // Schedule in shuffled order.
+  for (std::size_t i : {3u, 0u, 4u, 2u, 1u}) {
+    w.schedule(times[i], seq++, &r, i);
+  }
+  EXPECT_EQ(w.size(), 5u);
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(fired[i].first, times[i]) << i;
+    EXPECT_EQ(fired[i].second, i);
+  }
+}
+
+TEST(TimerWheelTest, SameTickBatchFiresInTimeThenSeqOrder) {
+  TimerWheel w;
+  Recorder r;
+  // All inside one 100us tick, but at three distinct exact times; two share
+  // a time and must order by seq. Schedule out of order.
+  w.schedule(0.000050, /*seq=*/7, &r, 3);
+  w.schedule(0.000020, /*seq=*/5, &r, 1);
+  w.schedule(0.000050, /*seq=*/6, &r, 2);
+  w.schedule(0.000010, /*seq=*/9, &r, 0);
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0].second, 0u);
+  EXPECT_EQ(fired[1].second, 1u);
+  EXPECT_EQ(fired[2].second, 2u);  // seq 6 before seq 7 at equal time
+  EXPECT_EQ(fired[3].second, 3u);
+}
+
+TEST(TimerWheelTest, PeekMatchesPopWithoutMutating) {
+  TimerWheel w;
+  Recorder r;
+  w.schedule(1.5, 2, &r, 20);
+  w.schedule(0.25, 1, &r, 10);
+  Time pt = 0;
+  std::uint64_t pseq = 0;
+  ASSERT_TRUE(w.peek(pt, pseq));
+  EXPECT_DOUBLE_EQ(pt, 0.25);
+  EXPECT_EQ(pseq, 1u);
+  // Repeated peeks are stable and do not consume.
+  ASSERT_TRUE(w.peek(pt, pseq));
+  EXPECT_DOUBLE_EQ(pt, 0.25);
+  EXPECT_EQ(w.size(), 2u);
+  Time t = 0;
+  TimerClient* c = nullptr;
+  std::uint64_t payload = 0;
+  w.pop(t, c, payload);
+  EXPECT_DOUBLE_EQ(t, 0.25);
+  EXPECT_EQ(payload, 10u);
+}
+
+TEST(TimerWheelTest, FarFutureTimersSpillToOverflowAndFire) {
+  TimerWheel w;  // horizon = 64^4 ticks * 100us ~= 1677.7 s
+  Recorder r;
+  const Time horizon = 0.0001 * static_cast<Time>(1u << 24);
+  w.schedule(horizon * 2.5, 1, &r, 99);     // beyond the horizon
+  w.schedule(horizon * 100.0, 2, &r, 100);  // far beyond
+  EXPECT_EQ(w.overflow_size(), 2u);
+  w.schedule(1.0, 3, &r, 1);  // in-wheel
+  EXPECT_EQ(w.overflow_size(), 2u);
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0].second, 1u);
+  EXPECT_EQ(fired[1].second, 99u);
+  EXPECT_DOUBLE_EQ(fired[1].first, horizon * 2.5);
+  EXPECT_EQ(fired[2].second, 100u);
+  EXPECT_EQ(w.overflow_size(), 0u);
+}
+
+TEST(TimerWheelTest, CancelReclaimsImmediatelyAndRejectsStaleHandle) {
+  TimerWheel w;
+  Recorder r;
+  const TimerId id = w.schedule(5.0, 1, &r, 42);
+  ASSERT_TRUE(w.pending(id));
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.pending(id));
+  EXPECT_FALSE(w.cancel(id));  // double cancel: stale
+
+  // The freed cell is reused by the next schedule; the old handle must not
+  // alias the new timer.
+  const TimerId id2 = w.schedule(6.0, 2, &r, 43);
+  EXPECT_NE(id, id2);
+  EXPECT_FALSE(w.pending(id));
+  EXPECT_FALSE(w.cancel(id));
+  ASSERT_TRUE(w.pending(id2));
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].second, 43u);
+}
+
+TEST(TimerWheelTest, CancelInsideDueBatchSkipsEntry) {
+  TimerWheel w;
+  Recorder r;
+  // Three timers in one tick; pop the first (which batches the slot into
+  // the due buffer), then cancel the second while it sits in the batch.
+  const TimerId a = w.schedule(0.000010, 1, &r, 1);
+  const TimerId b = w.schedule(0.000020, 2, &r, 2);
+  const TimerId c = w.schedule(0.000030, 3, &r, 3);
+  (void)a;
+  (void)c;
+  Time t = 0;
+  TimerClient* cl = nullptr;
+  std::uint64_t payload = 0;
+  w.pop(t, cl, payload);
+  EXPECT_EQ(payload, 1u);
+  EXPECT_TRUE(w.cancel(b));
+  EXPECT_EQ(w.size(), 1u);
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].second, 3u);
+}
+
+TEST(TimerWheelTest, AdvanceAcrossLongEmptySpans) {
+  TimerWheel w;
+  Recorder r;
+  // Alternate tiny and huge gaps so the cursor repeatedly jumps across
+  // empty level-0/1/2 ranges and cascades from level 3.
+  std::vector<Time> times;
+  Time t = 0.0005;
+  for (int i = 0; i < 12; ++i) {
+    times.push_back(t);
+    t += (i % 2 == 0) ? 131.072 : 0.0001;  // ~2^20 ticks vs 1 tick
+  }
+  std::uint64_t seq = 1;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    w.schedule(times[i], seq++, &r, i);
+  }
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fired[i].first, times[i]) << i;
+    EXPECT_EQ(fired[i].second, i);
+  }
+}
+
+TEST(TimerWheelTest, RandomizedAgainstSortedReference) {
+  TimerWheel w;
+  Recorder r;
+  util::Rng rng(123);
+  std::vector<std::pair<Time, std::uint64_t>> expect;
+  std::uint64_t seq = 1;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 4000; ++i) {
+    // Mix of near, mid, far, and beyond-horizon times.
+    const double scale = std::vector<double>{0.01, 1.0, 300.0, 5000.0}[
+        static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    const Time t = rng.uniform(0.0, scale);
+    const std::uint64_t s = seq++;
+    ids.push_back(w.schedule(t, s, &r, s));
+    expect.emplace_back(t, s);
+  }
+  // Cancel a third of them.
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(w.cancel(ids[i]));
+    expect[i].second = 0;  // tombstone
+  }
+  std::erase_if(expect, [](const auto& p) { return p.second == 0; });
+  std::sort(expect.begin(), expect.end());
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fired[i].first, expect[i].first) << i;
+    EXPECT_EQ(fired[i].second, expect[i].second) << i;
+  }
+}
+
+// ------------------------------------------------- merged dispatch ------
+
+// The simulator fires heap closures and wheel timers in exactly the
+// (time, seq) order a single queue would produce: interleave both surfaces
+// at identical and distinct times and compare against a pure-closure run.
+TEST(TimerWheelTest, QuiescenceTestIsExactAroundTimerTimes) {
+  TimerWheel w;
+  Recorder r;
+  w.schedule(1.0, 1, &r, 1);
+  EXPECT_TRUE(w.none_at_or_before(0.5));
+  EXPECT_FALSE(w.none_at_or_before(1.0));  // boundary counts as due
+  EXPECT_FALSE(w.none_at_or_before(2.0));
+  // Beyond the horizon: overflow-only population still answers exactly.
+  TimerWheel far;
+  far.schedule(1e9, 1, &r, 1);
+  ASSERT_EQ(far.overflow_size(), 1u);
+  EXPECT_TRUE(far.none_at_or_before(1e6));
+  EXPECT_FALSE(far.none_at_or_before(2e9));
+}
+
+TEST(TimerWheelTest, CancellingEarliestKeepsQuiescenceExact) {
+  // The shed steady state: the cancelled timer is always the earliest, so
+  // the memo dies on every cancel; the quiescence test must stay correct
+  // (and is expected to answer from the occupancy bound, not a cell walk).
+  TimerWheel w;
+  Recorder r;
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(w.schedule(1.0 + 0.01 * i, static_cast<std::uint64_t>(i),
+                             &r, static_cast<std::uint64_t>(i)));
+  }
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_TRUE(w.cancel(ids[static_cast<std::size_t>(i)]));
+    EXPECT_TRUE(w.none_at_or_before(1.0 + 0.01 * i));
+    EXPECT_FALSE(w.none_at_or_before(2.0));
+  }
+  Time t = 0;
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(w.peek(t, seq));
+  EXPECT_DOUBLE_EQ(t, 1.99);  // the one survivor
+}
+
+TEST(TimerWheelTest, CancellingNonEarliestPreservesPeekMemo) {
+  TimerWheel w;
+  Recorder r;
+  w.schedule(1.0, 1, &r, 1);
+  const TimerId later = w.schedule(5.0, 2, &r, 2);
+  Time t = 0;
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(w.peek(t, seq));
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  ASSERT_TRUE(w.cancel(later));  // not the earliest: memo survives
+  ASSERT_TRUE(w.peek(t, seq));
+  EXPECT_DOUBLE_EQ(t, 1.0);
+  EXPECT_EQ(drain(w), (std::vector<std::pair<Time, std::uint64_t>>{{1.0, 1}}));
+}
+
+TEST(TimerWheelTest, QuiescenceSeesDueBatchRemainder) {
+  // Two same-tick timers: popping one leaves the other parked in the due
+  // buffer, which the quiescence test must report as still pending.
+  TimerWheel w;
+  Recorder r;
+  w.schedule(1.0, 1, &r, 1);
+  w.schedule(1.0, 2, &r, 2);
+  Time t = 0;
+  TimerClient* c = nullptr;
+  std::uint64_t payload = 0;
+  w.pop(t, c, payload);
+  EXPECT_EQ(payload, 1u);
+  EXPECT_FALSE(w.none_at_or_before(1.0));
+  EXPECT_TRUE(w.none_at_or_before(0.5));
+  w.pop(t, c, payload);
+  EXPECT_EQ(payload, 2u);
+  EXPECT_TRUE(w.none_at_or_before(1e12));
+}
+
+TEST(TimerWheelTest, AdvanceClockPreservesOrderAndPullsOverflow) {
+  TimerWheel w;  // default 100 us tick: horizon ~1677 s
+  Recorder r;
+  w.schedule(2000.0, 1, &r, 1);  // beyond the horizon: overflow
+  w.schedule(1999.0, 2, &r, 2);
+  ASSERT_EQ(w.overflow_size(), 2u);
+  EXPECT_TRUE(w.none_at_or_before(1500.0));
+  w.advance_clock(1800.0);  // crosses the top-level window boundary
+  EXPECT_EQ(w.overflow_size(), 0u);  // both pulled into the wheel
+  EXPECT_TRUE(w.none_at_or_before(1998.0));
+  const auto fired = drain(w);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0].first, 1999.0);
+  EXPECT_DOUBLE_EQ(fired[1].first, 2000.0);
+}
+
+TEST(TimerWheelSimulatorTest, MergedDispatchMatchesPureHeapOrder) {
+  util::Rng rng(7);
+  std::vector<Time> times;
+  Time t = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Duplicated times (same-time closure+timer pairs) every few events.
+    if (i % 5 != 0 || times.empty()) t += rng.exponential(0.003);
+    times.push_back(t);
+  }
+
+  // Run A: alternate closure / timer scheduling in submission order.
+  std::vector<int> order_a;
+  {
+    Simulator sim;
+    struct Client final : TimerClient {
+      std::vector<int>* out;
+      void on_timer(std::uint64_t payload) override {
+        out->push_back(static_cast<int>(payload));
+      }
+    } client;
+    client.out = &order_a;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (i % 2 == 0) {
+        sim.at(times[i], [&order_a, i] { order_a.push_back(static_cast<int>(i)); });
+      } else {
+        sim.timer_at(times[i], &client, i);
+      }
+    }
+    sim.run();
+  }
+
+  // Run B: everything as closures — the reference order.
+  std::vector<int> order_b;
+  {
+    Simulator sim;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      sim.at(times[i], [&order_b, i] { order_b.push_back(static_cast<int>(i)); });
+    }
+    sim.run();
+  }
+
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(TimerWheelSimulatorTest, CancelTimerStopsFiring) {
+  Simulator sim;
+  Recorder r;
+  const TimerId id = sim.timer_at(1.0, &r, 1);
+  sim.timer_at(2.0, &r, 2);
+  EXPECT_TRUE(sim.timer_pending(id));
+  EXPECT_TRUE(sim.cancel_timer(id));
+  EXPECT_FALSE(sim.timer_pending(id));
+  sim.run();
+  ASSERT_EQ(r.fired.size(), 1u);
+  EXPECT_EQ(r.fired[0], 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(TimerWheelSimulatorTest, RunUntilFiresTimersAtBoundary) {
+  Simulator sim;
+  Recorder r;
+  sim.timer_at(1.0, &r, 1);
+  sim.timer_at(1.5, &r, 2);
+  sim.run_until(1.0);  // timers at exactly t fire
+  EXPECT_EQ(r.fired, (std::vector<std::uint64_t>{1}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  sim.run_until(3.0);
+  EXPECT_EQ(r.fired, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(TimerWheelSimulatorTest, TimerScheduledFromTimerFires) {
+  Simulator sim;
+  struct Chain final : TimerClient {
+    Simulator* sim = nullptr;
+    int hops = 0;
+    void on_timer(std::uint64_t payload) override {
+      ++hops;
+      if (payload > 0) sim->timer_at(sim->now() + 0.25, this, payload - 1);
+    }
+  } chain;
+  chain.sim = &sim;
+  sim.timer_at(0.25, &chain, 5);
+  sim.run();
+  EXPECT_EQ(chain.hops, 6);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+}  // namespace
+}  // namespace frap::sim
