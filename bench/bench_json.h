@@ -5,9 +5,13 @@
 // user counters (live-task count, traced overhead %). This header provides a
 // collecting ConsoleReporter — console output is unchanged — plus a minimal
 // JSON writer, so each bench's main() runs the suite once and exports the
-// captured results. The output path defaults to the binary's working
-// directory and can be overridden with the FRAP_BENCH_JSON environment
-// variable (the CI bench-smoke job points it at the artifact directory).
+// captured results. The output path defaults to the REPO ROOT (compiled in
+// as FRAP_REPO_ROOT by bench/CMakeLists.txt) so the BENCH_*.json trajectory
+// accumulates where the roadmap tooling expects it, regardless of the
+// binary's working directory; FRAP_BENCH_JSON overrides it (the CI
+// bench-smoke job points it at the artifact directory). A failed export is
+// a bench FAILURE: main() must propagate write_json's false into a nonzero
+// exit so CI cannot silently lose the trajectory again.
 //
 // Bench-only code: wall-clock and environment access are fine here
 // (frap-lint R5 governs src/).
@@ -106,15 +110,22 @@ inline void write_number(std::ofstream& os, double v) {
   }
 }
 
-// Output path: FRAP_BENCH_JSON if set and non-empty, else `fallback`.
-inline std::string json_path(const char* fallback) {
+// Output path: FRAP_BENCH_JSON if set and non-empty, else `filename` under
+// the repo root (falling back to the working directory only when the build
+// system did not define FRAP_REPO_ROOT).
+inline std::string json_path(const char* filename) {
   const char* env = std::getenv("FRAP_BENCH_JSON");
-  return (env != nullptr && *env != '\0') ? env : fallback;
+  if (env != nullptr && *env != '\0') return env;
+#ifdef FRAP_REPO_ROOT
+  return std::string(FRAP_REPO_ROOT) + "/" + filename;
+#else
+  return filename;
+#endif
 }
 
 // Writes {"summary": {...}, "benchmarks": [...]}; returns false on I/O
-// failure (the bench still exits 0 — export is best-effort, the console
-// table is the primary output).
+// failure. Callers must treat false as fatal (nonzero exit) so a missing
+// export fails CI instead of silently dropping a trajectory point.
 inline bool write_json(const std::string& path,
                        const std::vector<Result>& results,
                        const std::map<std::string, double>& summary) {

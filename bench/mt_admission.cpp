@@ -7,21 +7,30 @@
 // own home shard with a sparse probe that is rejected right at the
 // boundary — the full test runs, nothing commits, state stays constant.
 // Fallback and auto-rebalance are disabled so the measurement isolates the
-// zero-cross-shard-synchronization claim: attempts/sec should scale with
-// threads until the core count runs out (on a single-core container expect
-// flat real-time throughput; per-thread CPU time is the honest signal).
-//
-// Acceptance target (ISSUE): >= 3x aggregate attempts/sec at 8 threads vs
-// MtSingleThreadFastPath, on hardware with >= 8 cores.
-// Writes BENCH_mt_admission.json (override the path with FRAP_BENCH_JSON)
-// with attempts/sec per variant and the traced-overhead percentage.
+// scaling claim. Two sharded variants bracket the design space:
+//   * MtShardedHotPath       — atomic fast path OFF: the per-shard MUTEX
+//     baseline (lock/unlock plus the exact test per probe).
+//   * MtShardedAtomicHotPath — atomic fast path ON: the boundary probe is
+//     settled entirely lock-free (quantized fixed-point fast reject, no
+//     mutex, no shared service atomics touched).
+// Acceptance target (ISSUE 6): the atomic variant should show >= 3x
+// aggregate attempts/sec at 8 threads over its own 1-thread rate on
+// hardware with >= 8 cores. On a single-core container real-time
+// throughput stays flat for BOTH variants — per-thread CPU time
+// (cpu_time in the JSON) is the honest signal there, and the
+// atomic-vs-mutex ratio at each thread count still measures the per-probe
+// cost the lock-free path removes.
+// Writes BENCH_mt_admission.json at the repo root (override with
+// FRAP_BENCH_JSON); a failed export exits nonzero.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "bench_json.h"
 
@@ -200,6 +209,9 @@ BENCHMARK(MtTracingOverheadReport)->Iterations(400);
 
 // --- sharded hot path, T threads on K=8 shards --------------------------
 
+// Mutex baseline: the atomic fast path is explicitly disabled so every
+// probe pays the shard lock plus the exact test — the configuration the
+// service shipped with before the lock-free path existed.
 void MtShardedHotPath(benchmark::State& state) {
   static std::unique_ptr<service::ShardedAdmissionService> svc;
   if (state.thread_index() == 0) {
@@ -207,7 +219,8 @@ void MtShardedHotPath(benchmark::State& state) {
         core::FeasibleRegion::deadline_monotonic(kStages),
         service::ShardedAdmissionConfig{.num_shards = kShards,
                                         .enable_fallback = false,
-                                        .rebalance_interval = 0});
+                                        .rebalance_interval = 0,
+                                        .enable_atomic_fast_path = false});
     const double w = 1.0 / static_cast<double>(kShards);
     for (std::size_t k = 0; k < kShards; ++k) {
       // id = kShards + k routes to shard k and stays clear of probe ids.
@@ -236,6 +249,60 @@ void MtShardedHotPath(benchmark::State& state) {
   }
 }
 BENCHMARK(MtShardedHotPath)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --- lock-free atomic fast path, same scenario --------------------------
+
+// Identical prefill and boundary probe, atomic fast path ON (the default
+// config): the probe's under-estimated delta already exceeds the quantized
+// bound ceiling, so every attempt is a certain lock-free reject — no shard
+// mutex, no globally shared atomic, just the per-shard guard reads.
+void MtShardedAtomicHotPath(benchmark::State& state) {
+  static std::unique_ptr<service::ShardedAdmissionService> svc;
+  if (state.thread_index() == 0) {
+    svc = std::make_unique<service::ShardedAdmissionService>(
+        core::FeasibleRegion::deadline_monotonic(kStages),
+        service::ShardedAdmissionConfig{.num_shards = kShards,
+                                        .enable_fallback = false,
+                                        .rebalance_interval = 0});
+    const double w = 1.0 / static_cast<double>(kShards);
+    for (std::size_t k = 0; k < kShards; ++k) {
+      const auto fill =
+          contribution_task(kShards + k, near_boundary_fill(w));
+      if (!svc->try_admit(fill, 0.0).admitted) std::abort();
+    }
+  }
+
+  const double w = 1.0 / static_cast<double>(kShards);
+  std::vector<double> c(kStages, 0.0);
+  c[0] = kProbeContribution * w;
+  const auto probe = contribution_task(
+      static_cast<std::uint64_t>(state.thread_index()), c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc->try_admit(probe, 0.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  if (state.thread_index() == 0) {
+    const auto s = svc->stats();
+    double atomic_rejects = 0;
+    double slow_rejects = 0;
+    for (const auto& sh : s.shards) {
+      atomic_rejects += static_cast<double>(sh.atomic_rejects);
+      slow_rejects += static_cast<double>(sh.rejects);
+    }
+    // Sanity for the JSON consumer: the scenario is only measuring the
+    // lock-free path if essentially everything fast-rejected.
+    state.counters["atomic_rejects"] = atomic_rejects;
+    state.counters["slow_rejects"] = slow_rejects;
+    svc.reset();
+  }
+}
+BENCHMARK(MtShardedAtomicHotPath)
     ->Threads(1)
     ->Threads(2)
     ->Threads(4)
@@ -338,11 +405,28 @@ int main(int argc, char** argv) {
       rate("MtShardedHotPath/real_time/threads:1");
   summary["sharded_8t_attempts_per_sec"] =
       rate("MtShardedHotPath/real_time/threads:8");
+  for (int t : {1, 2, 4, 8}) {
+    summary["atomic_" + std::to_string(t) + "t_attempts_per_sec"] =
+        rate(("MtShardedAtomicHotPath/real_time/threads:" + std::to_string(t))
+                 .c_str());
+  }
+  // Atomic-over-mutex ratio at 8 threads, and the atomic path's own thread
+  // scaling (the ISSUE >= 3x target, meaningful on >= 8 cores).
+  const double mutex_8t = summary["sharded_8t_attempts_per_sec"];
+  const double atomic_1t = summary["atomic_1t_attempts_per_sec"];
+  const double atomic_8t = summary["atomic_8t_attempts_per_sec"];
+  summary["atomic_vs_mutex_8t_speedup"] =
+      mutex_8t > 0 ? atomic_8t / mutex_8t : 0;
+  summary["atomic_8t_over_1t_scaling"] =
+      atomic_1t > 0 ? atomic_8t / atomic_1t : 0;
   summary["traced_overhead_pct"] =
       reporter.counter_of("MtTracingOverheadReport*", "overhead_pct");
-  frap::benchjson::write_json(
-      frap::benchjson::json_path("BENCH_mt_admission.json"),
-      reporter.results(), summary);
+  const std::string path =
+      frap::benchjson::json_path("BENCH_mt_admission.json");
+  if (!frap::benchjson::write_json(path, reporter.results(), summary)) {
+    std::fprintf(stderr, "FATAL: could not write %s\n", path.c_str());
+    return 1;
+  }
   benchmark::Shutdown();
   return 0;
 }

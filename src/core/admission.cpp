@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/stage_delay.h"
+#include "core/stage_delay_batch.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -133,6 +134,11 @@ bool AdmissionController::test(const TaskSpec& spec) const {
 
 AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
                                                  Time now) {
+  return try_admit_tagged(spec, now, AdmissionDecision::Reason::kAdmitted);
+}
+
+AdmissionDecision AdmissionController::try_admit_tagged(
+    const TaskSpec& spec, Time now, AdmissionDecision::Reason admit_reason) {
   ++attempts_;
   const std::uint64_t t0 = sink_ != nullptr ? sink_->begin_decision() : 0;
   // Admission reads only deadline and per-stage computes; the full
@@ -150,8 +156,7 @@ AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
   d.lhs_with_task = incremental_lhs_with(
       spec, d.lhs_before, sink_ != nullptr ? &touched : nullptr);
   d.admitted = region_.admits(d.lhs_with_task);
-  d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
-                        : reject_reason(d.lhs_with_task);
+  d.reason = d.admitted ? admit_reason : reject_reason(d.lhs_with_task);
 
   if (d.admitted) {
     ++admitted_;
@@ -169,6 +174,9 @@ BatchAdmissionController::BatchAdmissionController(AdmissionController& inner)
   const std::size_t n = inner_.tracker().num_stages();
   u_.resize(n);
   f_.resize(n);
+  c_.resize(n);
+  u_with_.resize(n);
+  f_with_.resize(n);
 }
 
 const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
@@ -202,15 +210,61 @@ const std::vector<AdmissionDecision>& BatchAdmissionController::try_admit_burst(
     d.lhs_before = lhs;
     double delta = 0;
     bool saturates = false;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double c = inner_.contribution(spec, j, inv_d);
-      if (c <= 0) continue;
-      const double u_new = u_[j] + c;
-      if (u_new >= 1.0) {
-        saturates = true;
-        break;
+    bool decided = false;
+    // Pipelines shorter than two vector blocks can't pay for the dense
+    // evaluation + density scan even when fully touched; skip straight to
+    // the fused scalar loop there.
+    if (batch_simd_active() && n >= 8) {
+      // SIMD path: evaluate f over the whole candidate vector in one call,
+      // then accumulate the touched-stage deltas in the same ascending
+      // order as the scalar loop. The kernel's bit-identity contract
+      // (core/stage_delay_batch.h) makes the decision — and the LHS the
+      // decision record carries — independent of the dispatch outcome.
+      //
+      // Density gate: the kernel evaluates every lane while the scalar
+      // loop only evaluates touched stages, so dense evaluation only pays
+      // when the task touches at least half the pipeline. For sparser
+      // tasks fall through to the scalar loop (same result, bit-identical
+      // by the kernel contract — only the instruction mix changes). The
+      // count scan is store-free and multiply-free (contribution() is the
+      // base compute scaled by two positive factors, so its sign is the
+      // base's sign) so the sparse route keeps the fused scalar loop below
+      // at full speed.
+      const bool mean_mode = !inner_.mean_compute_.empty();
+      std::size_t touched = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double base =
+            mean_mode ? inner_.mean_compute_[j] : spec.stages[j].compute;
+        if (base > 0) ++touched;
       }
-      delta += stage_delay_factor(u_new) - f_[j];
+      if (2 * touched >= n) {
+        decided = true;
+        for (std::size_t j = 0; j < n; ++j) {
+          c_[j] = inner_.contribution(spec, j, inv_d);
+          u_with_[j] = u_[j] + c_[j];
+        }
+        batch_stage_delay_factors(u_with_.data(), f_with_.data(), n);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (c_[j] <= 0) continue;
+          if (u_with_[j] >= 1.0) {
+            saturates = true;
+            break;
+          }
+          delta += f_with_[j] - f_[j];
+        }
+      }
+    }
+    if (!decided) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = inner_.contribution(spec, j, inv_d);
+        if (c <= 0) continue;
+        const double u_new = u_[j] + c;
+        if (u_new >= 1.0) {
+          saturates = true;
+          break;
+        }
+        delta += stage_delay_factor(u_new) - f_[j];
+      }
     }
     d.lhs_with_task = saturates ? util::kInf : lhs + delta;
     d.admitted = region.admits(d.lhs_with_task);

@@ -100,6 +100,15 @@ class AdmissionController : public Admitter {
     return try_admit(spec, sim_.now());
   }
 
+  // try_admit with the ADMIT reason overridden: identical test, commit,
+  // audit, and trace, but an admitted decision carries (and is traced with)
+  // `admit_reason` instead of kAdmitted. The sharded service's atomic fast
+  // path uses this to label its exact-path confirmations kAtomicFastPath /
+  // kSlowPathFallback without double-recording into the sink. Rejections
+  // keep their computed reason regardless.
+  [[nodiscard]] AdmissionDecision try_admit_tagged(
+      const TaskSpec& spec, Time now, AdmissionDecision::Reason admit_reason);
+
   // Would the task be admitted right now? No state change. Shares the exact
   // LHS computation and the region's admits() predicate with try_admit(), so
   // the two can never disagree — including on boundary ties.
@@ -208,6 +217,11 @@ class BatchAdmissionController : public Admitter {
   AdmissionController& inner_;
   std::vector<double> u_;  // working per-stage utilization snapshot
   std::vector<double> f_;  // working per-stage f-terms
+  // Scratch for the SIMD batch f(U) evaluation (core/stage_delay_batch.h):
+  // per-spec contributions, candidate utilizations, and their f-terms.
+  std::vector<double> c_;
+  std::vector<double> u_with_;
+  std::vector<double> f_with_;
   std::vector<AdmissionDecision> decisions_;
   std::uint64_t bursts_ = 0;
 };

@@ -26,6 +26,10 @@ struct AdmissionDecision {
     kTimedOut,               // waited out its patience without fitting
     kQuotaFallback,          // admitted by the sharded service's global path
     kQuotaFallbackRejected,  // rejected even by the global fallback path
+    kAtomicFastPath,         // admitted via the lock-free CAS reservation
+                             // (confirmed by the exact test at commit)
+    kSlowPathFallback,       // admitted by the exact mutex path after the
+                             // atomic test was inconclusive (boundary slack)
   };
 
   bool admitted = false;
@@ -53,6 +57,10 @@ constexpr const char* to_string(AdmissionDecision::Reason r) {
       return "quota-fallback";
     case AdmissionDecision::Reason::kQuotaFallbackRejected:
       return "quota-fallback-rejected";
+    case AdmissionDecision::Reason::kAtomicFastPath:
+      return "atomic-fast-path";
+    case AdmissionDecision::Reason::kSlowPathFallback:
+      return "slow-path-fallback";
   }
   return "unknown";
 }

@@ -21,6 +21,8 @@ FeasibleRegion::FeasibleRegion(std::size_t num_stages, double alpha,
   }
   FRAP_EXPECTS(beta_sum < 1.0);  // otherwise the region is empty
   bound_ = alpha_ * (1.0 - beta_sum);
+  qbound_floor_ = fixed::quantize_down(bound_);
+  qbound_ceil_ = fixed::quantize_up(bound_);
 }
 
 FeasibleRegion FeasibleRegion::deadline_monotonic(std::size_t num_stages) {

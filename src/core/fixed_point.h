@@ -1,0 +1,72 @@
+// 32.32 unsigned fixed-point quantization of region-LHS values.
+//
+// The lock-free admission fast path (service/atomic_admission.h) keeps each
+// shard's region LHS in a single 64-bit atomic. Doubles cannot be CAS-summed
+// associatively, so LHS quantities are quantized to integer multiples of
+// 2^-32 ("quanta") with a rounding direction chosen per use so every
+// rounding error is CONSERVATIVE:
+//
+//   * an arriving task's LHS delta is rounded UP   (quantize_up),
+//   * the committed-state LHS floor   is rounded DOWN (quantize_down),
+//   * the region bound gets BOTH forms (FeasibleRegion::quantized_bound_*):
+//     the admit test compares against the floor, the reject test against
+//     the ceiling.
+//
+// With those directions, integer comparisons on quanta can only ever be
+// MORE pessimistic than the exact double test — an atomic admit implies the
+// exact `FeasibleRegion::admits_lhs` would also admit, and an atomic reject
+// implies it would also reject (docs/admission_service.md derives both).
+//
+// Values at or above 2^30 (far outside any region bound, which is <= 1)
+// saturate to kSaturated instead of overflowing; +infinity (a saturated
+// stage) maps there too. Saturating addition keeps reservation sums from
+// wrapping no matter how many concurrent reservations pile up.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace frap::core::fixed {
+
+// Quanta per unit of LHS: 2^32 (32 fractional bits).
+inline constexpr int kFracBits = 32;
+inline constexpr double kScale = 4294967296.0;  // 2^32
+inline constexpr double kResolution = 1.0 / kScale;
+
+// Saturation value: 2^62 quanta = 2^30 units. Headroom below 2^64 lets
+// add_sat sum ~4 saturated operands before the uint64 could wrap, far more
+// than any reachable reservation pile-up.
+inline constexpr std::uint64_t kSaturated = std::uint64_t{1} << 62;
+
+// Largest double that still quantizes without saturating.
+inline constexpr double kSaturationThreshold = 1073741824.0;  // 2^30
+
+// Rounds x >= 0 UP to the next quantum (over-estimate: admit deltas).
+inline std::uint64_t quantize_up(double x) {
+  FRAP_EXPECTS(x >= 0);
+  if (!(x < kSaturationThreshold)) return kSaturated;  // also catches +inf
+  return static_cast<std::uint64_t>(std::ceil(x * kScale));
+}
+
+// Rounds x >= 0 DOWN to the previous quantum (under-estimate: state floors
+// and reject deltas).
+inline std::uint64_t quantize_down(double x) {
+  FRAP_EXPECTS(x >= 0);
+  if (!(x < kSaturationThreshold)) return kSaturated;  // also catches +inf
+  return static_cast<std::uint64_t>(std::floor(x * kScale));
+}
+
+// Exact value of q quanta as a double (every uint64 below kSaturated has
+// < 2^53 significant bits only up to 2^53 quanta; the LHS range used by the
+// admission path stays far below that).
+inline double to_double(std::uint64_t q) { return static_cast<double>(q) * kResolution; }
+
+// a + b, clamped at kSaturated (never wraps).
+inline std::uint64_t add_sat(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return (s < a || s > kSaturated) ? kSaturated : s;
+}
+
+}  // namespace frap::core::fixed

@@ -10,8 +10,8 @@
 namespace frap::testing {
 
 ReferenceUtilizationTracker::ReferenceUtilizationTracker(
-    sim::Simulator& sim, std::size_t num_stages)
-    : sim_(sim), stage_(num_stages) {
+    sim::Simulator& sim, std::size_t num_stages, IdReuse id_reuse)
+    : sim_(sim), stage_(num_stages), id_reuse_(id_reuse) {
   FRAP_EXPECTS(num_stages >= 1);
 }
 
@@ -53,6 +53,7 @@ void ReferenceUtilizationTracker::add(std::uint64_t task_id,
   }
   rec.expiry_event =
       sim_.at(absolute_deadline, [this, task_id] { expire(task_id); });
+  rec.epoch = next_epoch_++;
   tasks_.emplace(task_id, std::move(rec));
 }
 
@@ -85,7 +86,7 @@ void ReferenceUtilizationTracker::mark_departed(std::uint64_t task_id,
   if (it == tasks_.end()) return;  // contribution already expired
   if (!it->second.departed[stage]) {
     it->second.departed[stage] = true;
-    stage_[stage].departed_queue.push_back(task_id);
+    stage_[stage].departed_queue.push_back({task_id, it->second.epoch});
   }
 }
 
@@ -95,9 +96,15 @@ void ReferenceUtilizationTracker::on_stage_idle(std::size_t stage) {
     return;
   }
   bool decreased = false;
-  for (std::uint64_t id : stage_[stage].departed_queue) {
-    auto it = tasks_.find(id);
+  for (const QueueEntry& e : stage_[stage].departed_queue) {
+    auto it = tasks_.find(e.id);
     if (it == tasks_.end()) continue;  // expired in the meantime
+    // kFaithful reproduces the PR-1 aliasing defect: a stale entry whose id
+    // was reused after remove_task strips the NEW task's contribution.
+    // kCorrected drops entries from a different add() epoch instead.
+    if (id_reuse_ == IdReuse::kCorrected && it->second.epoch != e.epoch) {
+      continue;
+    }
     if (strip_stage(it->second, stage) > 0) decreased = true;
   }
   stage_[stage].departed_queue.clear();

@@ -19,8 +19,14 @@
 // Known latent defect, kept faithfully: departed queues store raw ids, so a
 // task id reused after remove_task can alias a stale queue entry onto the
 // new task's contribution at the next idle reset. The slot-map store fixes
-// this with generation-checked handles; differential harnesses must not
-// reuse ids (docs/perf_internals.md).
+// this with generation-checked handles. The defect is now selectable:
+// IdReuse::kFaithful (the default) reproduces the PR-1 behavior bit-for-bit
+// so the A/B sweep and the pinning regression test
+// (StoreDifferential.IdReuseAliasingPinned) still observe it; kCorrected
+// tags every departed-queue entry with the task's add() epoch and drops
+// entries whose epoch no longer matches, which is the same discipline the
+// slot-map generations enforce. Faithful-mode differential harnesses must
+// still not reuse ids (docs/perf_internals.md).
 #pragma once
 
 #include <algorithm>
@@ -40,7 +46,15 @@ namespace frap::testing {
 
 class ReferenceUtilizationTracker {
  public:
-  ReferenceUtilizationTracker(sim::Simulator& sim, std::size_t num_stages);
+  // Handling of departed-queue entries whose task id was reused after
+  // remove_task (see the header comment).
+  enum class IdReuse : std::uint8_t {
+    kFaithful,   // raw-id matching: reused ids alias stale entries (PR-1 bug)
+    kCorrected,  // epoch-checked: stale entries are dropped at idle reset
+  };
+
+  ReferenceUtilizationTracker(sim::Simulator& sim, std::size_t num_stages,
+                              IdReuse id_reuse = IdReuse::kFaithful);
 
   std::size_t num_stages() const { return stage_.size(); }
 
@@ -99,13 +113,19 @@ class ReferenceUtilizationTracker {
     std::vector<double> contribution;  // per stage; 0 = none/removed
     std::vector<bool> departed;        // subtask finished at stage
     sim::EventId expiry_event = sim::kInvalidEventId;
+    std::uint64_t epoch = 0;  // add() sequence number (kCorrected matching)
+  };
+
+  struct QueueEntry {
+    std::uint64_t id;
+    std::uint64_t epoch;
   };
 
   struct StageState {
     double dynamic = 0;
     double reserved = 0;
     double f_term = 0;
-    std::vector<std::uint64_t> departed_queue;
+    std::vector<QueueEntry> departed_queue;
   };
 
   void expire(std::uint64_t task_id);
@@ -116,6 +136,8 @@ class ReferenceUtilizationTracker {
   sim::Simulator& sim_;
   std::vector<StageState> stage_;
   std::unordered_map<std::uint64_t, TaskRecord> tasks_;
+  IdReuse id_reuse_ = IdReuse::kFaithful;
+  std::uint64_t next_epoch_ = 0;
   bool idle_reset_ = true;
   std::function<void()> on_decrease_;
 

@@ -1,0 +1,84 @@
+#include "core/stage_delay_batch.h"
+
+#include "core/stage_delay.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define FRAP_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define FRAP_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace frap::core {
+
+namespace {
+
+// Dispatch toggle (test/bench seam; see header for the thread-safety note).
+bool g_simd_enabled = true;
+
+#if FRAP_HAVE_AVX2_KERNEL
+
+// Four lanes of the scalar kernel per iteration, same op order per lane:
+//   t = u/2; a = 1 - t; b = u*a; d = 1 - u; r = b/d
+// then +inf blended into lanes with u >= 1. Each step is one IEEE double
+// operation; there is no mul-add pair, so even an FMA-happy compiler has
+// nothing to contract — the lanes are bit-identical to the scalar path.
+__attribute__((target("avx2"))) void batch_avx2(const double* u, double* out,
+                                                std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d inf = _mm256_set1_pd(__builtin_inf());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(u + i);
+    const __m256d t = _mm256_div_pd(v, two);
+    const __m256d a = _mm256_sub_pd(one, t);
+    const __m256d b = _mm256_mul_pd(v, a);
+    const __m256d d = _mm256_sub_pd(one, v);
+    const __m256d r = _mm256_div_pd(b, d);
+    // u >= 1: the scalar kernel returns +inf before dividing; here the
+    // division runs (possibly producing inf/garbage in those lanes, which
+    // is fine — SSE/AVX arithmetic never traps by default) and the blend
+    // overrides the lane.
+    const __m256d sat = _mm256_cmp_pd(v, one, _CMP_GE_OQ);
+    _mm256_storeu_pd(out + i, _mm256_blendv_pd(r, inf, sat));
+  }
+  for (; i < n; ++i) out[i] = stage_delay_factor(u[i]);
+}
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // FRAP_HAVE_AVX2_KERNEL
+
+}  // namespace
+
+bool batch_simd_available() {
+#if FRAP_HAVE_AVX2_KERNEL
+  return cpu_has_avx2();
+#else
+  return false;
+#endif
+}
+
+bool set_batch_simd_enabled(bool enabled) {
+  const bool prev = g_simd_enabled;
+  g_simd_enabled = enabled;
+  return prev;
+}
+
+bool batch_simd_active() { return g_simd_enabled && batch_simd_available(); }
+
+void batch_stage_delay_factors(const double* u, double* out, std::size_t n) {
+#if FRAP_HAVE_AVX2_KERNEL
+  if (g_simd_enabled && cpu_has_avx2()) {
+    batch_avx2(u, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) out[i] = stage_delay_factor(u[i]);
+}
+
+}  // namespace frap::core

@@ -1,0 +1,42 @@
+// Batch evaluation of the stage-delay factor f(U) = U(1 - U/2)/(1 - U).
+//
+// The burst admission path (BatchAdmissionController::try_admit_burst)
+// evaluates f across every stage of every spec; this kernel computes a whole
+// utilization vector in one call. On x86-64 an AVX2 variant (runtime
+// dispatched, no special build flags — the function carries a target
+// attribute) processes four lanes per iteration; everywhere else, and for
+// the tail lanes, the scalar stage_delay_factor runs.
+//
+// BIT-IDENTITY CONTRACT: the AVX2 lanes execute exactly the scalar kernel's
+// operation sequence — t = u/2; a = 1 - t; b = u*a; d = 1 - u; r = b/d —
+// with one IEEE double op per step and no FMA contraction (the expression
+// has no mul-add pair to fuse), then blend +infinity into lanes with
+// u >= 1. Every output double is therefore bit-identical to
+// stage_delay_factor(u), which tests/simd_batch_test.cpp sweeps exhaustively
+// and which makes burst decisions independent of the dispatch outcome.
+//
+// Caller contract: every u[i] >= 0 (the scalar kernel's precondition; the
+// vector lanes do not re-assert it).
+#pragma once
+
+#include <cstddef>
+
+namespace frap::core {
+
+// out[i] = stage_delay_factor(u[i]) for i in [0, n). `out` may not alias
+// `u`. Uses AVX2 when available and enabled, scalar otherwise.
+void batch_stage_delay_factors(const double* u, double* out, std::size_t n);
+
+// True when this build/CPU can dispatch the AVX2 kernel at all.
+[[nodiscard]] bool batch_simd_available();
+
+// Test/bench seam: force the scalar fallback (false) or restore automatic
+// dispatch (true). Returns the previous setting (restore it when done). NOT
+// thread-safe — flip it only from single-threaded setup code (A/B identity
+// tests, benchmarks).
+[[nodiscard]] bool set_batch_simd_enabled(bool enabled);
+
+// Effective dispatch: available AND enabled.
+[[nodiscard]] bool batch_simd_active();
+
+}  // namespace frap::core

@@ -26,7 +26,9 @@
 namespace frap::obs {
 
 // Number of core::AdmissionDecision::Reason values (indexable 0..N-1).
-inline constexpr std::size_t kReasonCount = 7;
+// NOTE: the trace ring packs the reason into 4 bits (obs/trace_ring.h), so
+// this may grow to at most 16 before the packing needs another word.
+inline constexpr std::size_t kReasonCount = 9;
 
 struct SinkConfig {
   std::size_t ring_capacity = std::size_t{1} << 16;

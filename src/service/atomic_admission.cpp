@@ -1,0 +1,146 @@
+#include "service/atomic_admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fixed_point.h"
+#include "core/stage_delay.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::service {
+
+namespace {
+
+// Absolute upward nudge on u_cap = f_inv(bound): the closed-form inverse
+// and every f evaluation each round to ~1 ulp (~1e-16 here); 1e-9 swamps
+// that by seven orders of magnitude while costing a negligible sliver of
+// d_hi tightness. Keeps the "increment at u_cap dominates the increment at
+// any feasible committed base" argument true in floating point, not just in
+// real arithmetic.
+constexpr double kCapMargin = 1e-9;
+
+}  // namespace
+
+AtomicAdmissionGuard::AtomicAdmissionGuard(const core::FeasibleRegion& region)
+    : qbound_floor_(region.quantized_bound_floor()),
+      qbound_ceil_(region.quantized_bound_ceil()),
+      next_event_at_(util::kInf) {
+  u_cap_ = std::min(core::stage_delay_factor_inverse(region.bound()) +
+                        kCapMargin,
+                    1.0 - 1e-12);
+  f_ucap_ = core::stage_delay_factor(u_cap_);
+}
+
+bool AtomicAdmissionGuard::try_reserve(std::uint64_t quanta) {
+  std::uint64_t old = qlhs_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t next = core::fixed::add_sat(old, quanta);
+    // STRICT predicate: a reservation landing exactly on the bound floor
+    // (boundary tie) is refused here and retried on the exact path.
+    if (!core::FeasibleRegion::admits_quantized(next, qbound_floor_)) {
+      return false;
+    }
+    if (qlhs_.compare_exchange_weak(old, next, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+AtomicAdmissionGuard::FastResult AtomicAdmissionGuard::classify(
+    const core::TaskSpec& spec, double inv_weight, Time now,
+    bool allow_fast_reject) {
+  FastResult r;
+  const double inv_d = util::safe_inv(spec.deadline);
+  const std::size_t n = spec.stages.size();
+
+  // One pass over the touched stages builds both bounds on the task's
+  // exact (scaled) LHS delta:
+  //   d_lo = Σ f(c_j)                           — convexity at base 0,
+  //   d_hi = Σ [f(u_cap + c_j) − f(u_cap)]      — convexity at the cap.
+  double d_lo = 0;
+  double d_hi = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double c = spec.stages[j].compute * inv_d * inv_weight;
+    if (c <= 0) continue;
+    if (c >= 1.0) {
+      // The task saturates stage j at ANY committed state: certain reject,
+      // no staleness gate needed.
+      r.saturates = true;
+      break;
+    }
+    d_lo += core::stage_delay_factor(c);
+    const double base = u_cap_ + c;
+    d_hi += base >= 1.0 ? util::kInf
+                        : core::stage_delay_factor(base) - f_ucap_;
+  }
+
+  if (r.saturates) {
+    // State-independent certain reject — but only deliverable lock-free when
+    // fast rejects are allowed (under tracing every decision must flow
+    // through a recording sink, so fall through to the exact path).
+    if (allow_fast_reject) {
+      r.verdict = Verdict::kReject;
+      r.lhs_floor = core::fixed::to_double(committed_floor());
+      r.delta_floor = util::kInf;
+    }
+    return r;
+  }
+
+  if (allow_fast_reject) {
+    // Fast reject needs a CONSISTENT (floor, horizon) pair from one
+    // reconcile: the floor lower-bounds the committed LHS only at states
+    // where no expiry at or before `now` is pending, which is exactly what
+    // the matching horizon certifies. Standard seqlock read; a torn read
+    // (concurrent reconcile) just falls through to the exact path.
+    const std::uint64_t s1 =
+        reconcile_seq_.load(std::memory_order_acquire);
+    const std::uint64_t qfloor = qfloor_.load(std::memory_order_relaxed);
+    const Time horizon = next_event_at_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const bool consistent =
+        (s1 & 1) == 0 &&
+        reconcile_seq_.load(std::memory_order_relaxed) == s1;
+    const std::uint64_t q_lo = core::fixed::quantize_down(d_lo);
+    if (consistent && now < horizon &&
+        core::FeasibleRegion::rejects_quantized(
+            core::fixed::add_sat(qfloor, q_lo), qbound_ceil_)) {
+      r.verdict = Verdict::kReject;
+      r.lhs_floor = core::fixed::to_double(qfloor);
+      r.delta_floor = d_lo;
+      return r;
+    }
+  }
+
+  if (std::isfinite(d_hi)) {
+    const std::uint64_t q_hi = core::fixed::quantize_up(d_hi);
+    if (try_reserve(q_hi)) {
+      r.verdict = Verdict::kAdmit;
+      r.reserved = q_hi;
+      return r;
+    }
+  }
+  return r;  // kInconclusive: retry on the exact mutex path
+}
+
+void AtomicAdmissionGuard::reconcile_locked(double committed_lhs,
+                                            Time next_event_at,
+                                            std::uint64_t released_quanta) {
+  const std::uint64_t new_floor = core::fixed::quantize_down(committed_lhs);
+  const std::uint64_t old_floor = qfloor_.load(std::memory_order_relaxed);
+  // Seqlock write section (the shard mutex serializes writers; the seq
+  // only guards readers against torn (floor, horizon) pairs).
+  reconcile_seq_.fetch_add(1, std::memory_order_relaxed);  // -> odd
+  std::atomic_thread_fence(std::memory_order_release);
+  qfloor_.store(new_floor, std::memory_order_relaxed);
+  next_event_at_.store(next_event_at, std::memory_order_relaxed);
+  reconcile_seq_.fetch_add(1, std::memory_order_release);  // -> even
+  // Unsigned wrap-around IS two's-complement signed addition, so a negative
+  // floor move (expiries drained) subtracts cleanly. fetch_add (not store!)
+  // so reservations CAS-ed in concurrently are preserved.
+  qlhs_.fetch_add(new_floor - old_floor - released_quanta,
+                  std::memory_order_acq_rel);
+}
+
+}  // namespace frap::service

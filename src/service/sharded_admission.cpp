@@ -27,7 +27,9 @@ ShardedAdmissionService::Shard::Shard(const core::FeasibleRegion& region,
                                       double w)
     : tracker(sim, region.num_stages()),
       controller(sim, tracker, region),
-      weight(w) {
+      weight(w),
+      guard(region),
+      inv_weight(1.0 / w) {
   controller.set_contribution_scale(1.0 / w);
 }
 
@@ -48,6 +50,62 @@ core::AdmissionDecision ShardedAdmissionService::try_admit(
   const std::size_t k = route(spec.id);
   Shard& sh = *shards_[k];
 
+  if (cfg_.enable_atomic_fast_path) {
+    // No lock taken here. Fast rejects are disabled while tracing so every
+    // traced decision flows through a recording sink.
+    const bool allow_fast_reject = !tracing_.load(std::memory_order_relaxed);
+    const AtomicAdmissionGuard::FastResult fast =
+        sh.guard.classify(spec, sh.inv_weight.load(std::memory_order_relaxed),
+                          now, allow_fast_reject);
+    switch (fast.verdict) {
+      case AtomicAdmissionGuard::Verdict::kAdmit: {
+        // The CAS reserved ceil(d_hi) quanta; the shard mutex is taken only
+        // to COMMIT, where the exact test is the final authority (a
+        // concurrent weight change can invalidate the reservation's bound).
+        AdmissionDecision d;
+        {
+          std::scoped_lock lk(sh.mu);
+          const Time eff = std::max(now, sh.sim.now());
+          sh.sim.run_until(eff);
+          d = sh.controller.try_admit_tagged(
+              spec, eff, AdmissionDecision::Reason::kAtomicFastPath);
+          sync_guard_locked(sh, fast.reserved);
+        }
+        if (d.admitted) {
+          sh.atomic_admits.increment();
+          return d;  // deliberately no maybe_auto_rebalance (see config)
+        }
+        // Reservation degraded by a weight race: same as a local reject.
+        sh.atomic_inconclusive.increment();
+        if (cfg_.enable_fallback) {
+          d = fallback(k, spec, now);
+        } else {
+          sh.rejects.increment();
+        }
+        maybe_auto_rebalance(now);
+        return d;
+      }
+      case AtomicAdmissionGuard::Verdict::kReject: {
+        if (!cfg_.enable_fallback) {
+          sh.atomic_rejects.increment();
+          return fast_reject_decision(fast, now);
+        }
+        // The home shard provably rejects; decide globally (the fallback
+        // re-tests every shard, home included, under the exact predicate).
+        AdmissionDecision d = fallback(k, spec, now);
+        maybe_auto_rebalance(now);
+        return d;
+      }
+      case AtomicAdmissionGuard::Verdict::kInconclusive:
+        sh.atomic_inconclusive.increment();
+        break;  // inside the rounding slack: exact mutex path below
+    }
+  }
+
+  const AdmissionDecision::Reason admit_tag =
+      cfg_.enable_atomic_fast_path
+          ? AdmissionDecision::Reason::kSlowPathFallback
+          : AdmissionDecision::Reason::kAdmitted;
   AdmissionDecision d;
   {
     std::scoped_lock lk(sh.mu);
@@ -55,7 +113,8 @@ core::AdmissionDecision ShardedAdmissionService::try_admit(
     // than the shard clock is anchored at the shard clock.
     const Time eff = std::max(now, sh.sim.now());
     sh.sim.run_until(eff);
-    d = sh.controller.try_admit(spec, eff);
+    d = sh.controller.try_admit_tagged(spec, eff, admit_tag);
+    sync_guard_locked(sh, 0);
   }
 
   if (d.admitted) {
@@ -66,6 +125,32 @@ core::AdmissionDecision ShardedAdmissionService::try_admit(
     sh.rejects.increment();
   }
   maybe_auto_rebalance(now);
+  return d;
+}
+
+void ShardedAdmissionService::sync_guard_locked(Shard& sh,
+                                                std::uint64_t released_quanta) {
+  if (!cfg_.enable_atomic_fast_path) return;
+  sh.guard.reconcile_locked(sh.tracker.cached_lhs(), sh.sim.next_event_at(),
+                            released_quanta);
+}
+
+void ShardedAdmissionService::sync_all_guards_locked() {
+  for (const auto& sh : shards_) sync_guard_locked(*sh, 0);
+}
+
+core::AdmissionDecision ShardedAdmissionService::fast_reject_decision(
+    const AtomicAdmissionGuard::FastResult& fast, Time now) const {
+  AdmissionDecision d;
+  d.admitted = false;
+  d.reason = fast.saturates ? AdmissionDecision::Reason::kStageSaturated
+                            : AdmissionDecision::Reason::kRegionFull;
+  d.bound = region_.bound();
+  d.arrival = now;
+  d.decided_at = now;
+  d.lhs_before = fast.lhs_floor;
+  d.lhs_with_task =
+      fast.saturates ? util::kInf : fast.lhs_floor + fast.delta_floor;
   return d;
 }
 
@@ -153,6 +238,10 @@ void ShardedAdmissionService::apply_weight_locked(Shard& sh, double w_new) {
   sh.tracker.rescale_dynamic(sh.weight / w_new);
   sh.controller.set_contribution_scale(1.0 / w_new);
   sh.weight = w_new;
+  sh.inv_weight.store(1.0 / w_new, std::memory_order_relaxed);
+  // The scaled committed LHS just moved; republish the guard immediately so
+  // the lock-free view is never optimistic about the new weight.
+  sync_guard_locked(sh, 0);
 }
 
 core::AdmissionDecision ShardedAdmissionService::fallback(
@@ -167,6 +256,9 @@ core::AdmissionDecision ShardedAdmissionService::fallback(
 
   const Time eff = advance_all_locked(now);
   AdmissionDecision d = fallback_decide_locked(origin, spec, now, eff);
+  // advance_all may have drained expiries and the decide pass may have
+  // admitted / rescaled; republish every guard before dropping the locks.
+  sync_all_guards_locked();
   if (observer_ != nullptr) {
     // The admitting shard's sink already recorded the local decision (with
     // its pre-override reason); the service-level span carries the FINAL
@@ -250,6 +342,7 @@ void ShardedAdmissionService::rebalance(Time now) {
   locks.reserve(shards_.size());
   for (const auto& sh : shards_) locks.emplace_back(sh->mu);
   advance_all_locked(now);
+  sync_all_guards_locked();
 
   // Demand proxy: each shard's true utilization mass. Floors: whatever
   // weight its current load needs to stay feasible.
@@ -310,6 +403,12 @@ ServiceStats ShardedAdmissionService::stats() const {
     out.rejects = sh->rejects.value();
     out.fallback_admits = sh->fallback_admits.value();
     out.fallback_rejects = sh->fallback_rejects.value();
+    out.atomic_admits = sh->atomic_admits.value();
+    out.atomic_rejects = sh->atomic_rejects.value();
+    out.atomic_inconclusive = sh->atomic_inconclusive.value();
+    // Decisions settled lock-free never touched decisions_; fold them in so
+    // s.decisions counts every try_admit whichever path decided it.
+    s.decisions += out.atomic_admits + out.atomic_rejects;
     {
       std::scoped_lock lk(sh->mu);
       out.weight = sh->weight;
@@ -331,6 +430,9 @@ void ShardedAdmissionService::enable_tracing(const obs::SinkConfig& sink_cfg,
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     shards_[k]->controller.set_sink(&observer_->sink(k));
   }
+  // Published last: once visible, the fast path stops issuing lock-free
+  // rejects so every decision reaches a recording sink.
+  tracing_.store(true, std::memory_order_release);
 }
 
 obs::Observer& ShardedAdmissionService::observer() {
@@ -353,6 +455,7 @@ std::vector<double> ShardedAdmissionService::global_utilizations(Time now) {
   locks.reserve(shards_.size());
   for (const auto& sh : shards_) locks.emplace_back(sh->mu);
   advance_all_locked(now);
+  sync_all_guards_locked();
   return true_utilizations_locked();
 }
 

@@ -9,7 +9,15 @@
 // never synchronizes across shards (docs/admission_service.md derives the
 // invariant and its limits).
 //
-// Three paths:
+// Four paths:
+//   * ATOMIC FAST PATH (enable_atomic_fast_path, default on) — each shard
+//     additionally keeps its region LHS quantized into a 64-bit fixed-point
+//     atomic (service/atomic_admission.h). Certain rejects return without
+//     ANY lock; admits reserve quanta with one CAS and then take the shard
+//     mutex only to commit, where the exact test re-confirms (reason
+//     kAtomicFastPath). Decisions the quantized view cannot settle —
+//     boundary ties and anything inside the rounding slack — fall through
+//     to the mutex path below (admits there carry kSlowPathFallback).
 //   * HOT PATH — route(spec.id) picks the home shard; under that shard's
 //     mutex its private simulator is advanced and its controller decides.
 //     Zero cross-shard synchronization.
@@ -53,6 +61,7 @@
 #include "metrics/counters.h"
 #include "obs/observer.h"
 #include "service/admitter.h"
+#include "service/atomic_admission.h"
 #include "service/quota.h"
 #include "sim/simulator.h"
 #include "util/time.h"
@@ -70,31 +79,51 @@ struct ShardedAdmissionConfig {
   bool enable_fallback = true;
   // Automatic demand-proportional rebalance every this many decisions;
   // 0 disables (rebalance() can still be called explicitly).
+  // NOTE: decisions settled entirely on the atomic fast path deliberately
+  // do not tick the rebalance cadence — the counter it would need is the
+  // one globally-shared atomic the fast path exists to avoid. Slow-path
+  // traffic (which is exactly the traffic a skewed weight split produces)
+  // still drives it.
   std::uint64_t rebalance_interval = 4096;
+  // Lock-free fixed-point fast path (service/atomic_admission.h). Off, the
+  // service behaves exactly as before the atomic path existed (admits are
+  // reported kAdmitted) — the A/B soundness tests use that as the mirror.
+  bool enable_atomic_fast_path = true;
 };
 
 struct ShardStats {
-  std::uint64_t admits = 0;           // hot-path admissions
+  std::uint64_t admits = 0;           // mutex hot-path admissions
   std::uint64_t rejects = 0;          // final local rejections
   std::uint64_t fallback_admits = 0;  // admitted via the global path
   std::uint64_t fallback_rejects = 0; // rejected even by the global path
+  std::uint64_t atomic_admits = 0;    // CAS-reserved, exact-confirmed
+  std::uint64_t atomic_rejects = 0;   // final lock-free rejections
+  // Atomic tests that landed in the rounding slack and were retried on the
+  // exact path (their outcome is counted under admits/rejects/fallback_*).
+  std::uint64_t atomic_inconclusive = 0;
   double weight = 0;
   std::size_t live_tasks = 0;
 };
 
 struct ServiceStats {
   std::vector<ShardStats> shards;
+  // Every try_admit call, whichever path settled it (slow-path decisions
+  // plus per-shard atomic admits/rejects).
   std::uint64_t decisions = 0;
   std::uint64_t rebalances = 0;
 
   std::uint64_t total_admits() const {
     std::uint64_t n = 0;
-    for (const auto& s : shards) n += s.admits + s.fallback_admits;
+    for (const auto& s : shards) {
+      n += s.admits + s.fallback_admits + s.atomic_admits;
+    }
     return n;
   }
   std::uint64_t total_rejects() const {
     std::uint64_t n = 0;
-    for (const auto& s : shards) n += s.rejects + s.fallback_rejects;
+    for (const auto& s : shards) {
+      n += s.rejects + s.fallback_rejects + s.atomic_rejects;
+    }
     return n;
   }
 };
@@ -164,10 +193,17 @@ class ShardedAdmissionService final : public Admitter {
     core::SyntheticUtilizationTracker tracker;
     core::AdmissionController controller;
     double weight;  // guarded by mu (plus global_mu_ for writers)
+    // Lock-free quantized view + the 1/weight the fast path scales
+    // contributions by (written under mu, read without it).
+    AtomicAdmissionGuard guard;
+    std::atomic<double> inv_weight;
     metrics::AtomicCounter admits;
     metrics::AtomicCounter rejects;
     metrics::AtomicCounter fallback_admits;
     metrics::AtomicCounter fallback_rejects;
+    metrics::AtomicCounter atomic_admits;
+    metrics::AtomicCounter atomic_rejects;
+    metrics::AtomicCounter atomic_inconclusive;
   };
 
   // All-shard helpers; caller must hold global_mu_ and every shard mutex.
@@ -190,13 +226,33 @@ class ShardedAdmissionService final : public Admitter {
                                                  Time now, Time eff);
   void maybe_auto_rebalance(Time now);
 
+  // Republishes one shard's guard from its exact tracker/simulator state;
+  // caller holds that shard's mutex. `released_quanta` retires a CAS
+  // reservation being converted (or abandoned) by this same critical
+  // section. No-op when the atomic path is disabled.
+  void sync_guard_locked(Shard& sh, std::uint64_t released_quanta);
+  // All shards; caller holds global_mu_ and every shard mutex.
+  void sync_all_guards_locked();
+  // The decision record for a lock-free rejection: conservative quantized
+  // LHS pair, arrival == decided_at == now (the fast path never touches
+  // the shard clock).
+  core::AdmissionDecision fast_reject_decision(
+      const AtomicAdmissionGuard::FastResult& fast, Time now) const;
+
   core::FeasibleRegion region_;
   ShardedAdmissionConfig cfg_;
   QuotaPlan quota_;  // guarded by global_mu_ + all shard mutexes
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex global_mu_;
+  // Slow-path decisions only: the atomic fast path never touches this
+  // shared atomic (it is exactly the cache-line ping-pong the fast path
+  // eliminates); stats() adds the per-shard fast counters back in.
   std::atomic<std::uint64_t> decisions_{0};
   metrics::AtomicCounter rebalances_;
+  // Set once by enable_tracing (before concurrent use); the fast path
+  // reads it lock-free to disable fast rejects, which would otherwise
+  // bypass the per-shard recording sinks.
+  std::atomic<bool> tracing_{false};
   std::unique_ptr<obs::Observer> observer_;  // null until enable_tracing
 };
 

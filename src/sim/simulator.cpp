@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/math.h"
 
 namespace frap::sim {
 
@@ -61,6 +62,12 @@ bool Simulator::next_event_time(Time& t) {
   if (!have_q && !have_w) return false;
   t = have_q && have_w ? std::min(qt, wt) : (have_q ? qt : wt);
   return true;
+}
+
+Time Simulator::next_event_at() {
+  Time t = kTimeZero;
+  if (!next_event_time(t)) return util::kInf;
+  return t;
 }
 
 void Simulator::run() {

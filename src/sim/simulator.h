@@ -71,6 +71,14 @@ class Simulator {
   // Executes at most `n` further events (for tests); returns how many ran.
   std::size_t step(std::size_t n = 1);
 
+  // Earliest pending event/timer time, or +infinity when both surfaces are
+  // idle. Always > now() right after run_until(now()). Not const: peeking
+  // the heap prunes lazily-cancelled entries and the wheel memoizes its
+  // scan. Used by the sharded service's lock-free fast path to publish a
+  // staleness horizon: a decision taken strictly before this instant sees
+  // exactly the state the exact path would (no expiry can fire in between).
+  Time next_event_at();
+
   // Events executed since construction (closures and timers).
   std::uint64_t events_executed() const { return executed_; }
 

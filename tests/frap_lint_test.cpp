@@ -183,6 +183,25 @@ TEST(FrapLintRules, R5ClockSeamExemptsWallClockReadsOnly) {
   EXPECT_EQ(lines_of(seam), (std::vector<int>{5, 10, 16}));
 }
 
+TEST(FrapLintRules, R5AtomicAdmissionIdiomsPassUnderService) {
+  // The lock-free admission guard's idioms (std::atomic members, CAS retry
+  // loops, fetch_add seqlock writes, mutex fallback) all belong to the
+  // src/service/ concurrency carve-out and must lint clean there.
+  auto all = lint_source("src/service/r5_atomic_pass.cpp",
+                         read_fixture("r5_atomic_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R5AtomicAdmissionIdiomsFlagOutsideExemptDirs) {
+  // The same fixture under src/sched/ flags exactly the three primitive
+  // declarations (two std::atomic members, one std::mutex). The member
+  // accesses — load/compare_exchange_weak/fetch_add — never flag anywhere.
+  auto fs = findings_for("r5_atomic_pass.cpp", "src/sched/r5_atomic_pass.cpp",
+                         "nondeterminism");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{7, 8, 9}));
+}
+
 TEST(FrapLintSuppression, DirectivesBindSuppressOrReport) {
   auto all = lint_source("src/workload/suppress.cpp",
                          read_fixture("suppress.cpp"));

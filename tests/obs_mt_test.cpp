@@ -251,8 +251,11 @@ TEST(ObsMtShardedTest, EightThreadsTracedConservationHolds) {
     for (std::size_t r = 0; r < kReasonCount; ++r) {
       traced_decisions += s.decisions_by_reason[r];
     }
-    traced_admits += s.decisions_by_reason[static_cast<std::size_t>(
-        AdmissionDecision::Reason::kAdmitted)];
+    for (const auto reason : {AdmissionDecision::Reason::kAdmitted,
+                              AdmissionDecision::Reason::kAtomicFastPath,
+                              AdmissionDecision::Reason::kSlowPathFallback}) {
+      traced_admits += s.decisions_by_reason[static_cast<std::size_t>(reason)];
+    }
     // Ring conservation per shard, with producers quiescent.
     const auto& ring = svc.observer().sink(k).ring();
     EXPECT_EQ(ring.snapshot().size(),
@@ -264,8 +267,10 @@ TEST(ObsMtShardedTest, EightThreadsTracedConservationHolds) {
   // sink carries the final kQuotaFallback reason), a fallback REJECT is
   // decided globally without a second controller call.
   EXPECT_EQ(traced_decisions, kAttempts + fb_admits);
-  // Shard sinks record the pre-override reason, so every admission — hot
-  // path or fallback — appears as exactly one kAdmitted event.
+  // Shard sinks record the pre-override reason, so every admission — atomic
+  // fast path (kAtomicFastPath), exact hot path (kSlowPathFallback), or
+  // fallback (recorded as kAdmitted by the admitting shard's controller
+  // before the kQuotaFallback override) — appears as exactly one event.
   EXPECT_EQ(traced_admits, admits.load());
 
   // The service-level sink saw only spans: one kFallback per global-path

@@ -80,15 +80,34 @@ TEST(ShardedAdmissionTest, RoutesByIdModulo) {
 }
 
 TEST(ShardedAdmissionTest, HotPathAdmitsSmallTask) {
+  // Default config: a small task clears the lock-free CAS reservation and
+  // is confirmed by the exact test at commit.
   ShardedAdmissionService svc(core::FeasibleRegion::deadline_monotonic(2),
                               {.num_shards = 4});
   const auto d = svc.try_admit(make_task(1, 1.0, {0.01, 0.01}), 0.0);
   EXPECT_TRUE(d.admitted);
-  EXPECT_EQ(d.reason, core::AdmissionDecision::Reason::kAdmitted);
+  EXPECT_EQ(d.reason, core::AdmissionDecision::Reason::kAtomicFastPath);
   EXPECT_DOUBLE_EQ(d.bound, svc.region().bound());
   const auto s = svc.stats();
   EXPECT_EQ(s.total_admits(), 1u);
+  EXPECT_EQ(s.shards[svc.route(1)].atomic_admits, 1u);
+  EXPECT_EQ(s.shards[svc.route(1)].admits, 0u);
+  EXPECT_EQ(s.decisions, 1u);
+}
+
+TEST(ShardedAdmissionTest, AtomicPathOffRestoresLegacyReason) {
+  // With the atomic path disabled the service behaves exactly as before it
+  // existed: admits are reported kAdmitted on the mutex hot path.
+  ShardedAdmissionService svc(
+      core::FeasibleRegion::deadline_monotonic(2),
+      {.num_shards = 4, .enable_atomic_fast_path = false});
+  const auto d = svc.try_admit(make_task(1, 1.0, {0.01, 0.01}), 0.0);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.reason, core::AdmissionDecision::Reason::kAdmitted);
+  const auto s = svc.stats();
   EXPECT_EQ(s.shards[svc.route(1)].admits, 1u);
+  EXPECT_EQ(s.shards[svc.route(1)].atomic_admits, 0u);
+  EXPECT_EQ(s.shards[svc.route(1)].atomic_inconclusive, 0u);
   EXPECT_EQ(s.decisions, 1u);
 }
 
@@ -100,8 +119,12 @@ TEST(ShardedAdmissionTest, LocalRejectIsFinalWithoutFallback) {
       {.num_shards = 4, .enable_fallback = false, .rebalance_interval = 0});
   const auto d = svc.try_admit(make_task(4, 1.0, {0.25, 0.25}), 0.0);
   EXPECT_FALSE(d.admitted);
+  // The saturated scaled view is certain without any lock: the decision is
+  // settled on the atomic fast path (c_j >= 1 is state-independent).
+  EXPECT_EQ(d.reason, core::AdmissionDecision::Reason::kStageSaturated);
   const auto s = svc.stats();
-  EXPECT_EQ(s.shards[0].rejects, 1u);
+  EXPECT_EQ(s.shards[0].atomic_rejects, 1u);
+  EXPECT_EQ(s.shards[0].rejects, 0u);
   EXPECT_EQ(s.shards[0].fallback_rejects, 0u);
 }
 
@@ -301,14 +324,25 @@ TEST(ShardedAdmissionTest, RebalanceUnlocksLocalAdmissionUnderSkew) {
 
   const auto after = svc.try_admit(make_task(404, 100.0, {8.0, 8.0}), now);
   EXPECT_TRUE(after.admitted);
-  EXPECT_EQ(after.reason, core::AdmissionDecision::Reason::kAdmitted);
+  // Locally decided (CAS reservation or exact retry inside the rounding
+  // slack) — the point is that it is NOT a kQuotaFallback admission.
+  EXPECT_TRUE(
+      after.reason == core::AdmissionDecision::Reason::kAtomicFastPath ||
+      after.reason == core::AdmissionDecision::Reason::kSlowPathFallback)
+      << to_string(after.reason);
   EXPECT_GT(svc.stats().shards[0].weight, 0.25);
 }
 
 TEST(ShardedAdmissionTest, AutoRebalanceFiresOnDecisionInterval) {
+  // Atomic fast-path decisions deliberately do not tick the rebalance
+  // cadence (see ShardedAdmissionConfig); force every decision through the
+  // slow path so the interval is exercised deterministically.
   ShardedAdmissionService svc(
       core::FeasibleRegion::deadline_monotonic(2),
-      {.num_shards = 2, .enable_fallback = false, .rebalance_interval = 32});
+      {.num_shards = 2,
+       .enable_fallback = false,
+       .rebalance_interval = 32,
+       .enable_atomic_fast_path = false});
   Time now = 0.0;
   // Skewed load: everything on shard 0, big enough to beat the deadband.
   for (std::uint64_t i = 0; i < 64; ++i) {
@@ -355,7 +389,7 @@ TEST(ShardedAdmissionStressTest, ConcurrentCountersConserveDecisions) {
   double weight_sum = 0;
   for (const auto& sh : s.shards) {
     counted += sh.admits + sh.rejects + sh.fallback_admits +
-               sh.fallback_rejects;
+               sh.fallback_rejects + sh.atomic_admits + sh.atomic_rejects;
     weight_sum += sh.weight;
   }
   EXPECT_EQ(counted, kThreads * kPerThread);

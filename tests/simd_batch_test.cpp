@@ -1,0 +1,140 @@
+// AVX2 batch stage-delay kernel (ISSUE 6): bit-identity against the scalar
+// f(U), and dispatch-independence of burst admission decisions.
+//
+// The contract under test (core/stage_delay_batch.h): every double the
+// vector kernel produces is BIT-identical to stage_delay_factor(u) — same
+// operation sequence, one IEEE op per step, no FMA contraction, +inf
+// blended into saturated lanes. On hardware without AVX2 the sweep
+// degenerates to scalar-vs-scalar and passes trivially (the dispatch test
+// still exercises the toggle seam).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/stage_delay.h"
+#include "core/stage_delay_batch.h"
+#include "core/synthetic_utilization.h"
+#include "core/task.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace frap::core {
+namespace {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+// Restores the dispatch toggle on scope exit so a failing assertion cannot
+// leak a forced-scalar state into other tests.
+struct SimdToggle {
+  explicit SimdToggle(bool enabled)
+      : previous(set_batch_simd_enabled(enabled)) {}
+  ~SimdToggle() { (void)set_batch_simd_enabled(previous); }
+  const bool previous;
+};
+
+TEST(SimdBatchTest, ToggleSeamReturnsPreviousSetting) {
+  const bool initial = set_batch_simd_enabled(false);
+  EXPECT_FALSE(set_batch_simd_enabled(true));
+  EXPECT_TRUE(set_batch_simd_enabled(initial));
+  EXPECT_EQ(batch_simd_active(), batch_simd_available() && initial);
+}
+
+TEST(SimdBatchTest, BitIdenticalToScalarSweep) {
+  SimdToggle simd_on(true);
+  // Edge lanes first: zero, denormal-adjacent, the largest double below 1,
+  // exact 1 and beyond (saturated lanes must blend +inf), then a dense
+  // random sweep of the admissible range.
+  std::vector<double> u = {0.0,
+                           1e-300,
+                           1e-17,
+                           0.25,
+                           0.5,
+                           0.999999999,
+                           std::nextafter(1.0, 0.0),
+                           1.0,
+                           1.0000001,
+                           2.5};
+  util::Rng rng(1234);
+  for (int i = 0; i < 100'000; ++i) u.push_back(rng.uniform(0.0, 1.0));
+  // Odd length exercises the scalar tail after the 4-lane blocks.
+  u.push_back(0.42);
+
+  std::vector<double> out(u.size());
+  batch_stage_delay_factors(u.data(), out.data(), u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double expected = stage_delay_factor(u[i]);
+    EXPECT_EQ(bits_of(out[i]), bits_of(expected))
+        << "lane " << i << " u=" << u[i] << " batch=" << out[i]
+        << " scalar=" << expected;
+  }
+}
+
+TEST(SimdBatchTest, BurstDecisionsIndependentOfDispatch) {
+  // 8 stages with ~75% touched density, so the burst path's SIMD gate
+  // (n >= 8, touched >= n/2) actually engages for most specs.
+  constexpr std::size_t kStages = 8;
+  const auto region = FeasibleRegion::deadline_monotonic(kStages);
+
+  // Identical controller state under both dispatch modes; the burst mixes
+  // admits, a region-full reject, and a saturating spec.
+  const auto run = [&](bool simd) {
+    SimdToggle toggle(simd);
+    sim::Simulator sim;
+    SyntheticUtilizationTracker tracker(sim, kStages);
+    AdmissionController controller(sim, tracker, region);
+    BatchAdmissionController batch(controller);
+    std::vector<TaskSpec> specs;
+    util::Rng rng(77);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      TaskSpec spec;
+      spec.id = i + 1;
+      spec.deadline = 1.0;
+      spec.stages.resize(kStages);
+      for (auto& st : spec.stages) {
+        st.compute = rng.bernoulli(0.25) ? 0.0 : rng.uniform(0.005, 0.04);
+      }
+      specs.push_back(spec);
+    }
+    specs.push_back([&] {  // saturating spec: u_with >= 1 on stage 0
+      TaskSpec spec;
+      spec.id = 1000;
+      spec.deadline = 1.0;
+      spec.stages.resize(kStages);
+      spec.stages[0].compute = 1.5;
+      return spec;
+    }());
+    return std::make_pair(batch.try_admit_burst(specs),
+                          tracker.utilizations());
+  };
+
+  const auto [simd_decisions, simd_util] = run(true);
+  const auto [scalar_decisions, scalar_util] = run(false);
+  ASSERT_EQ(simd_decisions.size(), scalar_decisions.size());
+  for (std::size_t i = 0; i < simd_decisions.size(); ++i) {
+    EXPECT_EQ(simd_decisions[i].admitted, scalar_decisions[i].admitted) << i;
+    EXPECT_EQ(simd_decisions[i].reason, scalar_decisions[i].reason) << i;
+    // Bit-identity of the evaluated LHS pair, not just the verdict.
+    EXPECT_EQ(bits_of(simd_decisions[i].lhs_with_task),
+              bits_of(scalar_decisions[i].lhs_with_task))
+        << i;
+    EXPECT_EQ(bits_of(simd_decisions[i].lhs_before),
+              bits_of(scalar_decisions[i].lhs_before))
+        << i;
+  }
+  ASSERT_EQ(simd_util.size(), scalar_util.size());
+  for (std::size_t j = 0; j < simd_util.size(); ++j) {
+    EXPECT_EQ(bits_of(simd_util[j]), bits_of(scalar_util[j])) << j;
+  }
+}
+
+}  // namespace
+}  // namespace frap::core

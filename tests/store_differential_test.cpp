@@ -232,5 +232,60 @@ TEST(StoreDifferentialTest, ReservationsMatch) {
   expect_same_utilizations(store, ref, 1001);
 }
 
+// ISSUE 6 satellite: pins the PR-1 id-reuse aliasing defect and its fix.
+//
+// Scenario: task 7 departs stage 0 (queueing a raw-id entry), is removed,
+// and its id is REUSED by a brand-new task; then stage 0 goes idle.
+//   * IdReuse::kFaithful — the stale queue entry aliases onto the new task
+//     and strips its live contribution (the preserved bug: utilization
+//     collapses to 0). This branch is the "fails on the faithful copy"
+//     witness: asserting correct behavior against it would fail.
+//   * IdReuse::kCorrected — the entry's add() epoch no longer matches, so
+//     it is dropped and the new task's contribution survives, matching the
+//     generation-checked slot-map store exactly.
+TEST(StoreDifferentialTest, IdReuseAliasingPinned) {
+  constexpr std::uint64_t kReusedId = 7;
+  constexpr double kOld = 0.10;
+  constexpr double kNew = 0.25;
+  const std::vector<double> old_c = {kOld, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> new_c = {kNew, 0.0, 0.0, 0.0, 0.0, 0.0};
+
+  const auto drive = [&](auto& tracker) {
+    tracker.add(kReusedId, old_c, 100.0);
+    tracker.mark_departed(kReusedId, 0);
+    tracker.remove_task(kReusedId);
+    tracker.add(kReusedId, new_c, 100.0);  // id reuse
+    tracker.on_stage_idle(0);
+    return tracker.utilization(0);
+  };
+
+  sim::Simulator sim_faithful;
+  testing::ReferenceUtilizationTracker faithful(
+      sim_faithful, kStages,
+      testing::ReferenceUtilizationTracker::IdReuse::kFaithful);
+  sim::Simulator sim_corrected;
+  testing::ReferenceUtilizationTracker corrected(
+      sim_corrected, kStages,
+      testing::ReferenceUtilizationTracker::IdReuse::kCorrected);
+  sim::Simulator sim_store;
+  SyntheticUtilizationTracker store(sim_store, kStages);
+
+  // The defect, pinned: the faithful copy strips the NEW task's live
+  // contribution via the stale departed-queue entry.
+  EXPECT_DOUBLE_EQ(drive(faithful), 0.0);
+  EXPECT_TRUE(faithful.is_live(kReusedId));  // record exists, contribution gone
+
+  // The corrected variant and the production slot-map store both keep it.
+  EXPECT_DOUBLE_EQ(drive(corrected), kNew);
+  EXPECT_DOUBLE_EQ(drive(store), kNew);
+  EXPECT_DOUBLE_EQ(corrected.cached_lhs(), store.cached_lhs());
+
+  // Default construction stays faithful (the A/B sweep's baseline must not
+  // silently change behavior under it).
+  sim::Simulator sim_default;
+  testing::ReferenceUtilizationTracker default_mode(sim_default, kStages);
+  EXPECT_DOUBLE_EQ(drive(default_mode), 0.0);
+}
+
 }  // namespace
 }  // namespace frap::core

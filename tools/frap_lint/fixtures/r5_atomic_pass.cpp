@@ -1,0 +1,27 @@
+// R5 atomic idioms (ISSUE 6): the lock-free admission guard's vocabulary —
+// CAS retry loops, saturating fetch_add, seqlock snapshot reads — must lint
+// clean under the src/service/ concurrency carve-out. Linted a second time
+// under src/sched/ where only the primitive declarations (the bare `atomic`
+// / `mutex` tokens) flag; every member access stays clean in both scopes.
+struct Guard {
+  std::atomic<unsigned long long> qsum;
+  std::atomic<unsigned long long> seq;
+  std::mutex fallback;
+};
+bool try_reserve(Guard& g, unsigned long long want, unsigned long long cap) {
+  unsigned long long cur = g.qsum.load();  // member access, never flags
+  while (cur + want < cap) {
+    if (g.qsum.compare_exchange_weak(cur, cur + want)) return true;
+  }
+  return false;
+}
+void reconcile(Guard& g, unsigned long long delta) {
+  g.seq.fetch_add(1);  // seqlock write begins: readers see an odd count
+  (void)g.qsum.fetch_add(delta);
+  g.seq.fetch_add(1);
+}
+unsigned long long snapshot(const Guard& g) {
+  const unsigned long long s1 = g.seq.load();
+  const unsigned long long v = g.qsum.load();
+  return (s1 & 1UL) != 0UL ? 0UL : v;  // torn read: caller must retry
+}
