@@ -61,6 +61,7 @@ std::vector<double> AdmissionController::contributions_for(
   return c;
 }
 
+// frap:contract(hotpath)
 double AdmissionController::incremental_lhs_with(
     const TaskSpec& spec, double lhs_before,
     std::uint16_t* touched_out) const {
@@ -89,6 +90,8 @@ double AdmissionController::incremental_lhs_with(
   return lhs_before + delta;
 }
 
+// frap:contract(hotpath) -- push_back into vectors reserved to capacity
+// (reserve_tracked_capacity); the operator-new hook test keeps it honest.
 void AdmissionController::commit(const TaskSpec& spec,
                                  Time absolute_deadline) {
   const double inv_d = util::safe_inv(spec.deadline);
@@ -132,11 +135,13 @@ bool AdmissionController::test(const TaskSpec& spec) const {
   return region_.admits(incremental_lhs_with(spec, tracker_.cached_lhs()));
 }
 
+// frap:contract(hotpath)
 AdmissionDecision AdmissionController::try_admit(const TaskSpec& spec,
                                                  Time now) {
   return try_admit_tagged(spec, now, AdmissionDecision::Reason::kAdmitted);
 }
 
+// frap:contract(hotpath)
 AdmissionDecision AdmissionController::try_admit_tagged(
     const TaskSpec& spec, Time now, AdmissionDecision::Reason admit_reason) {
   ++attempts_;

@@ -34,6 +34,8 @@ void TaskStore::arena_free(std::uint32_t off, std::uint8_t cls) {
   arena_free_[cls].push_back(off);
 }
 
+// frap:contract(hotpath) -- steady-state creates are served from the free
+// lists; the growth resize in arena_alloc only fires while warming up.
 TaskHandle TaskStore::create(std::uint64_t task_id,
                              const std::uint32_t* stages, const double* values,
                              std::uint32_t count) {
@@ -78,6 +80,7 @@ TaskHandle TaskStore::create(std::uint64_t task_id,
   return pack(idx, s.gen);
 }
 
+// frap:contract(hotpath)
 void TaskStore::destroy(TaskHandle h) {
   Slot& s = slot(h);
   if (!is_inline(s)) arena_free(s.arena_off, s.arena_class);

@@ -91,13 +91,19 @@ class AtomicCounter {
   // service can return aggregated stats structs by value.
   AtomicCounter(const AtomicCounter& other) : n_(other.value()) {}
   AtomicCounter& operator=(const AtomicCounter& other) {
+    // frap:contract(order: relaxed; counters are monotone tallies with no
+    // cross-variable invariant, approximate totals are acceptable)
     n_.store(other.value(), std::memory_order_relaxed);
     return *this;
   }
 
   void increment(std::uint64_t by = 1) {
+    // frap:contract(order: relaxed RMW; atomicity alone keeps the tally
+    // exact, no ordering with other memory is needed)
     n_.fetch_add(by, std::memory_order_relaxed);
   }
+  // frap:contract(order: relaxed; a metrics read may lag in-flight
+  // increments by design)
   std::uint64_t value() const { return n_.load(std::memory_order_relaxed); }
 
  private:

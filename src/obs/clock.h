@@ -39,13 +39,19 @@ class ManualClock final : public Clock {
   explicit ManualClock(std::uint64_t start_nanos = 0) : t_(start_nanos) {}
 
   [[nodiscard]] std::uint64_t now_nanos() const override {
+    // frap:contract(order: relaxed; timestamps are advisory metadata on
+    // trace events, no happens-before is derived from them)
     return t_.load(std::memory_order_relaxed);
   }
 
   void advance(std::uint64_t nanos) {
+    // frap:contract(order: relaxed RMW; concurrent advances only need
+    // atomicity, readers tolerate any interleaving)
     t_.fetch_add(nanos, std::memory_order_relaxed);
   }
   void set(std::uint64_t nanos) {
+    // frap:contract(order: relaxed; test drivers set between phases, the
+    // value is advisory like now_nanos)
     t_.store(nanos, std::memory_order_relaxed);
   }
 

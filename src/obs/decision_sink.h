@@ -75,6 +75,7 @@ class DecisionSink {
   // decision is latency-sampled, 0 otherwise (pass the value to record()).
   // Inline (with record below) so the per-decision cost flattens into a few
   // increments plus direct slot stores inside the caller.
+  // frap:contract(hotpath)
   [[nodiscard]] std::uint64_t begin_decision() {
     if (sample_period_ == 0) return 0;
     if (--sample_countdown_ != 0) return 0;
@@ -83,6 +84,7 @@ class DecisionSink {
   }
 
   // Record one admission decision. t0_nanos is begin_decision()'s return.
+  // frap:contract(hotpath)
   void record(const core::AdmissionDecision& d, std::uint64_t task_id,
               std::uint16_t touched, std::uint64_t t0_nanos) {
     ++decisions_by_reason_[static_cast<std::size_t>(d.reason)];
@@ -119,6 +121,7 @@ class DecisionSink {
   SinkSnapshot snapshot() const;
 
  private:
+  // frap:contract(hotpath)
   void push_event(SpanKind kind, const core::AdmissionDecision& d,
                   std::uint64_t task_id, std::uint16_t touched,
                   std::uint64_t latency_nanos) {

@@ -68,15 +68,21 @@ class TraceRing {
 
   // Total push() calls ever.
   std::uint64_t pushed() const {
+    // frap:contract(order: relaxed; conservation is only asserted once
+    // producers quiesce, a mid-flight read may lag)
     return head_.load(std::memory_order_relaxed);
   }
   // Pushes skipped because the claimed slot was still mid-write (a full lap
   // happened around a stalled producer).
   std::uint64_t dropped() const {
+    // frap:contract(order: relaxed; same quiesced-conservation contract as
+    // pushed())
     return dropped_.load(std::memory_order_relaxed);
   }
   // Previously published events destroyed by wrap-around overwrite.
   std::uint64_t overwritten() const {
+    // frap:contract(order: relaxed; same quiesced-conservation contract as
+    // pushed())
     return overwritten_.load(std::memory_order_relaxed);
   }
 
@@ -89,23 +95,18 @@ class TraceRing {
   // Exactly one 64-byte cache line: a push dirties (and a snapshot reads)
   // a single line per event, which matters because a large ring streams
   // through memory and every line is cold.
-  // Aliases keep the template closer away from the lhs-named fields, which
-  // frap-lint R2 would otherwise misread as a relational comparison.
-  using AtomicU64 = std::atomic<std::uint64_t>;
-  using AtomicDouble = std::atomic<double>;
-
   struct alignas(64) Slot {
     // 0 = never written; odd = write in progress; even nonzero k publishes
     // the event with ticket (k >> 1) - 1.
-    AtomicU64 seq{0};
-    AtomicU64 task_id{0};
-    AtomicDouble arrival{0};
-    AtomicDouble decided_at{0};
-    AtomicDouble lhs_before{0};
-    AtomicDouble lhs_with_task{0};
-    AtomicDouble bound{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> task_id{0};
+    std::atomic<double> arrival{0};
+    std::atomic<double> decided_at{0};
+    std::atomic<double> lhs_before{0};
+    std::atomic<double> lhs_with_task{0};
+    std::atomic<double> bound{0};
     // See pack_meta(): reason/kind/admitted/shard/touched/latency.
-    AtomicU64 meta{0};
+    std::atomic<std::uint64_t> meta{0};
   };
   static_assert(sizeof(Slot) == 64);
 
@@ -118,17 +119,26 @@ class TraceRing {
   std::atomic<std::uint64_t> overwritten_{0};
 };
 
+// frap:contract(hotpath)
 inline void TraceRing::push_serialized(const DecisionEvent& ev) {
+  // frap:contract(order: relaxed; the external serialization lock makes
+  // this writer the only head_ mutator, readers only need atomicity)
   const std::uint64_t ticket = head_.load(std::memory_order_relaxed);
+  // frap:contract(order: relaxed unlocked increment under the external
+  // lock; see pushed() for the reader side)
   head_.store(ticket + 1, std::memory_order_relaxed);
   Slot& s = slots_[ticket & mask_];
 
+  // frap:contract(order: relaxed; only this serialized writer mutates seq,
+  // so its own last store is the only value this can observe)
   const std::uint64_t prev = s.seq.load(std::memory_order_relaxed);
   if (prev != 0) {
     // Load+store, not fetch_add: once the ring has wrapped EVERY push takes
     // this branch, and a locked read-modify-write here would hand back most
     // of what skipping the claim CAS saved. Serialized pushes make the
     // unlocked increment safe; concurrent readers still see an atomic value.
+    // frap:contract(order: relaxed load+store counter under the external
+    // lock, same quiesced-conservation contract as overwritten())
     overwritten_.store(overwritten_.load(std::memory_order_relaxed) + 1,
                        std::memory_order_relaxed);
   }
@@ -136,17 +146,31 @@ inline void TraceRing::push_serialized(const DecisionEvent& ev) {
   // Standard seqlock write: mark the slot odd BEFORE touching the payload so
   // a concurrent snapshot can never validate a half-written event. The
   // release fence keeps the field stores from sinking above the odd mark.
+  // frap:contract(order: relaxed odd mark; ordered by the release fence
+  // below, not by the store itself)
   s.seq.store((ticket << 1) | 1, std::memory_order_relaxed);
+  // frap:contract(order: release fence pairs with snapshot()'s acquire
+  // fence; payload stores cannot sink above the odd mark)
   std::atomic_thread_fence(std::memory_order_release);
 
+  // frap:contract(order: relaxed payload stores inside the seqlock bracket;
+  // the fences and the even publish order them for readers)
   s.task_id.store(ev.task_id, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket)
   s.arrival.store(ev.arrival, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket)
   s.decided_at.store(ev.decided_at, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket)
   s.lhs_before.store(ev.lhs_before, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket)
   s.lhs_with_task.store(ev.lhs_with_task, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket)
   s.bound.store(ev.bound, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket)
   s.meta.store(pack_meta(ev), std::memory_order_relaxed);
 
+  // frap:contract(order: release even publish pairs with snapshot()'s
+  // acquire first load; a reader seeing even k sees the whole payload)
   s.seq.store((ticket + 1) << 1, std::memory_order_release);
 
   // A large ring streams through memory, so the NEXT slot's line is cold

@@ -32,15 +32,23 @@ AtomicAdmissionGuard::AtomicAdmissionGuard(const core::FeasibleRegion& region)
   f_ucap_ = core::stage_delay_factor(u_cap_);
 }
 
+// frap:contract(hotpath)
 bool AtomicAdmissionGuard::try_reserve(std::uint64_t quanta) {
+  // frap:contract(order: relaxed seed for the CAS loop; the CAS itself
+  // re-reads with its own ordering, so a stale seed only costs one retry)
   std::uint64_t old = qlhs_.load(std::memory_order_relaxed);
   while (true) {
+    // frap:contract(rounds: conservative-for=admit) -- saturating add of an
+    // UP-rounded reservation over-estimates the committed+reserved LHS.
     const std::uint64_t next = core::fixed::add_sat(old, quanta);
     // STRICT predicate: a reservation landing exactly on the bound floor
     // (boundary tie) is refused here and retried on the exact path.
     if (!core::FeasibleRegion::admits_quantized(next, qbound_floor_)) {
       return false;
     }
+    // frap:contract(order: acq_rel success pairs with every other
+    // reservation CAS and reconcile's fetch_add so the admit chain
+    // totally orders; relaxed failure just reloads the seed)
     if (qlhs_.compare_exchange_weak(old, next, std::memory_order_acq_rel,
                                     std::memory_order_relaxed)) {
       return true;
@@ -48,6 +56,7 @@ bool AtomicAdmissionGuard::try_reserve(std::uint64_t quanta) {
   }
 }
 
+// frap:contract(hotpath)
 AtomicAdmissionGuard::FastResult AtomicAdmissionGuard::classify(
     const core::TaskSpec& spec, double inv_weight, Time now,
     bool allow_fast_reject) {
@@ -94,15 +103,28 @@ AtomicAdmissionGuard::FastResult AtomicAdmissionGuard::classify(
     // where no expiry at or before `now` is pending, which is exactly what
     // the matching horizon certifies. Standard seqlock read; a torn read
     // (concurrent reconcile) just falls through to the exact path.
+    // frap:contract(order: acquire pairs with reconcile_locked's even
+    // release publish; payload reads below cannot float above this load)
     const std::uint64_t s1 =
         reconcile_seq_.load(std::memory_order_acquire);
+    // frap:contract(order: relaxed payload reads; the seqlock bracket, not
+    // the loads themselves, certifies the (floor, horizon) pair)
     const std::uint64_t qfloor = qfloor_.load(std::memory_order_relaxed);
+    // frap:contract(order: relaxed payload read, same bracket as qfloor)
     const Time horizon = next_event_at_.load(std::memory_order_relaxed);
+    // frap:contract(order: acquire fence orders both payload reads before
+    // the re-check; pairs with the writer's release fence)
     std::atomic_thread_fence(std::memory_order_acquire);
+    // frap:contract(order: relaxed re-check; the fence above already
+    // ordered it, equality with s1 is what certifies consistency)
     const bool consistent =
         (s1 & 1) == 0 &&
         reconcile_seq_.load(std::memory_order_relaxed) == s1;
+    // frap:contract(rounds: conservative-for=reject) -- DOWN-rounding the
+    // delta under-estimates the task's exact LHS contribution.
     const std::uint64_t q_lo = core::fixed::quantize_down(d_lo);
+    // frap:contract(rounds: conservative-for=reject) -- floor+floor stays
+    // an under-estimate; only a certain overshoot rejects.
     if (consistent && now < horizon &&
         core::FeasibleRegion::rejects_quantized(
             core::fixed::add_sat(qfloor, q_lo), qbound_ceil_)) {
@@ -114,6 +136,8 @@ AtomicAdmissionGuard::FastResult AtomicAdmissionGuard::classify(
   }
 
   if (std::isfinite(d_hi)) {
+    // frap:contract(rounds: conservative-for=admit) -- the reservation
+    // rounds the over-estimated delta UP; admission can only get stricter.
     const std::uint64_t q_hi = core::fixed::quantize_up(d_hi);
     if (try_reserve(q_hi)) {
       r.verdict = Verdict::kAdmit;
@@ -124,21 +148,37 @@ AtomicAdmissionGuard::FastResult AtomicAdmissionGuard::classify(
   return r;  // kInconclusive: retry on the exact mutex path
 }
 
+// frap:contract(hotpath) -- called under the shard mutex but must not
+// itself allocate, throw, or take further locks.
 void AtomicAdmissionGuard::reconcile_locked(double committed_lhs,
                                             Time next_event_at,
                                             std::uint64_t released_quanta) {
+  // frap:contract(rounds: conservative-for=reject) -- the republished floor
+  // under-estimates the exact committed LHS; fast rejects stay certain.
   const std::uint64_t new_floor = core::fixed::quantize_down(committed_lhs);
+  // frap:contract(order: relaxed; only this mutex-holding writer mutates
+  // qfloor_, so its own last store is the only value this can observe)
   const std::uint64_t old_floor = qfloor_.load(std::memory_order_relaxed);
   // Seqlock write section (the shard mutex serializes writers; the seq
   // only guards readers against torn (floor, horizon) pairs).
+  // frap:contract(order: relaxed odd mark; the release fence below is what
+  // orders it before the payload stores for readers)
   reconcile_seq_.fetch_add(1, std::memory_order_relaxed);  // -> odd
+  // frap:contract(order: release fence keeps the payload stores below from
+  // sinking above the odd mark; pairs with the reader's acquire fence)
   std::atomic_thread_fence(std::memory_order_release);
+  // frap:contract(order: relaxed payload stores inside the seqlock bracket)
   qfloor_.store(new_floor, std::memory_order_relaxed);
+  // frap:contract(order: relaxed payload store, same bracket as qfloor_)
   next_event_at_.store(next_event_at, std::memory_order_relaxed);
+  // frap:contract(order: release even publish pairs with the reader's
+  // acquire first load; a reader seeing even sees both payload stores)
   reconcile_seq_.fetch_add(1, std::memory_order_release);  // -> even
   // Unsigned wrap-around IS two's-complement signed addition, so a negative
   // floor move (expiries drained) subtracts cleanly. fetch_add (not store!)
   // so reservations CAS-ed in concurrently are preserved.
+  // frap:contract(order: acq_rel joins the reservation-CAS chain on qlhs_;
+  // see try_reserve)
   qlhs_.fetch_add(new_floor - old_floor - released_quanta,
                   std::memory_order_acq_rel);
 }

@@ -111,12 +111,18 @@ class AtomicAdmissionGuard {
 
   // Observability / test accessors.
   [[nodiscard]] std::uint64_t quantized_lhs() const {
+    // frap:contract(order: acquire pairs with the release fetch_adds in
+    // try_reserve/reconcile_locked so a test that observed a commit sees it)
     return qlhs_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::uint64_t committed_floor() const {
+    // frap:contract(order: acquire pairs with reconcile_locked's even
+    // seqlock publish; a reader that saw the publish sees this floor)
     return qfloor_.load(std::memory_order_acquire);
   }
   [[nodiscard]] Time staleness_horizon() const {
+    // frap:contract(order: acquire pairs with reconcile_locked's even
+    // seqlock publish; the horizon is never newer than the floor read)
     return next_event_at_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::uint64_t bound_floor() const { return qbound_floor_; }
@@ -131,9 +137,6 @@ class AtomicAdmissionGuard {
   double u_cap_;
   double f_ucap_;
 
-  // frap-lint: allow(rederived-admission) -- template angle bracket next to
-  // an lhs-named member, not a comparison; the only predicates applied to it
-  // are FeasibleRegion::admits_quantized/rejects_quantized.
   std::atomic<std::uint64_t> qlhs_{0};
   std::atomic<std::uint64_t> qfloor_{0};
   std::atomic<Time> next_event_at_;

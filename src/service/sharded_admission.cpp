@@ -53,8 +53,13 @@ core::AdmissionDecision ShardedAdmissionService::try_admit(
   if (cfg_.enable_atomic_fast_path) {
     // No lock taken here. Fast rejects are disabled while tracing so every
     // traced decision flows through a recording sink.
+    // frap:contract(order: relaxed; pairs with the release store in
+    // attach_observer -- a stale false only lets one more reject go
+    // untraced during attach, never corrupts a decision)
     const bool allow_fast_reject = !tracing_.load(std::memory_order_relaxed);
     const AtomicAdmissionGuard::FastResult fast =
+        // frap:contract(order: relaxed; a rebalance-stale inv_weight only
+        // yields kInconclusive, and the exact mutex path re-reads it)
         sh.guard.classify(spec, sh.inv_weight.load(std::memory_order_relaxed),
                           now, allow_fast_reject);
     switch (fast.verdict) {
@@ -238,6 +243,8 @@ void ShardedAdmissionService::apply_weight_locked(Shard& sh, double w_new) {
   sh.tracker.rescale_dynamic(sh.weight / w_new);
   sh.controller.set_contribution_scale(1.0 / w_new);
   sh.weight = w_new;
+  // frap:contract(order: relaxed; sync_guard_locked republishes the guard
+  // right after, which is what makes the new weight authoritative)
   sh.inv_weight.store(1.0 / w_new, std::memory_order_relaxed);
   // The scaled committed LHS just moved; republish the guard immediately so
   // the lock-free view is never optimistic about the new weight.
@@ -386,6 +393,8 @@ void ShardedAdmissionService::rebalance(Time now) {
 
 void ShardedAdmissionService::maybe_auto_rebalance(Time now) {
   const std::uint64_t n =
+      // frap:contract(order: relaxed tally; only the modular count matters
+      // and it needs nothing beyond atomicity)
       decisions_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (cfg_.rebalance_interval == 0) return;
   if (n % cfg_.rebalance_interval != 0) return;
@@ -394,6 +403,7 @@ void ShardedAdmissionService::maybe_auto_rebalance(Time now) {
 
 ServiceStats ShardedAdmissionService::stats() const {
   ServiceStats s;
+  // frap:contract(order: relaxed; stats may lag in-flight decisions)
   s.decisions = decisions_.load(std::memory_order_relaxed);
   s.rebalances = rebalances_.value();
   s.shards.reserve(shards_.size());
@@ -432,6 +442,8 @@ void ShardedAdmissionService::enable_tracing(const obs::SinkConfig& sink_cfg,
   }
   // Published last: once visible, the fast path stops issuing lock-free
   // rejects so every decision reaches a recording sink.
+  // frap:contract(order: release publish of the sink wiring above; pairs
+  // with the fast path's tracing_ load so no traced decision misses a sink)
   tracing_.store(true, std::memory_order_release);
 }
 

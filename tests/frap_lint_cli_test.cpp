@@ -1,0 +1,133 @@
+// End-to-end tests for the frap_lint DRIVER (exit codes, --emit-baseline
+// round-trip, --list-rules, fixture-dir skipping). The analyzer itself is
+// covered by frap_lint_test.cpp against the checked-in fixtures; here the
+// real binary (FRAP_LINT_BIN) runs against a throwaway tree so the ctest
+// gate's contract — 0 clean / 1 findings / 2 usage — stays pinned.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;  // stdout + stderr, interleaved
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(FRAP_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  RunResult r;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+    r.out.append(buf, n);
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+void write_file(const fs::path& p, const std::string& text) {
+  fs::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(out.good()) << "cannot write " << p;
+}
+
+// A throwaway repo root with one clean file, one file carrying an active
+// R1 finding, and a fixtures dir that the walk must skip.
+class FrapLintCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("frap_lint_cli_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    write_file(root_ / "src/util/clean.cpp",
+               "int add(int a, int b) { return a + b; }\n");
+    write_file(root_ / "src/util/dirty.cpp",
+               "double f(double deadline) { return 1.0 / deadline; }\n");
+    write_file(root_ / "tools/frap_lint/fixtures/skip_me.cpp",
+               "double g(double deadline) { return 1.0 / deadline; }\n");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_arg() const { return "--root " + root_.string(); }
+
+  fs::path root_;
+};
+
+TEST_F(FrapLintCli, ExitsZeroOnCleanTarget) {
+  const auto r = run_lint(root_arg() + " src/util/clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("0 active finding(s)"), std::string::npos) << r.out;
+}
+
+TEST_F(FrapLintCli, ExitsOneAndReportsActiveFindings) {
+  const auto r = run_lint(root_arg() + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  EXPECT_NE(r.out.find("src/util/dirty.cpp:1: [unsafe-division]"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(FrapLintCli, ExitsTwoOnUsageAndMissingTargets) {
+  EXPECT_EQ(run_lint("").exit_code, 2);                       // no args
+  EXPECT_EQ(run_lint(root_arg()).exit_code, 2);               // no targets
+  EXPECT_EQ(run_lint("--no-such-flag src").exit_code, 2);     // bad flag
+  EXPECT_EQ(run_lint(root_arg() + " no/such/dir").exit_code, 2);
+  EXPECT_EQ(
+      run_lint(root_arg() + " --baseline no/such/baseline.txt src").exit_code,
+      2);
+}
+
+TEST_F(FrapLintCli, ListRulesPrintsEveryRule) {
+  const auto r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"unsafe-division", "rederived-admission", "float-equality",
+        "missing-nodiscard", "nondeterminism", "rounding-direction",
+        "seqlock-protocol", "memory-order-audit", "hotpath-alloc",
+        "bad-suppression", "bad-contract"}) {
+    EXPECT_NE(r.out.find(std::string(rule) + "\n"), std::string::npos)
+        << "missing rule " << rule << " in:\n"
+        << r.out;
+  }
+}
+
+TEST_F(FrapLintCli, EmitBaselineRoundTrips) {
+  const auto emitted = run_lint(root_arg() + " --emit-baseline src");
+  EXPECT_EQ(emitted.exit_code, 0) << emitted.out;
+  EXPECT_NE(emitted.out.find("src/util/dirty.cpp:unsafe-division"),
+            std::string::npos)
+      << emitted.out;
+
+  const fs::path baseline = root_ / "baseline.txt";
+  write_file(baseline, emitted.out);
+
+  // Grandfathered: the same tree now exits clean, and the finding is
+  // counted as baselined rather than active.
+  const auto gated =
+      run_lint(root_arg() + " --baseline " + baseline.string() + " src");
+  EXPECT_EQ(gated.exit_code, 0) << gated.out;
+  EXPECT_NE(gated.out.find("0 active finding(s)"), std::string::npos)
+      << gated.out;
+  EXPECT_NE(gated.out.find("1 baselined"), std::string::npos) << gated.out;
+}
+
+TEST_F(FrapLintCli, FixtureDirectoryIsSkippedByTheWalk) {
+  // tools/ holds a deliberately dirty fixture; the walk must not lint it
+  // (the unit tests lint fixtures under pretend src/ paths instead).
+  const auto r = run_lint(root_arg() + " tools");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("0 file(s)"), std::string::npos) << r.out;
+}
+
+}  // namespace

@@ -240,13 +240,156 @@ TEST(FrapLintSuppression, SuppressedFindingsAreNotActive) {
   }
 }
 
+TEST(FrapLintRules, R2TemplateArgumentListsNeverReadAsComparisons) {
+  // Every declaration in this fixture used to trip R2 via `uint64_t >
+  // qlhs_`-style token runs; the scope pass marks template-argument
+  // tokens and the whole file lints clean with no per-site carve-outs.
+  auto all = lint_source("src/service/r2_template_pass.cpp",
+                         read_fixture("r2_template_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R6FlagsUnannotatedAndMisdirectedRounding) {
+  // Lines 4/8: unannotated quantize_up and add_sat. Line 17: the seeded
+  // soundness defect — quantize_down on an admit-side delta in a copy of
+  // the guard's reservation path. Line 23: DOWN on a reject-side bound.
+  auto fs = findings_for("r6_flag.cpp", "src/core/r6_flag.cpp",
+                         "rounding-direction");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{4, 8, 17, 23}));
+}
+
+TEST(FrapLintRules, R6PassesAnnotatedConservativeRounding) {
+  auto all =
+      lint_source("src/core/r6_pass.cpp", read_fixture("r6_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R6OnlyAppliesUnderSrc) {
+  // The same calls are out of scope outside src/ (bench drivers may
+  // quantize freely) and inside the fixed-point home itself.
+  EXPECT_TRUE(
+      lint_source("bench/r6_flag.cpp", read_fixture("r6_flag.cpp")).empty());
+  auto home = findings_for("r6_flag.cpp", "src/core/fixed_point.h",
+                           "rounding-direction");
+  EXPECT_TRUE(home.empty());
+}
+
+TEST(FrapLintRules, R7FlagsEachBrokenProtocolLeg) {
+  // Writers: 13 no release publish, 21 empty write section, 28 missing
+  // release fence. Readers: 35 relaxed first load, 46 unordered re-check,
+  // 55 re-check that never compares.
+  auto fs = findings_for("r7_flag.cpp", "src/obs/trace_ring.cpp",
+                         "seqlock-protocol");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{13, 21, 28, 35, 46, 55}));
+}
+
+TEST(FrapLintRules, R7PassesTextbookSeqlockFullyClean) {
+  // The well-formed writer/reader pair also carries all its R8 order
+  // contracts, so the file produces zero findings of any rule.
+  auto all = lint_source("src/obs/trace_ring.cpp",
+                         read_fixture("r7_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R7OnlyAppliesToSeqlockHomes) {
+  // The same broken protocol outside the seqlock homes is R8/R5 business,
+  // not R7's.
+  auto fs = findings_for("r7_flag.cpp", "src/service/sharded_admission.cpp",
+                         "seqlock-protocol");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(FrapLintRules, R8RequiresContractsInsideCarveOut) {
+  // Line 10 carries its order contract; 14 and 18 are bare.
+  auto fs = findings_for("r8_flag.cpp", "src/service/r8_flag.cpp",
+                         "memory-order-audit");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{14, 18}));
+}
+
+TEST(FrapLintRules, R8BansRawOrderingsOutsideCarveOut) {
+  // Outside the carve-out even the contracted line 10 flags: the contract
+  // documents a choice the file is not allowed to make at all.
+  auto fs = findings_for("r8_flag.cpp", "src/core/r8_flag.cpp",
+                         "memory-order-audit");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{10, 14, 18}));
+}
+
+TEST(FrapLintRules, R8PassesFullyContractedFile) {
+  auto all = lint_source("src/service/r8_pass.cpp",
+                         read_fixture("r8_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R9FlagsAllocationLockThrowAndAllocatingCallee) {
+  // Direct uses in hot_direct: 16 vector, 17 lock_guard, 18 make_unique,
+  // 19 throw. Line 25: hot_indirect calls slow_helper, whose body news —
+  // the one-level same-file summary propagation.
+  auto fs = findings_for("r9_flag.cpp", "src/core/r9_flag.cpp",
+                         "hotpath-alloc");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{16, 17, 18, 19, 25}));
+}
+
+TEST(FrapLintRules, R9PassesSanctionedIdiomsAndNonHotpathCode) {
+  auto all =
+      lint_source("src/core/r9_pass.cpp", read_fixture("r9_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintContracts, MalformedContractsAreUnsuppressibleFindings) {
+  auto all =
+      lint_source("src/core/contract.cpp", read_fixture("contract.cpp"));
+  std::vector<int> bad;
+  for (const auto& f : all)
+    if (f.rule == "bad-contract") {
+      bad.push_back(f.line);
+      EXPECT_FALSE(f.suppressed);
+      EXPECT_TRUE(active(f));
+    }
+  std::sort(bad.begin(), bad.end());
+  // Unknown role (6), empty order rationale (11), unknown kind (16).
+  EXPECT_EQ(bad, (std::vector<int>{6, 11, 16}));
+}
+
+TEST(FrapLintContracts, ContractCoversWholeMultiLineStatement) {
+  // The rounds contract in spanning() binds to the statement's first line
+  // but the quantize_up call sits on a continuation line — no R6 finding.
+  auto fs = findings_for("contract.cpp", "src/core/contract.cpp",
+                         "rounding-direction");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(FrapLintSuppression, DirectiveCoversWholeMultiLineStatement) {
+  auto all = lint_source("src/workload/span_suppress.cpp",
+                         read_fixture("span_suppress.cpp"));
+  std::vector<int> suppressed, active_div;
+  for (const auto& f : all) {
+    if (f.rule != "unsafe-division") continue;
+    (f.suppressed ? suppressed : active_div).push_back(f.line);
+  }
+  // The directive binds to the statement's first line (6) yet suppresses
+  // the division flagged on the continuation line (7); the identical
+  // statement in the next function stays active.
+  EXPECT_EQ(suppressed, (std::vector<int>{7}));
+  EXPECT_EQ(active_div, (std::vector<int>{15}));
+}
+
 TEST(FrapLintApi, CanonicalRuleMapsAliases) {
   EXPECT_EQ(canonical_rule("r1"), "unsafe-division");
   EXPECT_EQ(canonical_rule("r2"), "rederived-admission");
   EXPECT_EQ(canonical_rule("r3"), "float-equality");
   EXPECT_EQ(canonical_rule("r4"), "missing-nodiscard");
   EXPECT_EQ(canonical_rule("r5"), "nondeterminism");
+  EXPECT_EQ(canonical_rule("r6"), "rounding-direction");
+  EXPECT_EQ(canonical_rule("r7"), "seqlock-protocol");
+  EXPECT_EQ(canonical_rule("r8"), "memory-order-audit");
+  EXPECT_EQ(canonical_rule("r9"), "hotpath-alloc");
   EXPECT_EQ(canonical_rule("float-equality"), "float-equality");
+  EXPECT_EQ(canonical_rule("hotpath-alloc"), "hotpath-alloc");
   EXPECT_EQ(canonical_rule("no-such-rule"), "");
 }
 

@@ -1,0 +1,29 @@
+// Fixture for the contract grammar itself: malformed contracts become
+// unsuppressible bad-contract findings; well-formed ones bind like
+// suppressions (trailing to their own line, standalone to the next code
+// line, either way covering the whole statement span).
+
+// frap:contract(rounds: conservative-for=maybe)
+std::uint64_t bad_role(double v) {  // directive line 6 flags: unknown role
+  return 0;
+}
+
+// frap:contract(order:)
+std::uint64_t empty_rationale() {  // directive line 11: empty rationale
+  return 0;
+}
+
+// frap:contract(frobnicate)
+std::uint64_t unknown_kind() {  // directive line 16: unknown contract kind
+  return 0;
+}
+
+// A rounds contract bound to a statement that WRAPS across lines still
+// covers the call on the continuation line.
+std::uint64_t spanning(double very_long_parameter_name) {
+  // frap:contract(rounds: conservative-for=admit)
+  const std::uint64_t q =
+      fixed::quantize_up(very_long_parameter_name + 1.0 +
+                         2.0);
+  return q;
+}

@@ -1,0 +1,23 @@
+// Template-argument lists must never read as relational comparisons.
+// Every declaration here used to trip R2 ("lhs compared outside the
+// feasible region") because the lexer saw `uint64_t > qlhs_` and friends;
+// PR-6 papered over two of them with ad-hoc carve-outs. The scope pass
+// marks template-argument tokens instead, so the whole file lints clean
+// with no per-site exceptions.
+#include <atomic>
+#include <utility>
+#include <vector>
+
+struct Shard {
+  std::atomic<std::uint64_t> qlhs_{0};
+  std::atomic<double> lhs_before{0};
+  std::atomic<double> lhs_with_task{0};
+  std::vector<std::pair<std::uint64_t, double>> lhs_samples;
+};
+
+template <typename T>
+T roundtrip_lhs(T lhs_value) {
+  std::atomic<T> lhs_slot{lhs_value};
+  std::vector<std::atomic<T>*> lhs_ptrs;
+  return lhs_slot.load();
+}

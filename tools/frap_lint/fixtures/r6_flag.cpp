@@ -1,0 +1,24 @@
+// Must-flag fixture for R6 rounding-direction. Line numbers are asserted
+// by tests/frap_lint_test.cpp.
+std::uint64_t unannotated_lhs(double lhs) {
+  return fixed::quantize_up(lhs);  // line 4: no rounds contract at all
+}
+
+std::uint64_t unannotated_sat(std::uint64_t a, std::uint64_t b) {
+  return fixed::add_sat(a, b);  // line 8: add_sat needs a contract too
+}
+
+// Seeded soundness defect: a copy of the guard's reservation path with
+// the rounding flipped. The delta is lhs-side and the decision admits, so
+// it must round UP — rounding DOWN admits infeasible load when the true
+// delta straddles a quantum boundary.
+std::uint64_t seeded_defect(double d_hi) {
+  // frap:contract(rounds: conservative-for=admit)
+  const std::uint64_t q_hi = fixed::quantize_down(d_hi);  // line 17: wrong
+  return q_hi;
+}
+
+std::uint64_t bound_defect(double bound) {
+  // frap:contract(rounds: conservative-for=reject)
+  return fixed::quantize_down(bound);  // line 23: bounds round UP to reject
+}

@@ -1,0 +1,34 @@
+// Must-pass fixture for R6: every rounding call is annotated and rounds
+// the conservative way for its declared role.
+std::uint64_t reserve_delta(double d_hi) {
+  // frap:contract(rounds: conservative-for=admit)
+  return fixed::quantize_up(d_hi);  // lhs-side, admit: UP over-estimates
+}
+
+std::uint64_t floor_delta(double d_lo) {
+  // frap:contract(rounds: conservative-for=reject)
+  return fixed::quantize_down(d_lo);  // lhs-side, reject: DOWN is a floor
+}
+
+std::uint64_t admit_bound(double bound) {
+  // frap:contract(rounds: conservative-for=admit)
+  return fixed::quantize_down(bound);  // bound-side mirrors the lhs side
+}
+
+std::uint64_t reject_bound(double bound) {
+  // frap:contract(rounds: conservative-for=reject)
+  return fixed::quantize_up(bound);
+}
+
+std::uint64_t saturating(std::uint64_t a, std::uint64_t b) {
+  // frap:contract(rounds: conservative-for=admit) -- saturation
+  // over-estimates on either side, only the annotation is checked
+  return fixed::add_sat(a, b);
+}
+
+void mentions_are_not_calls() {
+  // Prose naming quantize_down without calling it is ignored, as is a
+  // bare function-pointer mention:
+  auto* fp = &fixed::quantize_up;
+  (void)fp;
+}

@@ -1,0 +1,57 @@
+// Must-flag fixture for R7 seqlock-protocol: each function below breaks
+// exactly one leg of the publish/read protocol. Linted under a pretend
+// seqlock-home path (src/obs/trace_ring.cpp) by the unit tests, which
+// assert the flagged line numbers.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> seq_{0};
+std::atomic<std::uint64_t> payload_{0};
+
+// W1: marks odd but never republishes even with release ordering.
+void writer_no_publish(std::uint64_t t, std::uint64_t v) {
+  seq_.store((t << 1) | 1, std::memory_order_relaxed);  // line 13
+  std::atomic_thread_fence(std::memory_order_release);
+  payload_.store(v, std::memory_order_relaxed);
+  seq_.store((t + 1) << 1, std::memory_order_relaxed);  // relaxed publish!
+}
+
+// W2: an empty write section — no payload store between mark and publish.
+void writer_no_payload(std::uint64_t t) {
+  seq_.store((t << 1) | 1, std::memory_order_relaxed);  // line 21
+  std::atomic_thread_fence(std::memory_order_release);
+  seq_.store((t + 1) << 1, std::memory_order_release);
+}
+
+// W3: payload stores with no release fence after the odd mark.
+void writer_no_fence(std::uint64_t t, std::uint64_t v) {
+  seq_.store((t << 1) | 1, std::memory_order_relaxed);  // line 28
+  payload_.store(v, std::memory_order_relaxed);
+  seq_.store((t + 1) << 1, std::memory_order_release);
+}
+
+// V1: the first sequence load is relaxed, not acquire.
+std::uint64_t reader_relaxed_first() {
+  const std::uint64_t s1 = seq_.load(std::memory_order_relaxed);  // line 35
+  const std::uint64_t v = payload_.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (seq_.load(std::memory_order_relaxed) != s1) return 0;
+  return v;
+}
+
+// V2: no acquire fence (and no acquire re-check) before the re-check.
+std::uint64_t reader_no_fence() {
+  const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+  const std::uint64_t v = payload_.load(std::memory_order_relaxed);
+  if (seq_.load(std::memory_order_relaxed) != s1) return 0;  // line 46
+  return v;
+}
+
+// V3: re-loads the sequence but never compares it to the first read.
+std::uint64_t reader_no_compare() {
+  const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+  const std::uint64_t v = payload_.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t s2 = seq_.load(std::memory_order_relaxed);  // line 55
+  return v + s2 - s1;
+}

@@ -1,0 +1,42 @@
+// Must-pass fixture for R7: a textbook seqlock writer and reader. Every
+// ordering also carries its R8 contract so the file lints fully clean
+// under the pretend seqlock-home path.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> seq_{0};
+std::atomic<std::uint64_t> payload_{0};
+
+void writer(std::uint64_t t, std::uint64_t v) {
+  // frap:contract(order: relaxed odd mark; the release fence below is
+  // what orders it before the payload stores)
+  seq_.store((t << 1) | 1, std::memory_order_relaxed);
+  // frap:contract(order: release fence pairs with the reader's acquire
+  // fence; payload stores cannot sink above the odd mark)
+  std::atomic_thread_fence(std::memory_order_release);
+  // frap:contract(order: relaxed payload store inside the seqlock bracket)
+  payload_.store(v, std::memory_order_relaxed);
+  // frap:contract(order: release even publish pairs with the reader's
+  // acquire first load)
+  seq_.store((t + 1) << 1, std::memory_order_release);
+}
+
+std::uint64_t reader() {
+  // frap:contract(order: acquire pairs with the writer's release publish)
+  const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+  // frap:contract(order: relaxed payload read; the bracket certifies it)
+  const std::uint64_t v = payload_.load(std::memory_order_relaxed);
+  // frap:contract(order: acquire fence orders the payload reads before
+  // the re-check; pairs with the writer's release fence)
+  std::atomic_thread_fence(std::memory_order_acquire);
+  // frap:contract(order: relaxed re-check; the fence above ordered it)
+  if (seq_.load(std::memory_order_relaxed) != s1) return 0;
+  return v;
+}
+
+// A function that merely reads the sequence once (no payload in between)
+// is not a seqlock reader and must not trip the protocol checks.
+std::uint64_t peek() {
+  // frap:contract(order: relaxed; advisory progress probe only)
+  return seq_.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,19 @@
+// Must-flag fixture for R8 memory-order-audit. Under a carve-out path
+// (src/service/...) only the uncontracted orderings flag; under any other
+// src/ path every raw memory_order flags regardless of contracts.
+#include <atomic>
+
+std::atomic<int> counter_{0};
+
+int read_counter() {
+  // frap:contract(order: relaxed; the tally only needs atomicity)
+  return counter_.load(std::memory_order_relaxed);  // line 10: contracted
+}
+
+void bump() {
+  counter_.fetch_add(1, std::memory_order_relaxed);  // line 14: bare
+}
+
+void publish() {
+  counter_.store(2, std::memory_order_release);  // line 18: bare
+}

@@ -1,0 +1,34 @@
+// Must-pass fixture for R8: every ordering decision carries its
+// rationale, including one whose contract wraps across comment lines.
+#include <atomic>
+
+std::atomic<int> counter_{0};
+std::atomic<bool> ready_{false};
+
+int read_counter() {
+  // frap:contract(order: relaxed; the tally only needs atomicity)
+  return counter_.load(std::memory_order_relaxed);
+}
+
+void bump() {
+  // frap:contract(order: relaxed RMW; concurrent bumps only need
+  // atomicity, the reader tolerates any interleaving and conservation
+  // is asserted only after producers quiesce)
+  counter_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void publish() {
+  // frap:contract(order: release pairs with wait()'s acquire load)
+  ready_.store(true, std::memory_order_release);
+}
+
+bool wait() {
+  // frap:contract(order: acquire pairs with publish()'s release store)
+  return ready_.load(std::memory_order_acquire);
+}
+
+int no_explicit_order() {
+  // Defaulted (seq_cst) operations carry no raw memory_order token and
+  // are out of R8's scope — the rule audits explicit choices only.
+  return counter_.load();
+}

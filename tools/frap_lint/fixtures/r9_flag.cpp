@@ -1,0 +1,29 @@
+// Must-flag fixture for R9 hotpath-alloc. Line numbers are asserted by
+// the unit tests.
+#include <memory>
+#include <mutex>
+#include <vector>
+
+std::mutex m_;
+
+// Not annotated itself — contributes a one-level call summary.
+int* slow_helper(int n) {
+  return new int[n];  // line 11: summary for the propagation check
+}
+
+// frap:contract(hotpath)
+int hot_direct(int n) {
+  std::vector<int> scratch(static_cast<std::size_t>(n));  // line 16
+  std::lock_guard<std::mutex> g(m_);                      // line 17
+  auto p = std::make_unique<int>(n);                      // line 18
+  if (n < 0) throw n;                                     // line 19
+  return scratch.empty() ? *p : scratch.front();
+}
+
+// frap:contract(hotpath)
+int hot_indirect(int n) {
+  int* p = slow_helper(n);  // line 25: calls an allocating helper
+  const int v = *p;
+  delete[] p;
+  return v;
+}

@@ -1,0 +1,30 @@
+// Must-pass fixture for R9: the sanctioned hot-path idioms. push_back /
+// resize / clear into containers reserved to capacity are allowed (the
+// operator-new hook in tests/alloc_steady_state_test.cpp keeps that
+// honest at runtime); member `.lock` fields and non-hotpath allocation
+// elsewhere in the file are out of scope.
+#include <cstdint>
+#include <vector>
+
+struct Store {
+  std::vector<int> events;
+  std::vector<int> scratch;
+  std::int64_t total = 0;
+};
+
+// Same-file helper with a clean body: calling it from a hotpath is fine.
+int clamp(int v) { return v < 0 ? 0 : v; }
+
+// frap:contract(hotpath)
+void record(Store& s, int v) {
+  s.events.push_back(clamp(v));  // reserved-to-capacity pattern
+  s.scratch.clear();
+  s.total += v;
+}
+
+// Allocation in a function WITHOUT the hotpath contract is not R9's
+// business (R9 is opt-in by annotation, unlike the runtime hook).
+void rebuild(Store& s, std::size_t n) {
+  s.events.reserve(n);
+  s.scratch.resize(n);
+}

@@ -1,0 +1,17 @@
+// Fixture for statement-span suppression binding: a directive bound to
+// the first line of a multi-line statement suppresses a finding reported
+// on a continuation line of the same statement.
+double spans(double deadline, double compute) {
+  // frap-lint: allow(unsafe-division) -- covers the whole statement
+  const double r = compute /
+                   deadline;
+  return r;
+}
+
+double does_not_leak(double deadline, double compute) {
+  // The suppression above must NOT leak into this function: this division
+  // flags on line 15.
+  const double r = compute /
+                   deadline;
+  return r;
+}

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "lexer.h"
+#include "scope.h"
 
 namespace frap::lint {
 namespace {
@@ -19,7 +20,12 @@ constexpr const char* kRederivedAdmission = "rederived-admission";  // R2
 constexpr const char* kFloatEquality = "float-equality";         // R3
 constexpr const char* kMissingNodiscard = "missing-nodiscard";   // R4
 constexpr const char* kNondeterminism = "nondeterminism";        // R5
+constexpr const char* kRoundingDirection = "rounding-direction";  // R6
+constexpr const char* kSeqlockProtocol = "seqlock-protocol";     // R7
+constexpr const char* kMemoryOrderAudit = "memory-order-audit";  // R8
+constexpr const char* kHotpathAlloc = "hotpath-alloc";           // R9
 constexpr const char* kBadSuppression = "bad-suppression";
+constexpr const char* kBadContract = "bad-contract";
 
 bool starts_with(std::string_view s, std::string_view p) {
   return s.substr(0, p.size()) == p;
@@ -80,10 +86,27 @@ bool r5_clock_exempt(std::string_view f) {
   return f == "src/obs/clock.cpp";
 }
 
-// ---------------------------------------------------------------------------
-// Token helpers. All rules run over `sig`, the comment-free token view.
+// R6 audits every consumer of the fixed-point quantizers; the definitions
+// themselves (and the property tests that exercise both directions on
+// purpose) live in core/fixed_point.h, which is exempt.
+bool r6_in_scope(std::string_view f) {
+  return starts_with(f, "src/") && f != "src/core/fixed_point.h";
+}
 
-using Tokens = std::vector<Token>;
+// R7 audits exactly the two seqlock homes.
+bool r7_in_scope(std::string_view f) {
+  return f == "src/service/atomic_admission.h" ||
+         f == "src/service/atomic_admission.cpp" ||
+         f == "src/obs/trace_ring.h" || f == "src/obs/trace_ring.cpp";
+}
+
+// R8 reuses the R5 concurrency carve-out: inside it orderings need a
+// rationale contract, outside it they are banned outright.
+bool r8_in_scope(std::string_view f) { return starts_with(f, "src/"); }
+
+// ---------------------------------------------------------------------------
+// Token helpers. All rules run over `sig`, the comment-free token view
+// (`Tokens` comes from scope.h).
 
 bool is_punct(const Token& t, std::string_view p) {
   return t.kind == TokKind::kPunct && t.text == p;
@@ -109,7 +132,9 @@ std::size_t skip_balanced(const Tokens& toks, std::size_t i) {
 // Is the numeric literal exactly one? (1, 1., 1.0, 1.00, 1e0, ...)
 bool is_one(const Token& t) {
   if (t.kind != TokKind::kNumber) return false;
-  return std::strtod(t.text.c_str(), nullptr) == 1.0;  // exact by intent
+  // frap-lint: allow(float-equality) -- classifying the literal token
+  // itself: strtod of "1"/"1.0"/"1e0" is exactly 1.0 by construction.
+  return std::strtod(t.text.c_str(), nullptr) == 1.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -184,7 +209,10 @@ void rule_unsafe_division(const std::string& file, const Tokens& sig,
 // names an LHS (identifier containing "lhs", case-insensitive). PR 1's bug
 // class: three code paths each spelling `lhs <= bound` drifted on boundary
 // ties; FeasibleRegion::admits()/admits_lhs() is now the single predicate.
+// The scope pass marks template argument lists so `std::atomic<...> qlhs_`
+// is never misread as a comparison against an lhs-named operand.
 void rule_rederived_admission(const std::string& file, const Tokens& sig,
+                              const ScopeInfo& scope,
                               std::vector<Finding>& out) {
   if (r2_sanctioned(file)) return;
   for (std::size_t i = 0; i < sig.size(); ++i) {
@@ -192,6 +220,7 @@ void rule_rederived_admission(const std::string& file, const Tokens& sig,
     if (!(is_punct(t, "<=") || is_punct(t, ">=") || is_punct(t, "<") ||
           is_punct(t, ">")))
       continue;
+    if (scope.in_template_args[i]) continue;  // type syntax, not a compare
     bool lhs_named = false;
     // Left operand: walk back over a call/index suffix and the id-chain.
     if (i > 0) {
@@ -479,11 +508,475 @@ void rule_nondeterminism(const std::string& file, const Tokens& sig,
 }
 
 // ---------------------------------------------------------------------------
+// R6 — rounding-direction.
+//
+// Every quantize_up/quantize_down/add_sat call site must carry a
+// `frap:contract(rounds: conservative-for=<admit|reject>)` annotation, and
+// the direction must be conservative for the declared role. The invariant
+// (core/fixed_point.h, docs/admission_service.md): values on the LHS of the
+// admission inequality round UP when the decision admits (overestimating
+// load can only reject) and DOWN when it rejects conservatively
+// reconstructs a floor; bound-side values are the mirror image. A
+// misdirected rounding silently admits infeasible load — the sharp-
+// threshold failure mode.
+//
+// Side detection is lexical: a call is "bound-side" when an identifier
+// containing "bound" appears among its arguments or as the assignment
+// target of the enclosing statement; otherwise it is "lhs-side" (loads,
+// deltas, floors of committed LHS). add_sat saturates toward kSaturated —
+// an over-estimate on either side — so it is direction-neutral and only
+// the annotation is required.
+void rule_rounding_direction(const std::string& file, const Tokens& sig,
+                             const ScopeInfo& scope,
+                             std::vector<Finding>& out) {
+  if (!r6_in_scope(file)) return;
+  for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+    const Token& t = sig[i];
+    if (!is_ident(t)) continue;
+    const bool up = t.text == "quantize_up";
+    const bool down = t.text == "quantize_down";
+    const bool sat = t.text == "add_sat";
+    if (!up && !down && !sat) continue;
+    if (!is_punct(sig[i + 1], "(")) continue;  // mention, not a call
+
+    const Contract* c =
+        scope.find_contract(ContractKind::kRounds, t.line, i);
+    if (c == nullptr) {
+      out.push_back({file, t.line, kRoundingDirection,
+                     "unannotated fixed-point rounding '" + t.text +
+                         "'; declare its role with `// frap:contract(rounds: "
+                         "conservative-for=<admit|reject>)` so the direction "
+                         "is machine-checked (docs/static_analysis.md#r6)"});
+      continue;
+    }
+    if (sat) continue;  // saturation over-estimates either side: neutral
+
+    // Bound-side iff "bound" names an argument or the assignment target.
+    bool bound_side = false;
+    const std::size_t end = skip_balanced(sig, i + 1);
+    for (std::size_t k = i + 2; k + 1 < end; ++k)
+      if (is_ident(sig[k]) && contains_ci(sig[k].text, "bound"))
+        bound_side = true;
+    const std::size_t stmt = scope.statement_of[i];
+    std::size_t eq = sig.size();
+    for (std::size_t k = i; k > 0 && scope.statement_of[k - 1] == stmt; --k)
+      if (is_punct(sig[k - 1], "=")) eq = k - 1;
+    if (eq != sig.size())
+      for (std::size_t k = eq; k > 0 && scope.statement_of[k - 1] == stmt;
+           --k)
+        if (is_ident(sig[k - 1]) && contains_ci(sig[k - 1].text, "bound"))
+          bound_side = true;
+
+    // conservative-for=admit: lhs UP, bound DOWN. reject: the mirror.
+    const bool admit = c->payload == "admit";
+    const bool want_up = bound_side != admit;  // lhs+admit or bound+reject
+    if (up != want_up) {
+      out.push_back(
+          {file, t.line, kRoundingDirection,
+           "'" + t.text + "' on a " +
+               (bound_side ? std::string("bound-side")
+                           : std::string("lhs-side")) +
+               " value declared conservative-for=" + c->payload +
+               " rounds the wrong way: " +
+               (bound_side ? "bounds round DOWN for admit / UP for reject"
+                           : "lhs values round UP for admit / DOWN for "
+                             "reject") +
+               ", else quantization error admits infeasible load"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R7 — seqlock-protocol.
+//
+// In the seqlock homes (service/atomic_admission.*, obs/trace_ring.*) the
+// publish/read protocol is checked structurally, per function. A "seq op"
+// is an atomic member call (.store/.load/.fetch_add/.compare_exchange_*)
+// whose object chain names a sequence word (identifier containing "seq").
+//
+// Writer (a function whose first seq write marks the word odd — a store/CAS
+// with `| 1` in its arguments, or the first of two fetch_adds):
+//   W1  a later seq write must republish with release (or acq_rel) ordering;
+//   W2  at least one payload store must sit between the odd mark and that
+//       even publish (an empty write section means the payload is published
+//       unprotected elsewhere);
+//   W3  a release fence (or a seq_cst odd mark) must separate the odd mark
+//       from the first payload store, else the payload can sink above it.
+// Reader (two+ seq loads with payload loads in between):
+//   V1  the first seq load must be acquire — it pairs with the even publish;
+//   V2  an acquire fence (or an acquire re-check load) must separate the
+//       payload loads from the re-check;
+//   V3  the re-check statement must actually compare (== / !=) so torn
+//       reads are discarded, not just observed.
+struct AtomicOp {
+  std::size_t idx = 0;        // sig index of the member name
+  int line = 0;
+  std::string member;         // store / load / fetch_add / ...
+  bool on_seq = false;        // object chain names a sequence word
+  bool has_or_one = false;    // `| 1` among the arguments
+  bool release = false;       // memory_order_release / acq_rel / seq_cst
+  bool acquire = false;       // memory_order_acquire / acq_rel / seq_cst
+  bool is_fence = false;      // atomic_thread_fence(...)
+};
+
+bool atomic_member(const std::string& s) {
+  return s == "store" || s == "load" || s == "exchange" ||
+         s == "fetch_add" || s == "fetch_sub" || s == "fetch_or" ||
+         s == "compare_exchange_weak" || s == "compare_exchange_strong";
+}
+
+void scan_atomic_args(const Tokens& sig, std::size_t open, std::size_t end,
+                      AtomicOp& op) {
+  for (std::size_t k = open + 1; k + 1 < end; ++k) {
+    if (is_punct(sig[k], "|") && k + 1 < end &&
+        sig[k + 1].kind == TokKind::kNumber && sig[k + 1].text == "1")
+      op.has_or_one = true;
+    if (!is_ident(sig[k])) continue;
+    const std::string& s = sig[k].text;
+    if (s == "memory_order_release" || s == "memory_order_acq_rel" ||
+        s == "memory_order_seq_cst")
+      op.release = true;
+    if (s == "memory_order_acquire" || s == "memory_order_acq_rel" ||
+        s == "memory_order_seq_cst")
+      op.acquire = true;
+  }
+}
+
+std::vector<AtomicOp> collect_atomic_ops(const Tokens& sig,
+                                         std::size_t begin,
+                                         std::size_t end) {
+  std::vector<AtomicOp> ops;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!is_ident(sig[i])) continue;
+    if (is_ident(sig[i], "atomic_thread_fence") && i + 1 < end &&
+        is_punct(sig[i + 1], "(")) {
+      AtomicOp op;
+      op.idx = i;
+      op.line = sig[i].line;
+      op.is_fence = true;
+      scan_atomic_args(sig, i + 1, skip_balanced(sig, i + 1), op);
+      ops.push_back(op);
+      continue;
+    }
+    if (!atomic_member(sig[i].text)) continue;
+    if (i == 0 || (!is_punct(sig[i - 1], ".") && !is_punct(sig[i - 1], "->")))
+      continue;
+    if (i + 1 >= end || !is_punct(sig[i + 1], "(")) continue;
+    AtomicOp op;
+    op.idx = i;
+    op.line = sig[i].line;
+    op.member = sig[i].text;
+    // Walk the object chain backwards: ident (. | -> | ::) ident ...
+    std::size_t k = i - 1;
+    while (true) {
+      if (k == 0) break;
+      --k;
+      if (is_ident(sig[k])) {
+        if (contains_ci(sig[k].text, "seq")) op.on_seq = true;
+      } else if (!is_punct(sig[k], ".") && !is_punct(sig[k], "->") &&
+                 !is_punct(sig[k], "::") && !is_punct(sig[k], ")") &&
+                 !is_punct(sig[k], "]")) {
+        break;
+      }
+      if (is_punct(sig[k], ")") || is_punct(sig[k], "]")) break;
+    }
+    scan_atomic_args(sig, i + 1, skip_balanced(sig, i + 1), op);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void rule_seqlock_protocol(const std::string& file, const Tokens& sig,
+                           const ScopeInfo& scope,
+                           std::vector<Finding>& out) {
+  if (!r7_in_scope(file)) return;
+  for (const FunctionInfo& fn : scope.functions) {
+    const auto ops = collect_atomic_ops(sig, fn.body_begin, fn.body_end);
+
+    // --- Writer checks.
+    std::size_t mark = ops.size();  // index into ops of the odd mark
+    std::size_t seq_writes = 0;
+    for (std::size_t o = 0; o < ops.size(); ++o)
+      if (ops[o].on_seq && ops[o].member != "load") ++seq_writes;
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      const AtomicOp& op = ops[o];
+      if (!op.on_seq || op.member == "load") continue;
+      if (op.has_or_one || (op.member == "fetch_add" && seq_writes >= 2)) {
+        mark = o;
+        break;
+      }
+    }
+    if (mark != ops.size()) {
+      std::size_t publish = ops.size();
+      for (std::size_t o = mark + 1; o < ops.size(); ++o)
+        if (ops[o].on_seq && ops[o].member != "load" && ops[o].release) {
+          publish = o;
+          break;
+        }
+      if (publish == ops.size()) {
+        out.push_back({file, ops[mark].line, kSeqlockProtocol,
+                       "seqlock writer in '" + fn.name +
+                           "' marks the sequence odd but never republishes "
+                           "an even value with release ordering; readers "
+                           "will spin or accept torn payloads"});
+      } else {
+        bool payload_store = false;
+        bool fence_before_payload = ops[mark].release;  // seq_cst/release mark
+        for (std::size_t o = mark + 1; o < publish; ++o) {
+          if (ops[o].is_fence && ops[o].release && !payload_store)
+            fence_before_payload = true;
+          if (!ops[o].on_seq && ops[o].member == "store")
+            payload_store = true;
+        }
+        if (!payload_store) {
+          out.push_back({file, ops[mark].line, kSeqlockProtocol,
+                         "seqlock write section in '" + fn.name +
+                             "' publishes no payload stores between the odd "
+                             "mark and the even publish; the guarded data "
+                             "is being written outside the protocol"});
+        } else if (!fence_before_payload) {
+          out.push_back({file, ops[mark].line, kSeqlockProtocol,
+                         "seqlock writer in '" + fn.name +
+                             "' stores payload without a release fence "
+                             "after the odd mark; the payload stores can "
+                             "sink above it and race the readers"});
+        }
+      }
+    }
+
+    // --- Reader checks.
+    std::vector<std::size_t> seq_loads;
+    for (std::size_t o = 0; o < ops.size(); ++o)
+      if (ops[o].on_seq && ops[o].member == "load") seq_loads.push_back(o);
+    if (seq_loads.size() >= 2) {
+      const std::size_t first = seq_loads.front();
+      const std::size_t last = seq_loads.back();
+      bool payload_between = false;
+      for (std::size_t o = first + 1; o < last; ++o)
+        if (!ops[o].on_seq && ops[o].member == "load") payload_between = true;
+      if (payload_between) {
+        if (!ops[first].acquire) {
+          out.push_back({file, ops[first].line, kSeqlockProtocol,
+                         "seqlock reader in '" + fn.name +
+                             "' starts from a non-acquire sequence load; it "
+                             "must pair with the writer's release publish "
+                             "or the payload reads can float above it"});
+        }
+        bool fence_before_recheck = ops[last].acquire;
+        for (std::size_t o = first + 1; o < last; ++o)
+          if (ops[o].is_fence && ops[o].acquire) fence_before_recheck = true;
+        if (!fence_before_recheck) {
+          out.push_back({file, ops[last].line, kSeqlockProtocol,
+                         "seqlock re-check in '" + fn.name +
+                             "' is not ordered after the payload reads; add "
+                             "an acquire fence before it (or make the "
+                             "re-check load acquire)"});
+        }
+        // V3: the re-check statement must compare the two observations.
+        const std::size_t stmt = scope.statement_of[ops[last].idx];
+        bool compares = false;
+        for (std::size_t k = ops[last].idx;
+             k > 0 && scope.statement_of[k - 1] == stmt; --k)
+          if (is_punct(sig[k - 1], "==") || is_punct(sig[k - 1], "!="))
+            compares = true;
+        for (std::size_t k = ops[last].idx + 1;
+             k < sig.size() && scope.statement_of[k] == stmt; ++k)
+          if (is_punct(sig[k], "==") || is_punct(sig[k], "!="))
+            compares = true;
+        if (!compares) {
+          out.push_back({file, ops[last].line, kSeqlockProtocol,
+                         "seqlock reader in '" + fn.name +
+                             "' re-loads the sequence but never compares it "
+                             "against the first observation; torn reads are "
+                             "observed but not discarded"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R8 — memory-order-audit.
+//
+// Raw std::memory_order_* is banned in src/ outside the R5 concurrency
+// carve-out (src/service/, src/obs/, metrics/counters.h). Inside the
+// carve-out, every ordering decision must carry a
+// `frap:contract(order: <rationale>)` annotation on its statement — the
+// ~64 relaxed/acquire/release choices become machine-checked pairing
+// documentation instead of folklore.
+bool is_memory_order_ident(const Token& t) {
+  if (!is_ident(t)) return false;
+  const std::string& s = t.text;
+  return s == "memory_order_relaxed" || s == "memory_order_acquire" ||
+         s == "memory_order_release" || s == "memory_order_acq_rel" ||
+         s == "memory_order_seq_cst" || s == "memory_order_consume";
+}
+
+void rule_memory_order_audit(const std::string& file, const Tokens& sig,
+                             const ScopeInfo& scope,
+                             std::vector<Finding>& out) {
+  if (!r8_in_scope(file)) return;
+  const bool carved = r5_concurrency_exempt(file);
+  int last_flagged_line = 0;  // one finding per line, not per token
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& t = sig[i];
+    if (!is_memory_order_ident(t)) continue;
+    if (t.line == last_flagged_line) continue;
+    if (!carved) {
+      out.push_back({file, t.line, kMemoryOrderAudit,
+                     "raw '" + t.text +
+                         "' outside the concurrency carve-out "
+                         "(src/service/, src/obs/, metrics/counters.h); "
+                         "single-threaded library code must not hand-roll "
+                         "atomics"});
+      last_flagged_line = t.line;
+      continue;
+    }
+    if (!scope.has_contract(ContractKind::kOrder, t.line, i)) {
+      out.push_back({file, t.line, kMemoryOrderAudit,
+                     "'" + t.text +
+                         "' without a `// frap:contract(order: ...)` "
+                         "rationale; every ordering decision on the "
+                         "concurrency surface must say what it pairs with "
+                         "(docs/static_analysis.md#r8)"});
+      last_flagged_line = t.line;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R9 — hotpath-alloc.
+//
+// Functions annotated `frap:contract(hotpath)` may not allocate, throw, or
+// take a mutex — the static twin of the operator-new hook in
+// tests/alloc_steady_state_test.cpp. One level of same-file summary
+// propagation: a hotpath function calling a same-file function whose body
+// contains a banned construct is flagged at the call site. push_back /
+// reserve / resize are deliberately NOT banned: the sanctioned PR-5
+// pattern reserves to capacity up front, so steady-state push_back never
+// allocates (the runtime hook keeps that honest).
+struct BannedUse {
+  int line = 0;
+  std::string what;  // human description used in both direct and call flags
+};
+
+bool allocating_container(const std::string& s) {
+  return s == "vector" || s == "string" || s == "basic_string" ||
+         s == "deque" || s == "list" || s == "forward_list" || s == "map" ||
+         s == "multimap" || s == "unordered_map" || s == "unordered_set" ||
+         s == "multiset" || s == "unordered_multimap" ||
+         s == "unordered_multiset" || s == "priority_queue" ||
+         s == "stringstream" || s == "ostringstream";
+}
+
+std::vector<BannedUse> scan_banned(const Tokens& sig, std::size_t begin,
+                                   std::size_t end) {
+  std::vector<BannedUse> uses;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = sig[i];
+    if (!is_ident(t)) continue;
+    const bool member_access =
+        i > 0 && (is_punct(sig[i - 1], ".") || is_punct(sig[i - 1], "->"));
+    const bool std_qualified = i >= 2 && is_ident(sig[i - 2], "std") &&
+                               is_punct(sig[i - 1], "::");
+    const std::string& s = t.text;
+
+    if (s == "new" && !(i > 0 && is_ident(sig[i - 1], "operator"))) {
+      uses.push_back({t.line, "allocates with 'new'"});
+    } else if (s == "make_unique" || s == "make_shared" || s == "malloc" ||
+               s == "calloc" || s == "realloc" || s == "aligned_alloc" ||
+               s == "strdup") {
+      if (!member_access)
+        uses.push_back({t.line, "heap-allocates via '" + s + "'"});
+    } else if (allocating_container(s)) {
+      if (!member_access &&
+          (std_qualified || (i + 1 < end && is_punct(sig[i + 1], "<"))))
+        uses.push_back(
+            {t.line, "constructs allocating container '" + s + "'"});
+    } else if (s == "function" && std_qualified) {
+      uses.push_back(
+          {t.line, "constructs a std::function (type-erased allocation)"});
+    } else if (s == "throw") {
+      uses.push_back({t.line, "has a throwing path"});
+    } else if (s == "lock_guard" || s == "scoped_lock" ||
+               s == "unique_lock" || s == "shared_lock") {
+      if (!member_access)
+        uses.push_back({t.line, "acquires a mutex via '" + s + "'"});
+    } else if (s == "lock" && member_access && i + 1 < end &&
+               is_punct(sig[i + 1], "(")) {
+      uses.push_back({t.line, "acquires a mutex via '.lock()'"});
+    }
+  }
+  return uses;
+}
+
+void rule_hotpath_alloc(const std::string& file, const Tokens& sig,
+                        const ScopeInfo& scope, std::vector<Finding>& out) {
+  if (!starts_with(file, "src/")) return;
+  if (scope.hotpath_functions.empty()) return;
+
+  // Per-function summaries for one level of same-file call propagation.
+  std::map<std::string, const FunctionInfo*> by_name;
+  std::map<std::string, std::vector<BannedUse>> summary;
+  for (const FunctionInfo& fn : scope.functions) {
+    by_name.emplace(fn.name, &fn);  // first definition wins on overloads
+    auto uses = scan_banned(sig, fn.body_begin, fn.body_end);
+    if (!uses.empty()) summary.emplace(fn.name, std::move(uses));
+  }
+
+  for (std::size_t fi : scope.hotpath_functions) {
+    const FunctionInfo& fn = scope.functions[fi];
+    for (const BannedUse& u : scan_banned(sig, fn.body_begin, fn.body_end)) {
+      out.push_back({file, u.line, kHotpathAlloc,
+                     "hotpath function '" + fn.name + "' " + u.what +
+                         "; the admit->expire steady state must stay "
+                         "allocation- and lock-free "
+                         "(tests/alloc_steady_state_test.cpp)"});
+    }
+    // Call sites: plain same-file calls only (member access on another
+    // object cannot be resolved lexically and is out of scope for the
+    // one-level summary).
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (!is_ident(sig[i]) || i + 1 >= fn.body_end ||
+          !is_punct(sig[i + 1], "(") || scope.in_template_args[i])
+        continue;
+      if (i > 0 && (is_punct(sig[i - 1], ".") || is_punct(sig[i - 1], "->")))
+        continue;
+      if (sig[i].text == fn.name) continue;  // recursion: already scanned
+      const auto cs = summary.find(sig[i].text);
+      if (cs == summary.end()) continue;
+      const FunctionInfo* callee = by_name[sig[i].text];
+      if (callee->body_begin >= fn.body_begin &&
+          callee->body_end <= fn.body_end)
+        continue;  // a local lambda-ish nested definition, already scanned
+      out.push_back({file, sig[i].line, kHotpathAlloc,
+                     "hotpath function '" + fn.name + "' calls '" +
+                         sig[i].text + "', which " + cs->second.front().what +
+                         " (line " + std::to_string(cs->second.front().line) +
+                         "); hot paths may only call allocation-free code"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions.
 
 struct LineSuppression {
   std::set<std::string> rules;  // canonical names allowed on that line
 };
+
+// Directives must be anchored: the comment's content (after `//` and
+// leading whitespace) starts with the tag. Prose that merely mentions the
+// directive grammar — docs, messages, a quoted `// frap-lint: ...` example
+// — is not a directive. Returns the index after the tag, or npos.
+std::size_t anchored_tag(std::string_view text, std::string_view tag) {
+  std::size_t p = 0;
+  if (text.size() >= 2 && text[0] == '/' && (text[1] == '/' || text[1] == '*'))
+    p = 2;
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+  if (text.compare(p, tag.size(), tag) != 0) return std::string_view::npos;
+  return p + tag.size();
+}
 
 // Parses every `// frap-lint:` comment. Trailing comments attach to their
 // own line; standalone comments (no code token on the line) attach to the
@@ -497,9 +990,9 @@ std::map<int, LineSuppression> collect_suppressions(
   std::map<int, LineSuppression> by_line;
   for (const Token& t : all) {
     if (t.kind != TokKind::kComment) continue;
-    const std::size_t tag = t.text.find("frap-lint:");
-    if (tag == std::string::npos) continue;
-    std::string_view rest = std::string_view(t.text).substr(tag + 10);
+    const std::size_t tag = anchored_tag(t.text, "frap-lint:");
+    if (tag == std::string_view::npos) continue;
+    std::string_view rest = std::string_view(t.text).substr(tag);
     while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
 
     const bool is_allow = starts_with(rest, "allow(");
@@ -551,8 +1044,10 @@ std::map<int, LineSuppression> collect_suppressions(
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      kUnsafeDivision, kRederivedAdmission, kFloatEquality,
-      kMissingNodiscard, kNondeterminism, kBadSuppression};
+      kUnsafeDivision,    kRederivedAdmission, kFloatEquality,
+      kMissingNodiscard,  kNondeterminism,     kRoundingDirection,
+      kSeqlockProtocol,   kMemoryOrderAudit,   kHotpathAlloc,
+      kBadSuppression,    kBadContract};
   return kRules;
 }
 
@@ -563,6 +1058,10 @@ std::string canonical_rule(std::string_view name) {
   if (n == "r3" || n == kFloatEquality) return kFloatEquality;
   if (n == "r4" || n == kMissingNodiscard) return kMissingNodiscard;
   if (n == "r5" || n == kNondeterminism) return kNondeterminism;
+  if (n == "r6" || n == kRoundingDirection) return kRoundingDirection;
+  if (n == "r7" || n == kSeqlockProtocol) return kSeqlockProtocol;
+  if (n == "r8" || n == kMemoryOrderAudit) return kMemoryOrderAudit;
+  if (n == "r9" || n == kHotpathAlloc) return kHotpathAlloc;
   return "";
 }
 
@@ -575,18 +1074,43 @@ std::vector<Finding> lint_source(const std::string& relpath,
     if (t.kind != TokKind::kComment) sig.push_back(t);
 
   std::vector<Finding> out;
+  const ScopeInfo scope = analyze_scopes(relpath, all, sig, out);
   rule_unsafe_division(relpath, sig, out);
-  rule_rederived_admission(relpath, sig, out);
+  rule_rederived_admission(relpath, sig, scope, out);
   rule_float_equality(relpath, sig, out);
   rule_missing_nodiscard(relpath, sig, out);
   rule_nondeterminism(relpath, sig, out);
+  rule_rounding_direction(relpath, sig, scope, out);
+  rule_seqlock_protocol(relpath, sig, scope, out);
+  rule_memory_order_audit(relpath, sig, scope, out);
+  rule_hotpath_alloc(relpath, sig, scope, out);
 
+  // A directive bound to any line of a multi-line statement covers findings
+  // on every line of that statement (a CAS whose orderings sit on the
+  // continuation line is one decision, not two).
+  std::map<int, ScopeInfo::LineSpan> span_of_line;
+  for (const ScopeInfo::LineSpan& s : scope.statement_lines)
+    for (int l = s.first; l <= s.last; ++l) {
+      auto [it, fresh] = span_of_line.emplace(l, s);
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, s.first);
+        it->second.last = std::max(it->second.last, s.last);
+      }
+    }
   const auto suppressions = collect_suppressions(relpath, all, sig, out);
   for (Finding& f : out) {
-    if (f.rule == kBadSuppression) continue;  // never suppressible
-    const auto it = suppressions.find(f.line);
-    if (it != suppressions.end() && it->second.rules.count(f.rule))
-      f.suppressed = true;
+    if (f.rule == kBadSuppression || f.rule == kBadContract)
+      continue;  // never suppressible
+    ScopeInfo::LineSpan span{f.line, f.line};
+    const auto sp = span_of_line.find(f.line);
+    if (sp != span_of_line.end()) span = sp->second;
+    for (auto it = suppressions.lower_bound(span.first);
+         it != suppressions.end() && it->first <= span.last; ++it) {
+      if (it->second.rules.count(f.rule)) {
+        f.suppressed = true;
+        break;
+      }
+    }
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;

@@ -1,4 +1,4 @@
-// frap-lint: repo-specific static analysis for the frap tree.
+// frap-lint — repo-specific static analysis for the frap tree.
 //
 // The admission predicate Σ_j f(U_j) <= α(1 − Σ_j β_j) has sharp threshold
 // behavior: a NaN from inf − inf, a saturated 1/(1 − U), or a re-derived
@@ -27,10 +27,47 @@
 //                          wall-clock read); experiments must be replayable
 //                          bit-for-bit from an explicit seed.
 //
+// v2 adds a scope/declaration pass (scope.h: template-argument marking,
+// statement spans, function boundaries, `// frap:contract(...)`
+// annotations) and four contract-aware rules over the concurrency and
+// fixed-point soundness surface:
+//
+//   R6 rounding-direction  every quantize_up/quantize_down/add_sat call
+//                          site in src/ must carry a
+//                          `frap:contract(rounds: conservative-for=
+//                          <admit|reject>)` annotation, and the rounding
+//                          direction must be conservative for the declared
+//                          role: LHS-side values round UP for admit / DOWN
+//                          for reject, bound-side values the mirror image
+//                          (core/fixed_point.h derives why).
+//   R7 seqlock-protocol    in service/atomic_admission.* and
+//                          obs/trace_ring.*, seqlock writers must mark the
+//                          sequence odd before the payload stores (with a
+//                          release fence in between) and republish an even
+//                          value with release ordering; readers must start
+//                          from an acquire load and re-check the sequence
+//                          after an acquire fence, discarding torn reads.
+//   R8 memory-order-audit  raw std::memory_order_* is banned in src/
+//                          outside the R5 concurrency carve-out
+//                          (src/service/, src/obs/, metrics/counters.h);
+//                          inside it, every ordering decision must carry a
+//                          `frap:contract(order: <rationale>)` annotation —
+//                          machine-checked pairing documentation.
+//   R9 hotpath-alloc       functions annotated `frap:contract(hotpath)`
+//                          (and every same-file function they call, one
+//                          level of summary propagation) may not allocate
+//                          (new/make_*/malloc/allocating containers/
+//                          std::function), throw, or acquire a mutex — the
+//                          static twin of the operator-new hook in
+//                          tests/alloc_steady_state_test.cpp.
+//
 // Suppression: `// frap-lint: allow(<rule>[,<rule>...]) -- <reason>` on the
-// offending line (trailing) or on its own line immediately above. The
-// reason is mandatory; a directive without one is itself reported
-// (bad-suppression) and cannot be silenced.
+// offending line (trailing) or on its own line immediately above. A
+// directive bound to any line of a multi-line statement covers findings on
+// every line of that statement. The reason is mandatory; a directive
+// without one is itself reported (bad-suppression) and cannot be silenced.
+// Malformed `frap:contract(...)` comments are likewise reported as
+// bad-contract and cannot be silenced.
 //
 // Baseline: a checked-in file of `<path>:<rule>` lines grandfathers known
 // findings without editing the offending files; see load_baseline().

@@ -35,6 +35,12 @@ std::string rel(const fs::path& root, const fs::path& p) {
   return fs::relative(p, root).generic_string();
 }
 
+// The lint fixtures are violations on purpose; walking tools/ must not
+// report them (they are linted under pretend src/ paths by the unit tests).
+bool fixture(const std::string& relpath) {
+  return relpath.rfind("tools/frap_lint/fixtures/", 0) == 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: frap_lint --root <repo-root> [--baseline <file>] "
@@ -88,7 +94,8 @@ int main(int argc, char** argv) {
       for (fs::recursive_directory_iterator it(p, ec), end; it != end;
            it.increment(ec)) {
         if (ec) break;
-        if (it->is_regular_file(ec) && lintable(it->path()))
+        if (it->is_regular_file(ec) && lintable(it->path()) &&
+            !fixture(rel(root, it->path())))
           files.push_back(it->path());
       }
     } else if (fs::is_regular_file(p, ec) && lintable(p)) {

@@ -1,0 +1,393 @@
+#include "scope.h"
+
+#include <algorithm>
+#include <set>
+
+#include "lint.h"
+
+namespace frap::lint {
+namespace {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+// Keywords that can precede a '(' without naming a function, and names that
+// must never be mistaken for a template-id before a '<'.
+bool is_control_keyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "return" || s == "catch" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "new" ||
+         s == "delete" || s == "throw" || s == "operator" || s == "case" ||
+         s == "co_return" || s == "co_await" || s == "co_yield";
+}
+
+// ---------------------------------------------------------------------------
+// Template argument lists.
+//
+// A '<' immediately preceded by an identifier opens a candidate template
+// argument list. The candidate is confirmed when a bounded forward scan
+// reaches the matching '>' while seeing only "type-ish" tokens: identifiers,
+// integer literals, '::', ',', '*', '&', '&&', '...', balanced (), [],
+// nested '<'/'>'. Anything expression-like ('; { } = + - / float literals,
+// relational two-char operators, strings) kills the candidate, so genuine
+// comparisons such as `cached_lhs < alpha;` are never marked. This is the
+// proper generalization of the PR-6 ad-hoc R2 carve-outs (the inline
+// suppression on `std::atomic<std::uint64_t> qlhs_` and the AtomicU64
+// aliases in obs/trace_ring.h), which this pass made unnecessary.
+constexpr std::size_t kTemplateScanBudget = 64;
+
+void mark_template_args(const Tokens& sig, std::vector<bool>& mark) {
+  mark.assign(sig.size(), false);
+  for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (!is_punct(sig[i], "<")) continue;
+    if (mark[i]) continue;  // already inside a confirmed outer list
+    if (i == 0 || !is_ident(sig[i - 1]) ||
+        is_control_keyword(sig[i - 1].text))
+      continue;
+
+    int depth = 1;
+    int paren = 0;
+    std::size_t j = i + 1;
+    std::size_t close = 0;
+    const std::size_t limit = std::min(sig.size(), i + kTemplateScanBudget);
+    for (; j < limit && depth > 0; ++j) {
+      const Token& t = sig[j];
+      if (t.kind == TokKind::kString || t.kind == TokKind::kCharLit) break;
+      if (t.kind == TokKind::kNumber) {
+        if (t.is_float) break;  // `x < 1.5` is arithmetic, not a template
+        continue;
+      }
+      if (is_ident(t)) {
+        if (is_control_keyword(t.text)) break;
+        continue;
+      }
+      // Punctuators.
+      if (t.text == "<") {
+        ++depth;
+      } else if (t.text == ">") {
+        if (--depth == 0) close = j;
+      } else if (t.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) close = j;
+      } else if (t.text == "(") {
+        ++paren;
+      } else if (t.text == ")") {
+        if (--paren < 0) break;  // closes an enclosing group: not a template
+      } else if (t.text == "::" || t.text == "," || t.text == "*" ||
+                 t.text == "&" || t.text == "&&" || t.text == "..." ||
+                 t.text == "[" || t.text == "]") {
+        // fine inside a template argument list
+      } else {
+        break;  // ; { } = + - / <= >= == != || ?: etc. — expression context
+      }
+    }
+    if (close == 0 || depth > 0 || paren != 0) continue;
+
+    // What follows the closer decides: a template-id is followed by a
+    // declarator, call, or further type syntax — never by an expression
+    // continuation like a numeric literal.
+    if (close + 1 < sig.size()) {
+      const Token& after = sig[close + 1];
+      const bool ok_after =
+          is_ident(after) || is_punct(after, "(") || is_punct(after, "{") ||
+          is_punct(after, "::") || is_punct(after, ",") ||
+          is_punct(after, ")") || is_punct(after, ";") ||
+          is_punct(after, ">") || is_punct(after, ">>") ||
+          is_punct(after, "&") || is_punct(after, "*") ||
+          is_punct(after, "[[");
+      if (!ok_after) continue;
+    }
+    for (std::size_t k = i; k <= close; ++k) mark[k] = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+void mark_statements(const Tokens& sig, std::vector<std::size_t>& stmt_of,
+                     std::vector<ScopeInfo::LineSpan>& spans) {
+  stmt_of.assign(sig.size(), 0);
+  spans.clear();
+  std::size_t id = 0;
+  ScopeInfo::LineSpan cur{0, 0};
+  bool open = false;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (!open) {
+      cur = {sig[i].line, sig[i].line};
+      open = true;
+    }
+    stmt_of[i] = id;
+    cur.last = std::max(cur.last, sig[i].line);
+    if (is_punct(sig[i], ";") || is_punct(sig[i], "{") ||
+        is_punct(sig[i], "}")) {
+      spans.push_back(cur);
+      ++id;
+      open = false;
+    }
+  }
+  if (open) spans.push_back(cur);
+}
+
+// ---------------------------------------------------------------------------
+// Function definitions.
+
+std::size_t skip_balanced(const Tokens& toks, std::size_t i) {
+  const std::string& open = toks[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+void find_functions(const Tokens& sig, const std::vector<bool>& tmpl,
+                    std::vector<FunctionInfo>& out) {
+  int stmt_start_line = sig.empty() ? 0 : sig.front().line;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& t = sig[i];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) {
+      if (i + 1 < sig.size()) stmt_start_line = sig[i + 1].line;
+      continue;
+    }
+    if (!is_ident(t) || is_control_keyword(t.text)) continue;
+    if (i + 1 >= sig.size() || !is_punct(sig[i + 1], "(")) continue;
+    if (tmpl[i]) continue;  // a name inside a template argument list
+
+    // Balance over the parameter list.
+    std::size_t j = skip_balanced(sig, i + 1);
+    if (j >= sig.size()) continue;
+
+    // Walk the post-parameter clutter: cv/ref qualifiers, noexcept(...),
+    // override/final, trailing return types, constructor init lists. The
+    // walk ends at '{' (definition), or at ';' '=' ',' ')' (declaration,
+    // deleted/defaulted, or this was a call/initializer all along).
+    bool definition = false;
+    std::size_t k = j;
+    while (k < sig.size()) {
+      const Token& u = sig[k];
+      if (is_punct(u, "{")) {
+        definition = true;
+        break;
+      }
+      if (is_punct(u, ";") || is_punct(u, "=") || is_punct(u, ",") ||
+          is_punct(u, ")") || is_punct(u, "}")) {
+        break;
+      }
+      if (is_punct(u, ":")) {
+        // Constructor member-init list: idents + balanced (...)/{...} pairs
+        // separated by commas, ending at the body's '{'.
+        ++k;
+        while (k < sig.size() && !is_punct(sig[k], "{")) {
+          if (is_punct(sig[k], "(")) {
+            k = skip_balanced(sig, k);
+            // A '{' directly after a closed initializer is the body unless
+            // a ',' introduces another initializer.
+            if (k < sig.size() && is_punct(sig[k], ",")) ++k;
+            else break;
+          } else {
+            ++k;
+          }
+        }
+        if (k < sig.size() && is_punct(sig[k], "{")) definition = true;
+        break;
+      }
+      if (is_punct(u, "(")) {  // noexcept(...), attributes-with-args
+        k = skip_balanced(sig, k);
+        continue;
+      }
+      if (is_ident(u) || is_punct(u, "&") || is_punct(u, "&&") ||
+          is_punct(u, "->") || is_punct(u, "::") || is_punct(u, "<") ||
+          is_punct(u, ">") || is_punct(u, "*") || is_punct(u, "[[") ||
+          is_punct(u, "]]")) {
+        ++k;
+        continue;
+      }
+      break;
+    }
+    if (!definition) continue;
+
+    FunctionInfo fn;
+    fn.name = t.text;
+    fn.decl_line = stmt_start_line;
+    fn.name_line = t.line;
+    fn.open_line = sig[k].line;
+    fn.body_begin = k + 1;
+    fn.body_end = skip_balanced(sig, k) - 1;  // index of the closing '}'
+    out.push_back(fn);
+    // Continue scanning INSIDE the body too (member functions defined in a
+    // class body, local helpers): do not jump over it.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contracts.
+
+bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+// Position of the close paren matching the leading '(' (rationales may
+// contain balanced parens); npos while unbalanced.
+std::size_t find_balanced_close(std::string_view s) {
+  int depth = 0;
+  for (std::size_t p = 0; p < s.size(); ++p) {
+    if (s[p] == '(') ++depth;
+    if (s[p] == ')' && --depth == 0) return p;
+  }
+  return std::string_view::npos;
+}
+
+// Comment content with the `//` opener and surrounding whitespace stripped.
+std::string_view comment_body(std::string_view text) {
+  if (text.size() >= 2 && text[0] == '/' &&
+      (text[1] == '/' || text[1] == '*'))
+    text.remove_prefix(2);
+  return trim(text);
+}
+
+void parse_contracts(const std::string& file, const Tokens& all,
+                     const Tokens& sig, std::vector<Contract>& contracts,
+                     std::vector<Finding>& out) {
+  std::set<int> code_lines;
+  for (const Token& t : sig) code_lines.insert(t.line);
+
+  // A directive may wrap onto following comment lines; cap the join so a
+  // forgotten close paren cannot swallow a whole file header.
+  constexpr int kMaxContinuationLines = 6;
+
+  for (std::size_t ci = 0; ci < all.size(); ++ci) {
+    const Token& t = all[ci];
+    if (t.kind != TokKind::kComment) continue;
+    // Anchored: the comment content (after `//` + whitespace) must start
+    // with the tag, so prose mentioning the grammar is not a directive.
+    const std::string_view head = comment_body(t.text);
+    if (head.compare(0, 13, "frap:contract") != 0) continue;
+
+    std::string rest(trim(head.substr(13)));
+    // Join directly-following comment lines until the parens balance
+    // (multi-line rationales; binding stays on the first line).
+    int joined_line = t.line;
+    int joined = 0;
+    while (find_balanced_close(rest) == std::string_view::npos &&
+           joined < kMaxContinuationLines && ci + 1 < all.size() &&
+           all[ci + 1].kind == TokKind::kComment &&
+           all[ci + 1].line == joined_line + 1) {
+      ++ci;
+      ++joined;
+      joined_line = all[ci].line;
+      rest += ' ';
+      rest += comment_body(all[ci].text);
+    }
+
+    bool ok = !rest.empty() && rest.front() == '(';
+    std::string_view body;
+    if (ok) {
+      const std::size_t close = find_balanced_close(rest);
+      ok = close != std::string_view::npos;
+      if (ok) body = trim(std::string_view(rest).substr(1, close - 1));
+    }
+
+    Contract c;
+    c.line = t.line;
+    if (ok) {
+      if (body == "hotpath") {
+        c.kind = ContractKind::kHotpath;
+      } else if (starts_with(body, "rounds:")) {
+        c.kind = ContractKind::kRounds;
+        const std::string_view v = trim(body.substr(7));
+        if (v == "conservative-for=admit") {
+          c.payload = "admit";
+        } else if (v == "conservative-for=reject") {
+          c.payload = "reject";
+        } else {
+          ok = false;
+        }
+      } else if (starts_with(body, "order:")) {
+        c.kind = ContractKind::kOrder;
+        const std::string_view v = trim(body.substr(6));
+        c.payload = std::string(v);
+        if (v.empty()) ok = false;  // the rationale is the whole point
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      out.push_back(
+          {file, t.line, "bad-contract",
+           "malformed frap:contract directive; expected "
+           "`frap:contract(hotpath)`, "
+           "`frap:contract(rounds: conservative-for=<admit|reject>)`, or "
+           "`frap:contract(order: <non-empty rationale>)`"});
+      continue;
+    }
+    // Trailing contracts bind to their own line; standalone contracts bind
+    // to the next code line (mirrors suppression binding).
+    if (code_lines.count(t.line)) {
+      c.bound_line = t.line;
+    } else {
+      const auto next = code_lines.upper_bound(t.line);
+      c.bound_line = next != code_lines.end() ? *next : 0;
+    }
+    contracts.push_back(c);
+  }
+}
+
+}  // namespace
+
+bool ScopeInfo::has_contract(ContractKind kind, int line,
+                             std::size_t tok_index) const {
+  return find_contract(kind, line, tok_index) != nullptr;
+}
+
+const Contract* ScopeInfo::find_contract(ContractKind kind, int line,
+                                         std::size_t tok_index) const {
+  const LineSpan span =
+      tok_index < statement_of.size() &&
+              statement_of[tok_index] < statement_lines.size()
+          ? statement_lines[statement_of[tok_index]]
+          : LineSpan{line, line};
+  for (const Contract& c : contracts) {
+    if (c.kind != kind || c.bound_line == 0) continue;
+    if (c.bound_line == line ||
+        (c.bound_line >= span.first && c.bound_line <= span.last))
+      return &c;
+  }
+  return nullptr;
+}
+
+ScopeInfo analyze_scopes(const std::string& file, const Tokens& all,
+                         const Tokens& sig, std::vector<Finding>& out) {
+  ScopeInfo info;
+  mark_template_args(sig, info.in_template_args);
+  mark_statements(sig, info.statement_of, info.statement_lines);
+  find_functions(sig, info.in_template_args, info.functions);
+  parse_contracts(file, all, sig, info.contracts, out);
+
+  // Attach hotpath contracts: a function carries the contract when the
+  // bound line falls anywhere in its declaration header.
+  for (std::size_t fi = 0; fi < info.functions.size(); ++fi) {
+    const FunctionInfo& fn = info.functions[fi];
+    for (const Contract& c : info.contracts) {
+      if (c.kind != ContractKind::kHotpath || c.bound_line == 0) continue;
+      if (c.bound_line >= fn.decl_line && c.bound_line <= fn.open_line) {
+        info.hotpath_functions.push_back(fi);
+        break;
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace frap::lint

@@ -1,0 +1,109 @@
+// Scope / declaration layer for frap-lint v2.
+//
+// The v1 rules ran over a flat token stream, which was enough for "this
+// token may not appear here" checks but not for the contract-aware rules
+// (R6-R9): those need to know where functions begin and end, which tokens
+// are template arguments rather than comparisons, which statement a token
+// belongs to, and which `// frap:contract(...)` annotation binds to which
+// line or function. This pass computes exactly that — still purely lexical,
+// no type information, deliberately small and auditable like the lexer.
+//
+// Contract annotation grammar (one contract per comment):
+//
+//   // frap:contract(hotpath)
+//   // frap:contract(rounds: conservative-for=admit)
+//   // frap:contract(rounds: conservative-for=reject)
+//   // frap:contract(order: <free-text rationale, non-empty>)
+//
+// Binding mirrors the suppression rules: a trailing contract binds to its
+// own line; a standalone contract binds to the next code line. A `hotpath`
+// contract attaches to a function when its bound line falls anywhere in
+// that function's declaration header (first declaration line through the
+// opening brace). A malformed contract is reported as `bad-contract` by
+// lint_source() and cannot be suppressed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace frap::lint {
+
+struct Finding;  // lint.h
+
+using Tokens = std::vector<Token>;
+
+enum class ContractKind {
+  kRounds,   // rounds: conservative-for=<admit|reject>
+  kOrder,    // order: <rationale>
+  kHotpath,  // hotpath
+};
+
+struct Contract {
+  ContractKind kind = ContractKind::kOrder;
+  int line = 0;        // line of the comment itself
+  int bound_line = 0;  // code line the contract binds to (0 = unbound)
+  // kRounds: "admit" or "reject". kOrder: the rationale text. kHotpath: "".
+  std::string payload;
+};
+
+// A function definition found in the token stream (declarations without a
+// body are not recorded; only definitions have behavior to check).
+struct FunctionInfo {
+  std::string name;  // unqualified name (last identifier before the '(')
+  int decl_line = 0;  // first line of the declaration statement
+  int name_line = 0;  // line of the name token
+  int open_line = 0;  // line of the body's '{'
+  std::size_t body_begin = 0;  // sig index one past the '{'
+  std::size_t body_end = 0;    // sig index of the matching '}'
+};
+
+struct ScopeInfo {
+  // Parallel to the sig token vector: true when the token sits inside a
+  // template argument list (including the delimiting '<' and '>'). R2 uses
+  // this to stop misreading `std::atomic<std::uint64_t> qlhs_` as a
+  // relational comparison against an lhs-named operand.
+  std::vector<bool> in_template_args;
+
+  // Statement ids, parallel to sig: tokens between consecutive ';' '{' '}'
+  // boundaries share an id. Used to let an annotation (or suppression)
+  // bound to any line of a multi-line statement cover the whole statement.
+  std::vector<std::size_t> statement_of;
+
+  std::vector<FunctionInfo> functions;
+  std::vector<Contract> contracts;  // well-formed only, in file order
+
+  // True when a contract of `kind` binds to `line` directly, or to any
+  // line of the statement containing sig token `tok_index`.
+  bool has_contract(ContractKind kind, int line,
+                    std::size_t tok_index) const;
+  // The contract covering (line, tok_index) for `kind`, or nullptr.
+  const Contract* find_contract(ContractKind kind, int line,
+                                std::size_t tok_index) const;
+
+  // The function carrying a hotpath contract whose header spans the
+  // contract's bound line. (Exposed as a set of indexes into functions.)
+  std::vector<std::size_t> hotpath_functions;
+
+  // Lines (min..max) spanned by each statement id.
+  struct LineSpan {
+    int first = 0;
+    int last = 0;
+  };
+  std::vector<LineSpan> statement_lines;
+
+ private:
+  friend ScopeInfo analyze_scopes(const std::string&, const Tokens&,
+                                  const Tokens&, std::vector<Finding>&);
+};
+
+// Runs the scope pass over one file. `all` is the full token stream
+// (comments included, for contract parsing); `sig` is the comment-free view
+// every rule operates on. Malformed `frap:contract` comments are appended
+// to `out` as `bad-contract` findings.
+ScopeInfo analyze_scopes(const std::string& file, const Tokens& all,
+                         const Tokens& sig, std::vector<Finding>& out);
+
+}  // namespace frap::lint
