@@ -37,34 +37,54 @@ struct PoolRun {
   double accept = 0;
 };
 
+struct Live {
+  std::unique_ptr<sched::Job> job;
+  Time deadline_at;
+  std::uint64_t id;
+};
+
+// Typed listener (sched/stage_executor.h): departure bookkeeping + deadline
+// check on completion, idle reset on drain.
+struct PoolObserver final : sched::StageListener {
+  sim::Simulator* sim = nullptr;
+  core::SyntheticUtilizationTracker* tracker = nullptr;
+  std::vector<std::unique_ptr<Live>>* live = nullptr;
+  PoolRun* result = nullptr;
+
+  void on_job_complete(sched::StageExecutor&, sched::Job& j) override {
+    tracker->mark_departed(j.id, 0);
+    // Find the live record to check the deadline.
+    for (auto it = live->begin(); it != live->end(); ++it) {
+      if ((*it)->id == j.id) {
+        if (sim->now() > (*it)->deadline_at + 1e-12) result->any_miss = true;
+        live->erase(it);
+        break;
+      }
+    }
+  }
+
+  void on_stage_idle(sched::StageExecutor&) override {
+    tracker->on_stage_idle(0);
+  }
+};
+
 PoolRun run_pool(std::size_t m, double theta, std::uint64_t seed) {
   sim::Simulator sim;
   sched::PooledStageServer pool(sim, m);
   core::SyntheticUtilizationTracker tracker(sim, 1);
-  pool.set_on_idle([&] { tracker.on_stage_idle(0); });
 
-  struct Live {
-    std::unique_ptr<sched::Job> job;
-    Time deadline_at;
-    std::uint64_t id;
-  };
   auto live = std::make_shared<std::vector<std::unique_ptr<Live>>>();
 
   PoolRun result;
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;
 
-  pool.set_on_complete([&](sched::Job& j) {
-    tracker.mark_departed(j.id, 0);
-    // Find the live record to check the deadline.
-    for (auto it = live->begin(); it != live->end(); ++it) {
-      if ((*it)->id == j.id) {
-        if (sim.now() > (*it)->deadline_at + 1e-12) result.any_miss = true;
-        live->erase(it);
-        break;
-      }
-    }
-  });
+  PoolObserver observer;
+  observer.sim = &sim;
+  observer.tracker = &tracker;
+  observer.live = live.get();
+  observer.result = &result;
+  pool.set_listener(&observer);
 
   util::Rng rng(seed);
   const Duration mean_c = 10 * kMilli;

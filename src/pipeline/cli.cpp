@@ -55,6 +55,9 @@ CliParseResult parse_experiment_args(const std::vector<std::string>& args) {
   auto admission = AdmissionMode::kExact;
   auto policy = PriorityMode::kDeadlineMonotonic;
   bool idle_reset = true;
+  std::size_t procs = 1;
+  bool procs_given = false;
+  bool gedf = false;
 
   for (const auto& arg : args) {
     std::string key;
@@ -101,10 +104,22 @@ CliParseResult parse_experiment_args(const std::vector<std::string>& args) {
         policy = PriorityMode::kDeadlineMonotonic;
       } else if (value == "random") {
         policy = PriorityMode::kRandom;
+      } else if (value == "edf") {
+        policy = PriorityMode::kEdf;
+      } else if (value == "llf") {
+        policy = PriorityMode::kLlf;
+      } else if (value == "gedf") {
+        // Global EDF: the EDF policy on pooled stages; --procs picks the
+        // pool size (default 2 when not given).
+        policy = PriorityMode::kEdf;
+        gedf = true;
       } else {
         r.error = "unknown policy: " + value;
         return r;
       }
+    } else if (key == "procs" && parse_u64(value, u) && u >= 1) {
+      procs = static_cast<std::size_t>(u);
+      procs_given = true;
     } else if (key == "no-idle-reset" && value.empty()) {
       idle_reset = false;
     } else {
@@ -133,6 +148,7 @@ CliParseResult parse_experiment_args(const std::vector<std::string>& args) {
   cfg.priority = policy;
   cfg.idle_reset = idle_reset;
   cfg.patience = patience_ms * kMilli;
+  cfg.procs_per_stage = gedf && !procs_given ? 2 : procs;
   r.ok = true;
   return r;
 }
@@ -223,7 +239,8 @@ std::string experiment_cli_usage() {
       "  --warmup=S          measurement start, seconds (10)\n"
       "  --seed=N            RNG seed (1)\n"
       "  --admission=MODE    exact | approx | none | split (exact)\n"
-      "  --policy=P          dm | random (dm)\n"
+      "  --policy=P          dm | random | edf | llf | gedf (dm)\n"
+      "  --procs=M           processors per stage (1; gedf defaults to 2)\n"
       "  --patience=MS       waiting-admission patience, ms (0)\n"
       "  --no-idle-reset     disable the idle reset (ablation)\n";
 }

@@ -15,7 +15,8 @@
 //   --warmup=S            measurement start, seconds             (10)
 //   --seed=N              RNG seed                               (1)
 //   --admission=MODE      exact | approx | none | split          (exact)
-//   --policy=P            dm | random                            (dm)
+//   --policy=P            dm | random | edf | llf | gedf         (dm)
+//   --procs=M             processors per stage (gedf default: 2) (1)
 //   --patience=MS         waiting-admission patience, ms         (0)
 //   --no-idle-reset       disable the idle reset (ablation)
 #pragma once

@@ -7,7 +7,8 @@
 namespace frap::pipeline {
 
 DagRuntime::DagRuntime(sim::Simulator& sim, std::size_t num_resources,
-                       core::SyntheticUtilizationTracker* tracker)
+                       core::SyntheticUtilizationTracker* tracker,
+                       const sched::SchedulingPolicy& sched_policy)
     : sim_(sim),
       tracker_(tracker),
       policy_([](const core::GraphTaskSpec& s) { return s.deadline; }) {
@@ -17,14 +18,20 @@ DagRuntime::DagRuntime(sim::Simulator& sim, std::size_t num_resources,
   servers_.reserve(num_resources);
   for (std::size_t k = 0; k < num_resources; ++k) {
     auto server = std::make_unique<sched::StageServer>(
-        sim_, "resource-" + std::to_string(k));
-    server->set_on_complete(
-        [this](sched::Job& job) { on_node_complete(job); });
-    if (tracker_ != nullptr) {
-      server->set_on_idle([this, k] { tracker_->on_stage_idle(k); });
-    }
+        sim_, "resource-" + std::to_string(k), sched_policy);
+    server->set_tag(k);
+    server->set_listener(this);
     servers_.push_back(std::move(server));
   }
+}
+
+void DagRuntime::on_job_complete(sched::StageExecutor& /*stage*/,
+                                 sched::Job& job) {
+  on_node_complete(job);
+}
+
+void DagRuntime::on_stage_idle(sched::StageExecutor& stage) {
+  if (tracker_ != nullptr) tracker_->on_stage_idle(stage.tag());
 }
 
 void DagRuntime::set_priority_policy(
@@ -82,6 +89,7 @@ void DagRuntime::release_node(Exec& exec, std::size_t node) {
   const std::uint64_t job_id = next_job_id_++;
   exec.jobs[node] = std::make_unique<sched::Job>(
       job_id, exec.priority, exec.spec.nodes[node].demand.make_segments());
+  exec.jobs[node]->absolute_deadline = exec.absolute_deadline;
   job_context_.emplace(job_id, JobContext{exec.spec.id, node});
   exec.node_release[node] = sim_.now();
   if (stage_obs_ != nullptr) {

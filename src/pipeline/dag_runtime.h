@@ -26,11 +26,15 @@
 
 namespace frap::pipeline {
 
-class DagRuntime {
+class DagRuntime : private sched::StageListener {
  public:
   // `tracker` may be null; when given it must have one stage per resource.
-  DagRuntime(sim::Simulator& sim, std::size_t num_resources,
-             core::SyntheticUtilizationTracker* tracker);
+  // `policy` selects the per-resource dispatch discipline (sched/policy.h);
+  // node jobs carry the task's end-to-end absolute deadline for EDF/LLF.
+  DagRuntime(
+      sim::Simulator& sim, std::size_t num_resources,
+      core::SyntheticUtilizationTracker* tracker,
+      const sched::SchedulingPolicy& policy = sched::fixed_priority_policy());
 
   DagRuntime(const DagRuntime&) = delete;
   DagRuntime& operator=(const DagRuntime&) = delete;
@@ -103,6 +107,11 @@ class DagRuntime {
     std::vector<std::size_t> nodes_left_on_resource;  // per resource
     std::size_t nodes_remaining = 0;
   };
+
+  // StageListener: resources report completion/idle with their index in the
+  // tag (set at construction).
+  void on_job_complete(sched::StageExecutor& stage, sched::Job& job) override;
+  void on_stage_idle(sched::StageExecutor& stage) override;
 
   void on_node_complete(sched::Job& job);
   void release_node(Exec& exec, std::size_t node);

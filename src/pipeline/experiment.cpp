@@ -11,6 +11,7 @@
 #include "core/synthetic_utilization.h"
 #include "obs/observer.h"
 #include "pipeline/pipeline_runtime.h"
+#include "sched/policy.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/math.h"
@@ -19,6 +20,22 @@ namespace frap::pipeline {
 
 namespace {
 
+// Executor dispatch policy for a PriorityMode: both fixed-priority modes
+// share the fixed-priority executor (they differ only in the priority
+// VALUES assigned); the dynamic modes select their policy singleton.
+const sched::SchedulingPolicy& executor_policy(PriorityMode mode) {
+  switch (mode) {
+    case PriorityMode::kEdf:
+      return sched::edf_policy();
+    case PriorityMode::kLlf:
+      return sched::llf_policy();
+    case PriorityMode::kDeadlineMonotonic:
+    case PriorityMode::kRandom:
+      break;
+  }
+  return sched::fixed_priority_policy();
+}
+
 // Shared mutable state of one experiment run, wired together by
 // run_experiment below.
 struct Harness {
@@ -26,7 +43,8 @@ struct Harness {
       : cfg(config),
         gen(config.workload, config.seed),
         tracker(sim, config.workload.num_stages()),
-        runtime(sim, config.workload.num_stages(), &tracker) {
+        runtime(sim, config.workload.num_stages(), &tracker,
+                executor_policy(config.priority), config.procs_per_stage) {
     tracker.set_idle_reset_enabled(cfg.idle_reset);
 
     const std::size_t n = cfg.workload.num_stages();
@@ -45,6 +63,14 @@ struct Harness {
         });
         break;
       }
+      case PriorityMode::kEdf:
+      case PriorityMode::kLlf:
+        // Admission stays on the deadline-monotonic region (alpha = 1);
+        // dispatch keys come from job absolute deadlines, so the static
+        // priority value is only DM bookkeeping (see PriorityMode docs).
+        alpha = 1.0;
+        runtime.set_priority_policy(deadline_monotonic_policy());
+        break;
     }
 
     switch (cfg.admission) {

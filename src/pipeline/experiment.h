@@ -26,6 +26,13 @@ enum class AdmissionMode {
 enum class PriorityMode {
   kDeadlineMonotonic,  // alpha = 1
   kRandom,             // random fixed priority; alpha = D_min / D_max
+  // Dynamic dispatch policies (sched/policy.h). Admission stays
+  // fixed-priority-sound: the controller keeps the deadline-monotonic
+  // region (alpha = 1), which EDF — optimal on a uniprocessor — meets
+  // whenever deadline-monotonic does; docs/schedulers.md discusses LLF and
+  // the empirical per-policy regions measured by bench/ablation_edf.
+  kEdf,  // earliest absolute deadline first
+  kLlf,  // least laxity first (event-driven)
 };
 
 struct ExperimentConfig {
@@ -39,6 +46,13 @@ struct ExperimentConfig {
   PriorityMode priority = PriorityMode::kDeadlineMonotonic;
   bool idle_reset = true;       // ablation A1
   Duration patience = 0;        // >0: waiting admission (Sec. 5 style)
+
+  // Processors backing each stage. 1 (the paper's model) uses a
+  // single-resource StageServer; > 1 uses a PooledStageServer under global
+  // scheduling (kEdf then means gEDF). The admission region still charges
+  // each stage as a single resource, so admission is conservative for
+  // pooled stages.
+  std::size_t procs_per_stage = 1;
 
   // Optional decision/stage tracing (docs/observability.md): sink 0 feeds
   // the admission controller (exact/approximate modes only) and the

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "sched/pooled_stage_server.h"
+#include "sched/stage_server.h"
 #include "util/check.h"
 
 namespace frap::pipeline {
@@ -11,21 +13,36 @@ PriorityPolicy deadline_monotonic_policy() {
 }
 
 PipelineRuntime::PipelineRuntime(sim::Simulator& sim, std::size_t stages,
-                                 core::SyntheticUtilizationTracker* tracker)
+                                 core::SyntheticUtilizationTracker* tracker,
+                                 const sched::SchedulingPolicy& sched_policy,
+                                 std::size_t procs_per_stage)
     : sim_(sim), tracker_(tracker), policy_(deadline_monotonic_policy()) {
   FRAP_EXPECTS(stages >= 1);
+  FRAP_EXPECTS(procs_per_stage >= 1);
   FRAP_EXPECTS(tracker_ == nullptr || tracker_->num_stages() == stages);
   servers_.reserve(stages);
   for (std::size_t j = 0; j < stages; ++j) {
-    auto server = std::make_unique<sched::StageServer>(
-        sim_, "stage-" + std::to_string(j));
-    server->set_on_complete(
-        [this, j](sched::Job& job) { on_stage_complete(j, job); });
-    if (tracker_ != nullptr) {
-      server->set_on_idle([this, j] { tracker_->on_stage_idle(j); });
+    std::unique_ptr<sched::StageExecutor> server;
+    if (procs_per_stage == 1) {
+      server = std::make_unique<sched::StageServer>(
+          sim_, "stage-" + std::to_string(j), sched_policy);
+    } else {
+      server = std::make_unique<sched::PooledStageServer>(
+          sim_, procs_per_stage, "stage-" + std::to_string(j), sched_policy);
     }
+    server->set_tag(j);
+    server->set_listener(this);
     servers_.push_back(std::move(server));
   }
+}
+
+void PipelineRuntime::on_job_complete(sched::StageExecutor& stage,
+                                      sched::Job& job) {
+  on_stage_complete(stage.tag(), job);
+}
+
+void PipelineRuntime::on_stage_idle(sched::StageExecutor& stage) {
+  if (tracker_ != nullptr) tracker_->on_stage_idle(stage.tag());
 }
 
 void PipelineRuntime::set_priority_policy(PriorityPolicy policy) {
@@ -66,6 +83,9 @@ void PipelineRuntime::submit_to_stage(Exec& exec, std::size_t stage) {
   const std::uint64_t job_id = next_job_id_++;
   exec.job = std::make_unique<sched::Job>(
       job_id, exec.priority, exec.spec.stages[stage].make_segments());
+  // Dynamic policies (EDF/LLF) key off the task's end-to-end absolute
+  // deadline; the fixed-priority default ignores this field.
+  exec.job->absolute_deadline = exec.absolute_deadline;
   job_to_task_.emplace(job_id, exec.spec.id);
   servers_[stage]->submit(*exec.job);
 }

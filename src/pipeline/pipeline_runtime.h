@@ -20,32 +20,48 @@
 #include "metrics/counters.h"
 #include "obs/stage_observer.h"
 #include "pipeline/trace.h"
-#include "sched/stage_server.h"
+#include "sched/stage_executor.h"
 #include "sim/simulator.h"
 
 namespace frap::pipeline {
 
 // Maps a task to its fixed priority value (smaller = more urgent). Must not
-// depend on arrival time (fixed-priority assumption of the paper).
+// depend on arrival time (fixed-priority assumption of the paper). Only
+// consulted by fixed-priority scheduling; dynamic policies (EDF/LLF) derive
+// dispatch keys from the job's absolute deadline instead.
 using PriorityPolicy = std::function<sched::PriorityValue(const core::TaskSpec&)>;
 
 // Deadline-monotonic: priority value = relative deadline (optimal
 // fixed-priority policy for aperiodic tasks; alpha = 1).
 PriorityPolicy deadline_monotonic_policy();
 
-class PipelineRuntime {
+class PipelineRuntime : private sched::StageListener {
  public:
   // `tracker` may be null (no admission bookkeeping, e.g. no-admission
   // baselines). If given, it must have num_stages() == `stages`.
-  PipelineRuntime(sim::Simulator& sim, std::size_t stages,
-                  core::SyntheticUtilizationTracker* tracker);
+  // `policy` selects the dispatch discipline for every stage executor
+  // (sched/policy.h); `procs_per_stage` > 1 backs each stage with a
+  // PooledStageServer of that many processors (global scheduling — with
+  // edf_policy() this is gEDF) instead of a single-processor StageServer.
+  PipelineRuntime(
+      sim::Simulator& sim, std::size_t stages,
+      core::SyntheticUtilizationTracker* tracker,
+      const sched::SchedulingPolicy& policy = sched::fixed_priority_policy(),
+      std::size_t procs_per_stage = 1);
 
   PipelineRuntime(const PipelineRuntime&) = delete;
   PipelineRuntime& operator=(const PipelineRuntime&) = delete;
 
   std::size_t num_stages() const { return servers_.size(); }
-  sched::StageServer& stage(std::size_t j) { return *servers_[j]; }
-  const sched::StageServer& stage(std::size_t j) const { return *servers_[j]; }
+  sched::StageExecutor& stage(std::size_t j) { return *servers_[j]; }
+  const sched::StageExecutor& stage(std::size_t j) const {
+    return *servers_[j];
+  }
+
+  // The scheduling policy every stage dispatches through.
+  const sched::SchedulingPolicy& scheduling_policy() const {
+    return servers_.front()->policy();
+  }
 
   void set_priority_policy(PriorityPolicy policy);
 
@@ -113,12 +129,17 @@ class PipelineRuntime {
     std::unique_ptr<sched::Job> job;  // job on the current stage
   };
 
+  // StageListener: executors report completion/idle with their stage index
+  // in the tag (set at construction).
+  void on_job_complete(sched::StageExecutor& stage, sched::Job& job) override;
+  void on_stage_idle(sched::StageExecutor& stage) override;
+
   void on_stage_complete(std::size_t stage, sched::Job& job);
   void submit_to_stage(Exec& exec, std::size_t stage);
 
   sim::Simulator& sim_;
   core::SyntheticUtilizationTracker* tracker_;
-  std::vector<std::unique_ptr<sched::StageServer>> servers_;
+  std::vector<std::unique_ptr<sched::StageExecutor>> servers_;
   PriorityPolicy policy_;
   CompletionCallback on_complete_;
   TraceLog* trace_ = nullptr;

@@ -1,0 +1,150 @@
+#include "sched/assignment/priority_assignment.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sched/urgency.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace frap::sched::assignment {
+namespace {
+
+std::size_t num_stages(std::span<const TaskClass> tasks) {
+  std::size_t n = 0;
+  for (const TaskClass& t : tasks) {
+    n = std::max(n, t.critical_sections.size());
+  }
+  return n;
+}
+
+Duration critical_section_at(const TaskClass& t, std::size_t stage) {
+  return stage < t.critical_sections.size() ? t.critical_sections[stage] : 0.0;
+}
+
+// Deadline-monotonic order over the input indices: shorter deadline first,
+// ties broken by index so the reference assignment is deterministic.
+std::vector<std::size_t> dm_order(std::span<const TaskClass> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].deadline < tasks[b].deadline;
+                   });
+  return order;
+}
+
+}  // namespace
+
+OrderEvaluation evaluate_order(std::span<const TaskClass> tasks,
+                               std::span<const std::size_t> order) {
+  FRAP_EXPECTS(order.size() == tasks.size());
+  for (const TaskClass& t : tasks) FRAP_EXPECTS(t.deadline > 0);
+
+  OrderEvaluation eval;
+  const std::size_t stages = num_stages(tasks);
+  eval.beta.assign(stages, 0.0);
+
+  // alpha of the order: priority value = rank (0 = most urgent).
+  std::vector<TaskUrgency> urgencies;
+  urgencies.reserve(tasks.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    urgencies.push_back(TaskUrgency{static_cast<PriorityValue>(rank),
+                                    tasks[order[rank]].deadline});
+  }
+  eval.alpha = compute_alpha(urgencies);
+
+  // beta_j = max_i B_ij / D_i with B_ij the longest critical section at
+  // stage j among tasks of strictly lower priority than i (conservative
+  // shared-ceiling PCP; see the header). Scan ranks from the bottom up,
+  // carrying the running max critical section below the current rank.
+  std::vector<Duration> longest_below(stages, 0.0);
+  for (std::size_t rank = order.size(); rank-- > 0;) {
+    const TaskClass& t = tasks[order[rank]];
+    for (std::size_t j = 0; j < stages; ++j) {
+      if (longest_below[j] > 0) {
+        eval.beta[j] = std::max(eval.beta[j],
+                                util::safe_div(longest_below[j], t.deadline));
+      }
+    }
+    for (std::size_t j = 0; j < stages; ++j) {
+      longest_below[j] = std::max(longest_below[j], critical_section_at(t, j));
+    }
+  }
+
+  double beta_sum = 0;
+  for (double b : eval.beta) beta_sum += b;
+  eval.bound = eval.alpha * (1.0 - beta_sum);
+  return eval;
+}
+
+Assignment deadline_monotonic(std::span<const TaskClass> tasks) {
+  Assignment a;
+  a.order = dm_order(tasks);
+  a.eval = evaluate_order(tasks, a.order);
+  return a;
+}
+
+Assignment optimal(std::span<const TaskClass> tasks) {
+  Assignment best = deadline_monotonic(tasks);
+  const std::size_t n = tasks.size();
+  if (n < 2) return best;
+
+  if (n <= kExhaustiveLimit) {
+    // Exhaustive scan in lexicographic index order; only a STRICT bound
+    // improvement displaces the incumbent, so ties resolve to
+    // deadline-monotonic and the result is deterministic.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    do {
+      const OrderEvaluation eval = evaluate_order(tasks, order);
+      if (eval.bound > best.eval.bound) {
+        best.order = order;
+        best.eval = eval;
+      }
+    } while (std::next_permutation(order.begin(), order.end()));
+    return best;
+  }
+
+  // Audsley-style lowest-priority-first greedy: pick the task whose
+  // placement at the lowest unassigned level maximizes the bound of
+  // (deadline-monotonic order above it + the already-fixed tail below),
+  // fix it, and recurse upward. O(n^2) order evaluations.
+  std::vector<std::size_t> tail;  // lowest priorities, bottom-up
+  std::vector<std::size_t> remaining = dm_order(tasks);
+  while (remaining.size() > 1) {
+    std::size_t pick = remaining.size();  // position in `remaining`
+    double pick_bound = 0;
+    for (std::size_t c = 0; c < remaining.size(); ++c) {
+      std::vector<std::size_t> order;
+      order.reserve(n);
+      for (std::size_t r = 0; r < remaining.size(); ++r) {
+        if (r != c) order.push_back(remaining[r]);
+      }
+      order.push_back(remaining[c]);
+      order.insert(order.end(), tail.rbegin(), tail.rend());
+      const double bound = evaluate_order(tasks, order).bound;
+      // Strict improvement only: the first candidate in DM order wins ties,
+      // keeping the greedy deterministic and DM-anchored.
+      if (pick == remaining.size() || bound > pick_bound) {
+        pick = c;
+        pick_bound = bound;
+      }
+    }
+    tail.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  order.push_back(remaining.front());
+  order.insert(order.end(), tail.rbegin(), tail.rend());
+  const OrderEvaluation eval = evaluate_order(tasks, order);
+  if (eval.bound > best.eval.bound) {
+    best.order = std::move(order);
+    best.eval = eval;
+  }
+  return best;
+}
+
+}  // namespace frap::sched::assignment

@@ -1,0 +1,78 @@
+// Optimal priority-assignment search under the Thm 1 feasible region.
+//
+// Deadline-monotonic assignment maximizes the urgency-inversion parameter
+// (alpha = 1) but not necessarily the ADMITTED LOAD: the region bound is
+// alpha * (1 - sum_j beta_j), and the blocking terms beta_j depend on the
+// priority order too — a low-priority task's long critical section inflates
+// beta for every higher-priority task sharing the stage. Demoting a
+// long-critical-section task below the tasks it blocks (accepting alpha
+// slightly below 1) can shrink sum beta by far more than the alpha it
+// spends, producing a strictly larger bound. This module searches priority
+// orders for exactly that trade, following the program of "Optimal Fixed
+// Priority Scheduling in Multi-Stage Multi-Resource Distributed Real-Time
+// Systems" (see PAPERS.md): maximize admitted load subject to the alpha
+// constraint.
+//
+// Blocking model: conservative shared-ceiling PCP — at each stage, any
+// critical section of a STRICTLY lower-priority task may block a task once
+// (B_ij = the longest such section; beta_j = max_i B_ij / D_i). This is the
+// same worst case the admission bound charges, so a bound ranking computed
+// here is sound for the admission controller as-is.
+//
+// Search: exhaustive permutation scan for small sets (n <= kExhaustiveLimit)
+// where optimality matters and n! is cheap; an Audsley-style
+// lowest-priority-first greedy beyond that (assign the lowest remaining
+// priority to the candidate whose demotion maximizes the bound, with the
+// rest deadline-monotonic above). Both are deterministic and never return
+// an order worse than deadline-monotonic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace frap::sched::assignment {
+
+// One task class competing for a priority level.
+struct TaskClass {
+  // Relative end-to-end deadline (the DM sort key and the beta denominator).
+  Duration deadline = 0;
+  // Longest critical section this class executes at each stage; shorter
+  // than the pipeline (or empty) means lock-free at the remaining stages.
+  std::vector<Duration> critical_sections;
+};
+
+// The Thm 1 admitted-load bound a specific priority order induces.
+struct OrderEvaluation {
+  double alpha = 1.0;        // urgency-inversion parameter of the order
+  std::vector<double> beta;  // per-stage normalized blocking max_i B_ij/D_i
+  double bound = 1.0;        // alpha * (1 - sum_j beta_j); the admitted load
+};
+
+// A priority order plus its evaluation. order[k] is the index (into the
+// input task span) of the task holding the k-th highest priority.
+struct Assignment {
+  std::vector<std::size_t> order;
+  OrderEvaluation eval;
+};
+
+// Largest n for which optimal() scans all n! permutations.
+inline constexpr std::size_t kExhaustiveLimit = 8;
+
+// Evaluates one explicit priority order (order.size() == tasks.size(), a
+// permutation of [0, n)). Deadlines must be positive.
+OrderEvaluation evaluate_order(std::span<const TaskClass> tasks,
+                               std::span<const std::size_t> order);
+
+// Deadline-monotonic reference assignment (ties broken by input index).
+Assignment deadline_monotonic(std::span<const TaskClass> tasks);
+
+// Best-bound assignment: exhaustive for n <= kExhaustiveLimit, Audsley-style
+// greedy beyond. Returns the deadline-monotonic order whenever nothing
+// strictly beats it, so callers can detect a genuine improvement by
+// comparing bounds.
+Assignment optimal(std::span<const TaskClass> tasks);
+
+}  // namespace frap::sched::assignment

@@ -45,6 +45,11 @@ struct Job {
   const PriorityValue priority_value;
   std::vector<Segment> segments;
 
+  // Absolute deadline of the job's end-to-end task instance, set by the
+  // runtime before submit. Dynamic policies (EDF/LLF) derive dispatch keys
+  // from it; the fixed-priority default ignores it.
+  Time absolute_deadline = kTimeZero;
+
   // --- state managed by StageServer ---
   PriorityKey key{0, 0};         // assigned at submit (adds FIFO tiebreak)
   std::size_t segment_index = 0; // current segment

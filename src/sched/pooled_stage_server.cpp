@@ -8,23 +8,17 @@ namespace frap::sched {
 
 PooledStageServer::PooledStageServer(sim::Simulator& sim,
                                      std::size_t num_processors,
-                                     std::string name)
-    : sim_(sim), name_(std::move(name)), procs_(num_processors) {
+                                     std::string name,
+                                     const SchedulingPolicy& policy)
+    : StageExecutor(sim, std::move(name), policy), procs_(num_processors) {
   FRAP_EXPECTS(num_processors >= 1);
 }
 
 void PooledStageServer::submit(Job& job) {
-  FRAP_EXPECTS(!job.on_server);
-  FRAP_EXPECTS(!job.segments.empty());
   for (const auto& seg : job.segments) {
     FRAP_EXPECTS(seg.lock == kNoLock);  // PCP is uniprocessor-only
   }
-  job.on_server = true;
-  job.segment_index = 0;
-  job.remaining = job.segments[0].length;
-  job.held_lock = kNoLock;
-  job.key = PriorityKey{job.priority_value, next_seq_++};
-  active_.push_back(&job);
+  admit_job(job);
   dispatch();
 }
 
@@ -40,7 +34,7 @@ void PooledStageServer::abort(Job& job) {
   }
   remove_active(job);
   dispatch();
-  if (idle() && on_idle_) on_idle_();
+  if (idle()) notify_idle();
 }
 
 void PooledStageServer::set_speed(double speed) {
@@ -51,6 +45,16 @@ void PooledStageServer::set_speed(double speed) {
   }
   speed_ = speed;
   if (!active_.empty()) dispatch();
+}
+
+Duration PooledStageServer::in_progress_remaining(const Job& job) const {
+  for (const auto& p : procs_) {
+    if (p.running == &job) {
+      const Duration elapsed = (sim_.now() - p.started) * speed_;
+      return std::max(0.0, job.remaining - elapsed);
+    }
+  }
+  return job.remaining;
 }
 
 void PooledStageServer::stop_processor(Processor& p) {
@@ -67,6 +71,7 @@ void PooledStageServer::stop_processor(Processor& p) {
 }
 
 void PooledStageServer::dispatch() {
+  refresh_keys();
   // Desired set: the m most urgent active jobs.
   const std::size_t m = procs_.size();
   std::vector<Job*> desired(active_);
@@ -142,16 +147,9 @@ void PooledStageServer::handle_completion(std::size_t processor) {
   dispatch();
 
   if (finished) {
-    if (on_complete_) on_complete_(*job);
-    if (idle() && on_idle_) on_idle_();
+    notify_complete(*job);
+    if (idle()) notify_idle();
   }
-}
-
-void PooledStageServer::remove_active(Job& job) {
-  auto it = std::find(active_.begin(), active_.end(), &job);
-  FRAP_ASSERT(it != active_.end());
-  active_.erase(it);
-  job.on_server = false;
 }
 
 double PooledStageServer::pool_utilization(Time from, Time to) const {

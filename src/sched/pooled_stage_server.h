@@ -1,70 +1,54 @@
 // A pipeline stage backed by a POOL of m identical processors under global
-// preemptive fixed-priority scheduling: at any instant the m highest-
-// priority active jobs run, one per processor (work-conserving, migration
-// allowed at preemption points, zero migration cost).
+// preemptive scheduling: at any instant the m most urgent active jobs run,
+// one per processor (work-conserving, migration allowed at preemption
+// points, zero migration cost). The dispatch order comes from the pluggable
+// policy — fixed-priority by default; global EDF (gEDF) is simply this
+// executor constructed with edf_policy().
 //
 // This extends the paper's single-resource-per-stage model toward the
 // multiprocessor setting of the authors' companion work on liquid tasks
 // [Abdelzaher et al., RTAS 2002]; bench/multiproc_stage uses it to map the
 // empirical schedulable-utilization frontier as m grows. Critical sections
-// are not supported here (PCP is defined for uniprocessors); jobs must be
-// lock-free.
+// are not supported here under ANY policy (PCP is defined for
+// uniprocessors); jobs must be lock-free.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <string>
-#include <vector>
 
-#include "metrics/utilization_meter.h"
-#include "sched/job.h"
-#include "sched/timeline.h"
-#include "sim/simulator.h"
+#include "sched/stage_executor.h"
 
 namespace frap::sched {
 
-class PooledStageServer {
+class PooledStageServer : public StageExecutor {
  public:
   PooledStageServer(sim::Simulator& sim, std::size_t num_processors,
-                    std::string name = {});
-
-  PooledStageServer(const PooledStageServer&) = delete;
-  PooledStageServer& operator=(const PooledStageServer&) = delete;
+                    std::string name = {},
+                    const SchedulingPolicy& policy = fixed_priority_policy());
 
   std::size_t num_processors() const { return procs_.size(); }
 
-  void set_on_complete(std::function<void(Job&)> cb) {
-    on_complete_ = std::move(cb);
-  }
-  void set_on_idle(std::function<void()> cb) { on_idle_ = std::move(cb); }
-
   // Admits a lock-free job to the pool.
-  void submit(Job& job);
+  void submit(Job& job) override;
 
   // Removes a job (running or queued). No-op if not on this server.
-  void abort(Job& job);
-
-  bool idle() const { return active_.empty(); }
-  std::size_t active_jobs() const { return active_.size(); }
+  void abort(Job& job) override;
 
   // Busy fraction of the whole pool over [from, to]: total processor busy
   // time divided by m * (to - from).
   double pool_utilization(Time from, Time to) const;
 
+  // Processor 0's meter (the StageExecutor surface exposes one meter; use
+  // the indexed overload or pool_utilization for the rest of the pool).
+  const metrics::UtilizationMeter& meter() const override {
+    return procs_[0].meter;
+  }
   const metrics::UtilizationMeter& meter(std::size_t processor) const {
     return procs_[processor].meter;
   }
 
-  std::uint64_t preemptions() const { return preemptions_; }
-
-  // Optional Gantt capture across the pool (intervals from different
-  // processors may legitimately overlap in time).
-  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
-
   // Uniform speed factor for all processors in the pool (> 0, default 1);
-  // see StageServer::set_speed for semantics.
-  void set_speed(double speed);
-  double speed() const { return speed_; }
+  // see StageExecutor::set_speed for semantics.
+  void set_speed(double speed) override;
 
  private:
   struct Processor {
@@ -79,18 +63,10 @@ class PooledStageServer {
   void dispatch();
   void stop_processor(Processor& p);
   void handle_completion(std::size_t processor);
-  void remove_active(Job& job);
 
-  sim::Simulator& sim_;
-  std::string name_;
+  Duration in_progress_remaining(const Job& job) const override;
+
   std::vector<Processor> procs_;
-  std::vector<Job*> active_;
-  std::function<void(Job&)> on_complete_;
-  std::function<void()> on_idle_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t preemptions_ = 0;
-  Timeline* timeline_ = nullptr;
-  double speed_ = 1.0;
 };
 
 }  // namespace frap::sched

@@ -1,10 +1,13 @@
-// Fixed task priorities.
+// Task priorities and dispatch keys.
 //
 // The paper's analysis covers any *fixed-priority* policy: a task's priority
 // is the same at every pipeline stage and does not depend on its arrival
-// time (so EDF is out of scope, deadline-monotonic is the canonical optimal
-// choice). We encode priority as a double where SMALLER VALUE = MORE URGENT;
-// deadline-monotonic is then simply `value = relative deadline`.
+// time (deadline-monotonic is the canonical optimal choice). We encode
+// priority as a double where SMALLER VALUE = MORE URGENT; deadline-monotonic
+// is then simply `value = relative deadline`. PriorityKey is also the
+// executor's generic dispatch key: under a dynamic policy (sched/policy.h)
+// the value holds an absolute deadline (EDF) or a laxity (LLF) instead of a
+// static priority, with the same smaller-is-more-urgent order.
 #pragma once
 
 #include <cstdint>
@@ -18,15 +21,27 @@ using PriorityValue = double;
 // Total order on (priority, submission sequence): lower value wins; ties are
 // broken FIFO by a monotonically increasing sequence number so simulations
 // are deterministic.
+//
+// Exact-tie contract: key values are COPIES of assigned values (a task's
+// priority, an absolute deadline, a laxity) — every comparison below sees
+// the same bit patterns the executor stored, with no intervening arithmetic
+// on either side. Two keys compare equal iff they were assigned equal
+// values, so exact double comparison is the intended semantics; an epsilon
+// would merge distinct priorities that happen to be close and break the
+// deterministic total order the simulator depends on.
 struct PriorityKey {
   PriorityValue value;
   std::uint64_t seq;
 
   friend bool operator<(const PriorityKey& a, const PriorityKey& b) {
+    // frap-lint: allow(float-equality) -- exact-tie contract above: values
+    // are uninterpreted copies of assigned keys, never derived arithmetic.
     if (a.value != b.value) return a.value < b.value;
     return a.seq < b.seq;
   }
   friend bool operator==(const PriorityKey& a, const PriorityKey& b) {
+    // frap-lint: allow(float-equality) -- exact-tie contract above: equality
+    // means "assigned the same key", not numerical closeness.
     return a.value == b.value && a.seq == b.seq;
   }
 };

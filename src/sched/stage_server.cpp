@@ -6,21 +6,20 @@
 
 namespace frap::sched {
 
-StageServer::StageServer(sim::Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)) {}
+StageServer::StageServer(sim::Simulator& sim, std::string name,
+                         const SchedulingPolicy& policy)
+    : StageExecutor(sim, std::move(name), policy) {}
 
 void StageServer::submit(Job& job) {
-  FRAP_EXPECTS(!job.on_server);
-  FRAP_EXPECTS(!job.segments.empty());
-  job.on_server = true;
-  job.segment_index = 0;
-  job.remaining = job.segments[0].length;
-  job.held_lock = kNoLock;
-  job.key = PriorityKey{job.priority_value, next_seq_++};
+  if (!policy().supports_locks()) {
+    // PCP ceilings are defined over static task priorities; dynamic-policy
+    // stages must be lock-free.
+    for (const auto& seg : job.segments) FRAP_EXPECTS(seg.lock == kNoLock);
+  }
+  admit_job(job);
   for (const auto& seg : job.segments) {
     if (seg.lock != kNoLock) locks_.note_user(seg.lock, job.priority_value);
   }
-  active_.push_back(&job);
   dispatch();
 }
 
@@ -32,7 +31,7 @@ void StageServer::abort(Job& job) {
   if (job.held_lock != kNoLock) locks_.release(job, job.held_lock);
   remove_active(job);
   dispatch();
-  if (idle() && on_idle_) on_idle_();
+  if (idle()) notify_idle();
 }
 
 Job* StageServer::pick_next() {
@@ -63,6 +62,14 @@ void StageServer::set_speed(double speed) {
   if (resumed != nullptr || !active_.empty()) dispatch();
 }
 
+Duration StageServer::in_progress_remaining(const Job& job) const {
+  if (&job == running_) {
+    const Duration elapsed = (sim_.now() - run_started_) * speed_;
+    return std::max(0.0, job.remaining - elapsed);
+  }
+  return job.remaining;
+}
+
 void StageServer::preempt_running() {
   FRAP_ASSERT(running_ != nullptr);
   const Duration elapsed = (sim_.now() - run_started_) * speed_;
@@ -77,6 +84,7 @@ void StageServer::preempt_running() {
 }
 
 void StageServer::dispatch() {
+  refresh_keys();
   Job* next = pick_next();
   if (next != running_) {
     if (running_ != nullptr) {
@@ -133,16 +141,9 @@ void StageServer::handle_segment_completion() {
   dispatch();
 
   if (finished) {
-    if (on_complete_) on_complete_(*job);
-    if (idle() && on_idle_) on_idle_();
+    notify_complete(*job);
+    if (idle()) notify_idle();
   }
-}
-
-void StageServer::remove_active(Job& job) {
-  auto it = std::find(active_.begin(), active_.end(), &job);
-  FRAP_ASSERT(it != active_.end());
-  active_.erase(it);
-  job.on_server = false;
 }
 
 }  // namespace frap::sched

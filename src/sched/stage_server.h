@@ -1,5 +1,6 @@
-// One pipeline stage: a single resource (CPU) running jobs under preemptive
-// fixed-priority scheduling, with optional PCP-managed critical sections.
+// One pipeline stage: a single resource (CPU) running jobs under a
+// preemptive scheduling policy (fixed-priority by default), with optional
+// PCP-managed critical sections.
 //
 // The server is fully event-driven on a Simulator: every state change
 // (submit, segment completion, lock release, abort) triggers a dispatch that
@@ -7,79 +8,35 @@
 // Dispatch under PCP: run the most urgent active job unless it is blocked on
 // a lock, in which case run its blocker (priority inheritance) — with
 // non-nested stage-local locks the blocker is always runnable, so this
-// realizes classic PCP exactly.
+// realizes classic PCP exactly. Critical sections require the fixed-priority
+// policy (priority ceilings are defined over static task priorities); under
+// a dynamic policy (EDF/LLF) jobs must be lock-free.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <string>
-#include <vector>
 
-#include "metrics/utilization_meter.h"
-#include "sched/job.h"
 #include "sched/pcp.h"
-#include "sched/timeline.h"
-#include "sim/simulator.h"
+#include "sched/stage_executor.h"
 
 namespace frap::sched {
 
-class StageServer {
+class StageServer : public StageExecutor {
  public:
-  explicit StageServer(sim::Simulator& sim, std::string name = {});
+  explicit StageServer(sim::Simulator& sim, std::string name = {},
+                       const SchedulingPolicy& policy = fixed_priority_policy());
 
-  StageServer(const StageServer&) = delete;
-  StageServer& operator=(const StageServer&) = delete;
+  void submit(Job& job) override;
+  void abort(Job& job) override;
 
-  // Called when a job finishes its last segment. The job is already off the
-  // server when the callback runs, so the callback may resubmit it elsewhere.
-  void set_on_complete(std::function<void(Job&)> cb) {
-    on_complete_ = std::move(cb);
-  }
-
-  // Called whenever the server transitions to idle (no active jobs). This is
-  // the hook the admission controller uses for synthetic-utilization reset.
-  void set_on_idle(std::function<void()> cb) { on_idle_ = std::move(cb); }
-
-  // Admits a job to this stage's ready queue. The job must not already be on
-  // a server and must have at least one segment. The caller keeps ownership
-  // and must keep the job alive until completion or abort.
-  void submit(Job& job);
-
-  // Removes a job from the stage (used by load shedding). Releases any held
-  // lock. No-op on jobs not currently on this server.
-  void abort(Job& job);
-
-  // True when no job is active (running, ready, or blocked).
-  bool idle() const { return active_.empty(); }
-
-  std::size_t active_jobs() const { return active_.size(); }
   const Job* running() const { return running_; }
 
-  // Real utilization measurement (busy fraction of wall time).
-  const metrics::UtilizationMeter& meter() const { return meter_; }
+  const metrics::UtilizationMeter& meter() const override { return meter_; }
 
   // Lock manager, exposed so workloads can pre-register priority ceilings.
   PcpLockManager& locks() { return locks_; }
   const PcpLockManager& locks() const { return locks_; }
 
-  // Number of preemptions performed (a running job was displaced).
-  std::uint64_t preemptions() const { return preemptions_; }
-
-  // Optional Gantt recording: every contiguous run interval is reported.
-  // The timeline must outlive the server; nullptr detaches.
-  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
-
-  // Processor speed factor (> 0, default 1): one second of wall time
-  // executes `speed` seconds of job demand. Models degraded modes — a
-  // damaged stage running at 0.7x — and may change mid-run; the running
-  // job's progress is banked at the old speed. NOTE: the schedulability
-  // analysis sees demands in EXECUTION time, so slowing a stage without
-  // re-scaling admission inputs voids the guarantee (demonstrated in
-  // bench/failure_degradation).
-  void set_speed(double speed);
-  double speed() const { return speed_; }
-
-  const std::string& name() const { return name_; }
+  void set_speed(double speed) override;
 
  private:
   // Chooses which job should occupy the processor now (PCP-aware);
@@ -96,11 +53,8 @@ class StageServer {
   // Segment-completion event handler for the currently running job.
   void handle_segment_completion();
 
-  void remove_active(Job& job);
+  Duration in_progress_remaining(const Job& job) const override;
 
-  sim::Simulator& sim_;
-  std::string name_;
-  std::vector<Job*> active_;  // running + ready + blocked
   Job* running_ = nullptr;
   Time run_started_ = kTimeZero;
   sim::EventId completion_event_ = sim::kInvalidEventId;
@@ -108,12 +62,6 @@ class StageServer {
 
   PcpLockManager locks_;
   metrics::UtilizationMeter meter_;
-  Timeline* timeline_ = nullptr;
-  std::function<void(Job&)> on_complete_;
-  std::function<void()> on_idle_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t preemptions_ = 0;
-  double speed_ = 1.0;
 };
 
 }  // namespace frap::sched

@@ -56,6 +56,40 @@ TEST(CliTest, AdmissionModes) {
   EXPECT_FALSE(parse_experiment_args({"--admission=bogus"}).ok);
 }
 
+TEST(CliTest, SchedulingPolicies) {
+  EXPECT_EQ(parse_experiment_args({"--policy=edf"}).config.priority,
+            PriorityMode::kEdf);
+  EXPECT_EQ(parse_experiment_args({"--policy=llf"}).config.priority,
+            PriorityMode::kLlf);
+  EXPECT_EQ(parse_experiment_args({"--policy=dm"}).config.priority,
+            PriorityMode::kDeadlineMonotonic);
+  const auto bad = parse_experiment_args({"--policy=bogus"});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("bogus"), std::string::npos);
+}
+
+TEST(CliTest, ProcsFlagAndGedfDefaults) {
+  // Plain EDF stays on single-processor stages.
+  EXPECT_EQ(parse_experiment_args({"--policy=edf"}).config.procs_per_stage,
+            1u);
+  // gedf = EDF on pooled stages; pool size defaults to 2...
+  const auto gedf = parse_experiment_args({"--policy=gedf"});
+  ASSERT_TRUE(gedf.ok) << gedf.error;
+  EXPECT_EQ(gedf.config.priority, PriorityMode::kEdf);
+  EXPECT_EQ(gedf.config.procs_per_stage, 2u);
+  // ...unless --procs says otherwise (order-independent).
+  EXPECT_EQ(parse_experiment_args({"--policy=gedf", "--procs=4"})
+                .config.procs_per_stage,
+            4u);
+  EXPECT_EQ(parse_experiment_args({"--procs=4", "--policy=gedf"})
+                .config.procs_per_stage,
+            4u);
+  // --procs alone pools stages under the default fixed-priority policy.
+  EXPECT_EQ(parse_experiment_args({"--procs=3"}).config.procs_per_stage, 3u);
+  EXPECT_FALSE(parse_experiment_args({"--procs=0"}).ok);
+  EXPECT_FALSE(parse_experiment_args({"--procs=abc"}).ok);
+}
+
 TEST(CliTest, RejectsUnknownFlag) {
   const auto r = parse_experiment_args({"--frobnicate=1"});
   EXPECT_FALSE(r.ok);
@@ -94,7 +128,7 @@ TEST(CliTest, UsageMentionsEveryFlag) {
   for (const char* flag :
        {"--stages", "--load", "--resolution", "--mean-compute",
         "--imbalance", "--duration", "--warmup", "--seed", "--admission",
-        "--policy", "--patience", "--no-idle-reset"}) {
+        "--policy", "--procs", "--patience", "--no-idle-reset"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -99,6 +99,51 @@ TEST(ExperimentTest, PatienceZeroAndPositiveBothSound) {
   EXPECT_EQ(r.completed, r.admitted);
 }
 
+TEST(ExperimentTest, EdfAndLlfPoliciesRunAndStaySound) {
+  // Dynamic dispatch policies keep the DM admission region (alpha = 1), and
+  // uniprocessor EDF meets every deadline whenever fixed-priority DM does —
+  // so an admitted workload must stay miss-free under both.
+  for (const auto mode : {PriorityMode::kEdf, PriorityMode::kLlf}) {
+    auto cfg = small_config();
+    cfg.priority = mode;
+    const auto r = run_experiment(cfg);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_DOUBLE_EQ(r.miss_ratio, 0.0);
+    EXPECT_EQ(r.completed, r.admitted);
+  }
+}
+
+TEST(ExperimentTest, PooledStagesRunUnderEveryPolicy) {
+  // procs_per_stage > 1 swaps StageServer for PooledStageServer (gEDF when
+  // combined with kEdf). Admission charges each stage as a single resource,
+  // so the region stays conservative and nothing should miss.
+  for (const auto mode :
+       {PriorityMode::kDeadlineMonotonic, PriorityMode::kEdf}) {
+    auto cfg = small_config();
+    cfg.priority = mode;
+    cfg.procs_per_stage = 2;
+    const auto r = run_experiment(cfg);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_DOUBLE_EQ(r.miss_ratio, 0.0);
+  }
+}
+
+TEST(ExperimentTest, EdfSeesSameArrivalsAsDm) {
+  // Same seed, same arrival process: the OFFERED stream is identical under
+  // every policy. Admitted counts may differ slightly — dispatch order
+  // shifts downstream completion times, which feed the idle-reset tracker —
+  // but both must stay sound (zero misses, drain completely).
+  auto dm = small_config();
+  auto edf = small_config();
+  edf.priority = PriorityMode::kEdf;
+  const auto rd = run_experiment(dm);
+  const auto re = run_experiment(edf);
+  EXPECT_EQ(rd.offered, re.offered);
+  EXPECT_DOUBLE_EQ(rd.miss_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(re.miss_ratio, 0.0);
+  EXPECT_EQ(re.completed, re.admitted);
+}
+
 TEST(ExperimentTest, LongerSimulationOffersMore) {
   auto shorter = small_config();
   auto longer = small_config();

@@ -82,9 +82,23 @@ TEST(FrapLintRules, R2SanctionedInsideFeasibleRegionHeader) {
 }
 
 TEST(FrapLintRules, R3FlagsRawFloatEquality) {
+  // Lines 3-12: literal comparisons. Lines 19-25: `.value` member-access
+  // comparisons (the dispatch-key pattern of sched/priority.h) — exact
+  // compares on them must carry the exact-tie-contract suppression.
   auto fs =
       findings_for("r3_flag.cpp", "src/util/r3_flag.cpp", "float-equality");
-  EXPECT_EQ(lines_of(fs), (std::vector<int>{3, 6, 9, 12}));
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{3, 6, 9, 12, 19, 22, 25}));
+}
+
+TEST(FrapLintRules, R3ValueMemberMessageCitesTheContract) {
+  auto fs =
+      findings_for("r3_flag.cpp", "src/util/r3_flag.cpp", "float-equality");
+  bool saw_member_message = false;
+  for (const auto& f : fs) {
+    if (f.line >= 19 && f.message.find("exact-tie") != std::string::npos)
+      saw_member_message = true;
+  }
+  EXPECT_TRUE(saw_member_message);
 }
 
 TEST(FrapLintRules, R3PassesAlmostEqualAndIntegerEquality) {

@@ -1,0 +1,189 @@
+// Tests for the optimal-priority-assignment search (sched/assignment/).
+//
+// The pinned two-class fixture demonstrates the core trade the module
+// exists for: deadline-monotonic order maximizes alpha (= 1) but lets a
+// long critical section owned by the LOWEST-priority class inflate beta,
+// while promoting that class costs a little alpha and erases the blocking
+// term — a strictly larger Thm 1 bound. All expected numbers below are
+// computed by hand and asserted exactly where the arithmetic is exact in
+// binary (ratios of decimal inputs use a tolerance).
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/feasible_region.h"
+#include "sched/assignment/priority_assignment.h"
+#include "util/math.h"
+
+namespace frap::sched::assignment {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TaskClass cls(Duration deadline, std::vector<Duration> sections = {}) {
+  TaskClass t;
+  t.deadline = deadline;
+  t.critical_sections = std::move(sections);
+  return t;
+}
+
+// --- evaluate_order -------------------------------------------------------
+
+TEST(EvaluateOrderTest, NoBlockingGivesAlphaOnlyBound) {
+  // DM order over distinct deadlines: alpha = 1 and no stage carries a
+  // critical section, so beta is empty and the bound is pure alpha.
+  const std::vector<TaskClass> tasks = {cls(0.01), cls(0.02), cls(0.04)};
+  const std::vector<std::size_t> order = {0, 1, 2};
+  const OrderEvaluation e = evaluate_order(tasks, order);
+  EXPECT_NEAR(e.alpha, 1.0, kTol);
+  EXPECT_TRUE(e.beta.empty());
+  EXPECT_NEAR(e.bound, 1.0, kTol);
+}
+
+TEST(EvaluateOrderTest, InvertedOrderShrinksAlpha) {
+  // Highest priority to the LONGEST deadline: alpha = min pairwise
+  // D_shorter / D_longer over inversions = 0.01 / 0.04.
+  const std::vector<TaskClass> tasks = {cls(0.01), cls(0.04)};
+  const std::vector<std::size_t> order = {1, 0};
+  const OrderEvaluation e = evaluate_order(tasks, order);
+  EXPECT_NEAR(e.alpha, 0.25, kTol);
+  EXPECT_NEAR(e.bound, 0.25, kTol);
+}
+
+TEST(EvaluateOrderTest, BlockingChargesLowerPriorityCriticalSections) {
+  // Two classes sharing one stage resource. Under DM the 0.03 s critical
+  // section of the lower-priority class blocks the higher-priority class:
+  // beta at the stage = max_i B_i/D_i = 0.03 / 0.09 = 1/3.
+  const std::vector<TaskClass> tasks = {cls(0.09, {0.0001}),
+                                        cls(0.1, {0.03})};
+  const std::vector<std::size_t> order = {0, 1};
+  const OrderEvaluation e = evaluate_order(tasks, order);
+  EXPECT_NEAR(e.alpha, 1.0, kTol);
+  ASSERT_EQ(e.beta.size(), 1u);
+  EXPECT_NEAR(e.beta[0], 0.03 / 0.09, kTol);
+  EXPECT_NEAR(e.bound, 1.0 - 0.03 / 0.09, kTol);
+}
+
+// --- the pinned beats-DM fixture ------------------------------------------
+
+// Class A: D = 90 ms, tiny critical section. Class B: D = 100 ms, 30 ms
+// critical section on the same stage.
+std::vector<TaskClass> pinned_fixture() {
+  return {cls(0.09, {0.0001}), cls(0.1, {0.03})};
+}
+
+TEST(PriorityAssignmentTest, DeadlineMonotonicBaselineOnPinnedFixture) {
+  const Assignment dm = deadline_monotonic(pinned_fixture());
+  ASSERT_EQ(dm.order, (std::vector<std::size_t>{0, 1}));
+  EXPECT_NEAR(dm.eval.alpha, 1.0, kTol);
+  EXPECT_NEAR(dm.eval.bound, 2.0 / 3.0, kTol);
+}
+
+TEST(PriorityAssignmentTest, ExhaustiveSearchBeatsDmOnPinnedFixture) {
+  const Assignment best = optimal(pinned_fixture());
+  // Promote B above A: alpha = 0.09/0.1 = 0.9, beta_B = 0.0001/0.1 = 0.001,
+  // bound = 0.9 * (1 - 0.001) = 0.8991 > 2/3.
+  ASSERT_EQ(best.order, (std::vector<std::size_t>{1, 0}));
+  EXPECT_NEAR(best.eval.alpha, 0.9, kTol);
+  EXPECT_NEAR(best.eval.bound, 0.8991, kTol);
+  const Assignment dm = deadline_monotonic(pinned_fixture());
+  EXPECT_GT(best.eval.bound, dm.eval.bound);
+}
+
+TEST(PriorityAssignmentTest, AdmissionRegionWidensUnderOptimalOrder) {
+  // The schedulability gain is visible through FeasibleRegion: a load that
+  // the DM region rejects fits inside the optimal-order region.
+  const Assignment dm = deadline_monotonic(pinned_fixture());
+  const Assignment best = optimal(pinned_fixture());
+  const auto region_dm =
+      core::FeasibleRegion::with_blocking(dm.eval.alpha, dm.eval.beta);
+  const auto region_best =
+      core::FeasibleRegion::with_blocking(best.eval.alpha, best.eval.beta);
+  EXPECT_NEAR(region_dm.bound(), dm.eval.bound, kTol);
+  EXPECT_NEAR(region_best.bound(), best.eval.bound, kTol);
+  // An f(U) sum of 0.8 sits between the two bounds: rejected under DM,
+  // admitted under the searched order.
+  EXPECT_FALSE(region_dm.admits(0.8));
+  EXPECT_TRUE(region_best.admits(0.8));
+}
+
+// --- determinism ----------------------------------------------------------
+
+TEST(PriorityAssignmentTest, TieFallsBackToDeadlineMonotonic) {
+  // No critical sections: every order with alpha = 1... only DM reaches
+  // alpha = 1; but with IDENTICAL deadlines all orders tie at bound = 1 and
+  // the search must return the DM (stable, index-ordered) permutation.
+  const std::vector<TaskClass> tasks = {cls(0.05), cls(0.05), cls(0.05)};
+  const Assignment best = optimal(tasks);
+  EXPECT_EQ(best.order, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_NEAR(best.eval.bound, 1.0, kTol);
+}
+
+TEST(PriorityAssignmentTest, DmIsStableOnEqualDeadlines) {
+  const std::vector<TaskClass> tasks = {cls(0.05), cls(0.05), cls(0.02)};
+  const Assignment dm = deadline_monotonic(tasks);
+  EXPECT_EQ(dm.order, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+// --- Audsley-style heuristic beyond the exhaustive limit ------------------
+
+// Ten classes (> kExhaustiveLimit = 8). Z (D = 89 ms, no critical section)
+// and Y (D = 90 ms, 30 ms critical section) sit at the top of DM order;
+// eight filler classes with D = 91..98 ms follow. Under DM, Y's critical
+// section never blocks anyone ABOVE it except Z — beta_Z = 0.03/0.089.
+// The greedy lowest-priority-first pass discovers that parking Z at the
+// BOTTOM removes all blocking (nothing below Z has a critical section once
+// Y is above it) at an alpha cost of only 89/98.
+TEST(PriorityAssignmentTest, HeuristicBeatsDmOnLargeFixture) {
+  std::vector<TaskClass> tasks;
+  tasks.push_back(cls(0.089));          // Z, index 0
+  tasks.push_back(cls(0.090, {0.03}));  // Y, index 1
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(cls(0.091 + 0.001 * i));
+  }
+  ASSERT_GT(tasks.size(), kExhaustiveLimit);
+
+  const Assignment dm = deadline_monotonic(tasks);
+  // DM: Z highest, Y second; Y's 30 ms section blocks Z.
+  EXPECT_NEAR(dm.eval.alpha, 1.0, kTol);
+  EXPECT_NEAR(dm.eval.bound, 1.0 - 0.03 / 0.089, 1e-9);
+
+  const Assignment best = optimal(tasks);
+  // Z demoted to the bottom: beta vanishes, alpha = 0.089 / 0.098.
+  EXPECT_GT(best.eval.bound, dm.eval.bound);
+  EXPECT_NEAR(best.eval.alpha, 0.089 / 0.098, 1e-9);
+  EXPECT_NEAR(best.eval.bound, 0.089 / 0.098, 1e-9);
+  ASSERT_FALSE(best.order.empty());
+  EXPECT_EQ(best.order.back(), 0u);  // Z at lowest priority
+}
+
+TEST(PriorityAssignmentTest, HeuristicNeverWorseThanDm) {
+  // Randomized-ish structured sweep: whatever the heuristic returns, it must
+  // dominate (or match) the DM baseline — optimal() compares and keeps the
+  // better of the two by construction, so this pins that guarantee.
+  for (int shape = 0; shape < 6; ++shape) {
+    std::vector<TaskClass> tasks;
+    for (int i = 0; i < 10; ++i) {
+      const double d = 0.02 + 0.007 * i + 0.003 * ((i * (shape + 3)) % 5);
+      std::vector<Duration> sections;
+      if ((i + shape) % 3 == 0) sections.push_back(0.001 * (1 + shape));
+      tasks.push_back(cls(d, std::move(sections)));
+    }
+    const Assignment dm = deadline_monotonic(tasks);
+    const Assignment best = optimal(tasks);
+    EXPECT_GE(best.eval.bound, dm.eval.bound - kTol) << "shape " << shape;
+  }
+}
+
+TEST(PriorityAssignmentTest, SingleAndEmptyInputs) {
+  const std::vector<TaskClass> none;
+  EXPECT_TRUE(optimal(none).order.empty());
+  const std::vector<TaskClass> one_task = {cls(0.05, {0.01})};
+  const Assignment one = optimal(one_task);
+  EXPECT_EQ(one.order, (std::vector<std::size_t>{0}));
+  EXPECT_NEAR(one.eval.bound, 1.0, kTol);  // nobody to block
+}
+
+}  // namespace
+}  // namespace frap::sched::assignment

@@ -11,3 +11,16 @@ bool literal_left(double y) {
 bool signed_literal(double z) {
   return z == -1.25;  // line 12
 }
+struct Key {
+  double value;
+  unsigned long seq;
+};
+bool key_eq(const Key& a, const Key& b) {
+  return a.value == b.value;  // line 19
+}
+bool key_ne(const Key& a, const Key& b) {
+  return a.value != b.value;  // line 22
+}
+bool against_scalar(const Key& a, double x) {
+  return x == a.value;  // line 25
+}

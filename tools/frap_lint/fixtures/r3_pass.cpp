@@ -11,3 +11,9 @@ bool at_time(double t, double expected) {
 }
 bool integers(int a) { return a == 1; }
 bool ordering(double x) { return x <= 1.0; }  // relational, not equality
+struct Opt {
+  double value() const;
+};
+bool call_not_member(const Opt& o) { return o.value() == 2; }
+bool call_on_right(const Opt& o, int n) { return n == o.value(); }
+bool plain_ident(const std::string& value) { return value == "exact"; }

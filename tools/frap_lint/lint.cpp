@@ -288,8 +288,41 @@ void rule_rederived_admission(const std::string& file, const Tokens& sig,
 // a unary sign). Exact comparison against a computed double is the sharp-
 // threshold failure mode; util::almost_equal / util::time_close are the
 // sanctioned comparators.
+//
+// Also flags ==/!= where an operand is a `.value` member access: the tree's
+// known float-typed `.value` is the dispatch key (sched/priority.h), whose
+// comparators are exactly the place a well-meaning epsilon would corrupt the
+// deterministic total order. Comparing such a member exactly is legal ONLY
+// under a documented copied-bits contract, so the comparison must carry a
+// suppression stating that contract — the rule exists to make the contract
+// visible, not to ban the compare. A `value` followed by `(` is a call
+// (e.g. optional::value()), not a member read, and plain identifiers named
+// `value` (CLI string parsing and the like) are out of scope.
 void rule_float_equality(const std::string& file, const Tokens& sig,
                          std::vector<Finding>& out) {
+  // True when the token chain starting at `j` (a primary expression:
+  // identifiers, scope/member punctuation, balanced groups) reads a member
+  // named `value`.
+  auto chain_reads_value_member = [&](std::size_t j) {
+    bool reads = false;
+    while (j < sig.size()) {
+      if (is_punct(sig[j], ".") || is_punct(sig[j], "->")) {
+        if (j + 1 < sig.size() && is_ident(sig[j + 1], "value") &&
+            (j + 2 >= sig.size() || !is_punct(sig[j + 2], "("))) {
+          reads = true;
+        }
+        ++j;
+      } else if (is_ident(sig[j]) || is_punct(sig[j], "::")) {
+        ++j;
+      } else if (is_punct(sig[j], "(") || is_punct(sig[j], "[")) {
+        j = skip_balanced(sig, j);
+      } else {
+        break;
+      }
+    }
+    return reads;
+  };
+
   for (std::size_t i = 0; i < sig.size(); ++i) {
     if (!is_punct(sig[i], "==") && !is_punct(sig[i], "!=")) continue;
     bool flt = false;
@@ -308,6 +341,24 @@ void rule_float_equality(const std::string& file, const Tokens& sig,
                          " against a literal; use util::almost_equal / "
                          "util::time_close (or suppress with the reason the "
                          "exact compare is sound)"});
+      continue;
+    }
+
+    // `.value` member-access operand: left side is `... . value ==`, right
+    // side is a primary-expression chain ending in `. value`.
+    bool value_member = false;
+    if (i >= 2 && is_ident(sig[i - 1], "value") &&
+        (is_punct(sig[i - 2], ".") || is_punct(sig[i - 2], "->"))) {
+      value_member = true;
+    }
+    if (!value_member && chain_reads_value_member(j)) value_member = true;
+    if (value_member) {
+      out.push_back({file, sig[i].line, kFloatEquality,
+                     "exact " + sig[i].text +
+                         " on a `.value` member (dispatch keys are float-"
+                         "typed); either compare via util::almost_equal / "
+                         "util::time_close, or suppress citing the exact-tie "
+                         "contract that makes bitwise comparison sound"});
     }
   }
 }
