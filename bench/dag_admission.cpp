@@ -1,0 +1,247 @@
+// DAG admission bound bench (ISSUE 9, docs/dag_bounds.md). Three sweeps
+// over randomized Erdős–Rényi DAGs of 100 / 1k / 10k nodes:
+//
+//   * DagAdmitIncremental/N: attempts/sec of the interned long-path fast
+//     path — cached per-stage f-terms + profile dot products, O(touched
+//     resources), independent of node count. The probe is rejected at the
+//     measured state (path multiplicity x f(0.25) > 1), so the full
+//     evaluation runs but nothing commits.
+//   * DagAdmitRewalk/N: the same decision recomputed the pre-interning way
+//     — snapshot every utilization, walk all N nodes, run the exact
+//     critical-path DP. O(V + E) per attempt; the acceptance criterion is
+//     incremental >= 5x this at N = 10k.
+//   * DagAdmittedLoad/N: an overloaded arrival stream committed through the
+//     long-path controller (expiries via the simulator), with the
+//     critical-path test at the worst-case alpha evaluated pointwise on the
+//     same states. Counters pin the admit-count gain and that dominance
+//     violations stay at zero (every crit admit is a long-path admit).
+//
+// Writes BENCH_dag.json (override with FRAP_BENCH_JSON) with attempts/sec
+// per variant, the incremental speedups, and the per-size admit gains.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/admission.h"
+#include "core/feasible_region.h"
+#include "core/long_path_bound.h"
+#include "core/synthetic_utilization.h"
+#include "core/task_graph.h"
+#include "core/task_graph_shape.h"
+#include "sim/simulator.h"
+#include "util/math.h"
+#include "util/rng.h"
+#include "workload/random_dag.h"
+
+namespace {
+
+using namespace frap;
+
+constexpr std::size_t kResources = 8;
+constexpr Duration kCeiling = 1.0;       // D̂_k for every resource
+constexpr Duration kDeadlineMin = 0.5;   // load-sweep deadlines in [0.5, 1]
+constexpr double kAlpha = kDeadlineMin / kCeiling;
+
+// ER config sized so edge count stays O(4N) at every N: long paths exist
+// (the re-walk has real DP work) without quadratic edge blowup at 10k.
+workload::RandomDagConfig sized_config(std::size_t nodes) {
+  workload::RandomDagConfig cfg;
+  cfg.kind = workload::RandomDagConfig::Kind::kErdosRenyi;
+  cfg.num_nodes = nodes;
+  cfg.num_resources = kResources;
+  cfg.edge_prob = std::min(0.25, 4.0 / static_cast<double>(nodes));
+  // Total compute ~0.02 per task regardless of node count, so the load
+  // sweep sees comparable per-task contributions at every size.
+  cfg.min_compute = 0.01 / static_cast<double>(nodes);
+  cfg.max_compute = 0.03 / static_cast<double>(nodes);
+  return cfg;
+}
+
+// Canonicalized specs share interned shapes owned by the fixture registry;
+// built lazily ONCE per size (10k-node generation is the expensive part)
+// and reused across benchmark re-entries.
+struct SizedFixture {
+  core::TaskGraphShapeRegistry registry;
+  std::vector<core::GraphTaskSpec> pool;  // load sweep, random deadlines
+  core::GraphTaskSpec probe;              // deadline = ceiling
+};
+
+SizedFixture& fixture_for(std::size_t nodes) {
+  static std::map<std::size_t, std::unique_ptr<SizedFixture>> fixtures;
+  auto& slot = fixtures[nodes];
+  if (slot) return *slot;
+  slot = std::make_unique<SizedFixture>();
+  util::Rng rng(1000 + static_cast<std::uint64_t>(nodes));
+  const auto cfg = sized_config(nodes);
+  const std::size_t pool_size = nodes <= 100 ? 64 : (nodes <= 1000 ? 16 : 6);
+  slot->pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    slot->pool.push_back(slot->registry.canonicalize(workload::random_dag(
+        rng, cfg, i + 1, rng.uniform(kDeadlineMin, kCeiling))));
+  }
+  slot->probe =
+      slot->registry.canonicalize(workload::random_dag(rng, cfg, 0, kCeiling));
+  return *slot;
+}
+
+core::LongPathEvaluator make_evaluator() {
+  return core::LongPathEvaluator(std::vector<double>(kResources, kCeiling),
+                                 {}, kAlpha);
+}
+
+// Background load making the probe's path value exceed the budget: every
+// resource at u = 0.25 gives f = 0.2917 per node, and any surviving path
+// spans >= 4 nodes at these sizes, so the test runs in full and rejects
+// without committing — constant state across iterations.
+void prefill(core::SyntheticUtilizationTracker& tracker) {
+  double add[kResources];
+  for (double& a : add) a = 0.25;
+  tracker.add(1, add, 1e3);
+}
+
+void DagAdmitIncremental(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  auto& fixture = fixture_for(nodes);
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, kResources);
+  core::GraphAdmissionController controller(sim, tracker, make_evaluator());
+  prefill(tracker);
+  core::GraphTaskSpec spec = fixture.probe;  // one copy; only the id churns
+  std::uint64_t id = 1'000'000;
+  for (auto _ : state) {
+    spec.id = id++;
+    benchmark::DoNotOptimize(controller.try_admit(spec, sim.now()));
+  }
+  if (controller.admitted() != 0) {
+    state.SkipWithError("probe unexpectedly admitted; state drifted");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(DagAdmitIncremental)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void DagAdmitRewalk(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  auto& fixture = fixture_for(nodes);
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, kResources);
+  prefill(tracker);
+  core::LongPathEvaluator rewalk = make_evaluator();
+  core::GraphTaskSpec spec = fixture.probe;
+  std::uint64_t id = 2'000'000;
+  const double inv_d = util::safe_inv(spec.deadline);
+  for (auto _ : state) {
+    spec.id = id++;
+    // The pre-interning recipe per attempt: full snapshot, before/with
+    // values via the exact all-nodes walk + critical-path DP.
+    auto u = tracker.utilizations();
+    const double before = rewalk.exact_lhs_from_snapshot(spec, u);
+    for (const auto& n : spec.nodes) {
+      u[n.resource] += n.demand.compute * inv_d;
+    }
+    const double with_task = rewalk.exact_lhs_from_snapshot(spec, u);
+    benchmark::DoNotOptimize(before);
+    benchmark::DoNotOptimize(with_task);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(DagAdmitRewalk)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void DagAdmittedLoad(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  auto& fixture = fixture_for(nodes);
+  sim::Simulator sim;
+  core::SyntheticUtilizationTracker tracker(sim, kResources);
+  core::GraphAdmissionController controller(sim, tracker, make_evaluator());
+  core::GraphRegionEvaluator crit_eval(kAlpha, {});
+  // Per-entry working copies so the measured loop mutates ids only.
+  std::vector<core::GraphTaskSpec> specs(fixture.pool.begin(),
+                                         fixture.pool.end());
+  util::Rng rng(static_cast<std::uint64_t>(nodes) + 7);
+  const double lambda = 1000.0;  // arrivals/sec: overload, the region binds
+  std::uint64_t id = 3'000'000;
+  std::uint64_t offered = 0, long_admits = 0, crit_admits = 0, crit_only = 0;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    sim.run_until(sim.now() + rng.exponential(1.0 / lambda));
+    auto& spec = specs[next];
+    next = (next + 1) % specs.size();
+    spec.id = id++;
+    ++offered;
+
+    // Critical-path test at worst-case alpha, pointwise (no commit).
+    auto u = tracker.utilizations();
+    const auto add = spec.resource_contributions(kResources);
+    for (std::size_t k = 0; k < kResources; ++k) u[k] += add[k];
+    const bool crit_admit = core::FeasibleRegion::admits_lhs(
+        crit_eval.lhs(spec, u), crit_eval.bound(spec));
+
+    const auto d = controller.try_admit(spec, sim.now());
+    if (d.admitted) ++long_admits;
+    if (crit_admit) {
+      ++crit_admits;
+      if (!d.admitted) ++crit_only;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["offered"] = static_cast<double>(offered);
+  state.counters["long_admits"] = static_cast<double>(long_admits);
+  state.counters["crit_admits"] = static_cast<double>(crit_admits);
+  state.counters["crit_only"] = static_cast<double>(crit_only);
+  state.counters["admit_gain"] =
+      crit_admits > 0 ? static_cast<double>(long_admits) /
+                            static_cast<double>(crit_admits)
+                      : 0.0;
+}
+BENCHMARK(DagAdmittedLoad)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  frap::benchjson::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::map<std::string, double> summary;
+  for (const char* n : {"100", "1000", "10000"}) {
+    const std::string size(n);
+    const double inc = reporter.counter_of("DagAdmitIncremental/" + size,
+                                           "items_per_second");
+    const double rew =
+        reporter.counter_of("DagAdmitRewalk/" + size, "items_per_second");
+    summary["incremental_attempts_per_sec_" + size] = inc;
+    summary["rewalk_attempts_per_sec_" + size] = rew;
+    // Acceptance: >= 5 at size 10000.
+    summary["incremental_speedup_" + size] = rew > 0 ? inc / rew : 0;
+    summary["admit_gain_" + size] =
+        reporter.counter_of("DagAdmittedLoad/" + size, "admit_gain");
+    summary["dominance_violations_" + size] =
+        reporter.counter_of("DagAdmittedLoad/" + size, "crit_only");
+  }
+  const std::string path = frap::benchjson::json_path("BENCH_dag.json");
+  if (!frap::benchjson::write_json(path, reporter.results(), summary)) {
+    std::fprintf(stderr, "FATAL: could not write %s\n", path.c_str());
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

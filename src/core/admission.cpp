@@ -445,9 +445,71 @@ GraphAdmissionController::GraphAdmissionController(
   scratch_u_.resize(tracker_.num_stages());
 }
 
+GraphAdmissionController::GraphAdmissionController(
+    sim::Simulator& sim, SyntheticUtilizationTracker& tracker,
+    LongPathEvaluator evaluator)
+    : sim_(sim), tracker_(tracker), long_path_(std::move(evaluator)) {
+  FRAP_EXPECTS(long_path_->num_resources() == tracker_.num_stages());
+  scratch_u_.resize(tracker_.num_stages());
+  commit_stages_.reserve(tracker_.num_stages());
+  commit_values_.reserve(tracker_.num_stages());
+}
+
+// frap:contract(hotpath) -- the per-attempt cost is O(touched resources +
+// cached profile entries), independent of graph size; push_back only into
+// vectors reserved to capacity at construction.
+AdmissionDecision GraphAdmissionController::try_admit_interned(
+    const GraphTaskSpec& spec, Time now) {
+  const std::uint64_t t0 = sink_ != nullptr ? sink_->begin_decision() : 0;
+  // The full spec.valid() walk is the canonicalization precondition
+  // (TaskGraphShapeRegistry interns only valid specs); the attempt hot path
+  // trusts the interned layout and debug-asserts it inside evaluate().
+  FRAP_EXPECTS(spec.deadline > 0);
+  const LongPathEvaluator::Eval e = long_path_->evaluate(spec, tracker_);
+
+  AdmissionDecision d;
+  d.arrival = now;
+  d.decided_at = sim_.now();
+  d.bound = LongPathEvaluator::kDelayBudget;
+  d.lhs_before = e.lhs_before;
+  d.lhs_with_task = e.lhs_with_task;
+  d.admitted = e.admitted;
+  d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
+                        : reject_reason(d.lhs_with_task);
+
+  const auto touched = spec.shape->touched_resources();
+  const auto compute = spec.shape->resource_compute();
+  if (d.admitted) {
+    ++admitted_;
+    // Sparse commit over the shape's touched-resource layout: ascending
+    // stage order by construction, identical contribution values to the
+    // ones the evaluation tested.
+    const double inv_d = util::safe_inv(spec.deadline);
+    commit_stages_.clear();
+    commit_values_.clear();
+    for (std::size_t t = 0; t < touched.size(); ++t) {
+      const double c = compute[t] * inv_d;
+      if (c <= 0) continue;  // zero-demand nodes contribute nothing
+      commit_stages_.push_back(touched[t]);
+      commit_values_.push_back(c);
+    }
+    tracker_.add_sparse(spec.id, commit_stages_.data(), commit_values_.data(),
+                        static_cast<std::uint32_t>(commit_stages_.size()),
+                        now + spec.deadline);
+  }
+  if (sink_ != nullptr) {
+    sink_->record(d, spec.id, static_cast<std::uint16_t>(touched.size()), t0);
+  }
+  return d;
+}
+
 AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
                                                       Time now) {
   ++attempts_;
+  ++evaluations_;
+  if (long_path_ && spec.shape != nullptr) {
+    return try_admit_interned(spec, now);
+  }
   const std::uint64_t t0 = sink_ != nullptr ? sink_->begin_decision() : 0;
   FRAP_EXPECTS(spec.valid(tracker_.num_stages()));
   const auto add = spec.resource_contributions(tracker_.num_stages());
@@ -457,10 +519,17 @@ AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
   AdmissionDecision d;
   d.arrival = now;
   d.decided_at = sim_.now();
-  d.bound = evaluator_.bound(spec);
-  d.lhs_before = evaluator_.lhs(spec, u);
-  for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
-  d.lhs_with_task = evaluator_.lhs(spec, u);
+  if (long_path_) {
+    d.bound = LongPathEvaluator::kDelayBudget;
+    d.lhs_before = long_path_->lhs_from_snapshot(spec, u);
+    for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
+    d.lhs_with_task = long_path_->lhs_from_snapshot(spec, u);
+  } else {
+    d.bound = evaluator_->bound(spec);
+    d.lhs_before = evaluator_->lhs(spec, u);
+    for (std::size_t j = 0; j < u.size(); ++j) u[j] += add[j];
+    d.lhs_with_task = evaluator_->lhs(spec, u);
+  }
   d.admitted = FeasibleRegion::admits_lhs(d.lhs_with_task, d.bound);
   d.reason = d.admitted ? AdmissionDecision::Reason::kAdmitted
                         : reject_reason(d.lhs_with_task);
@@ -482,6 +551,149 @@ AdmissionDecision GraphAdmissionController::try_admit(const GraphTaskSpec& spec,
 AdmissionDecision GraphAdmissionController::try_admit(const TaskSpec& spec,
                                                       Time now) {
   return try_admit(GraphTaskSpec::from_pipeline(spec), now);
+}
+
+// ------------------------------------------------------- waiting (graph) ---
+
+WaitingGraphAdmissionController::WaitingGraphAdmissionController(
+    sim::Simulator& sim, GraphAdmissionController& inner, Duration patience)
+    : sim_(sim), inner_(inner), tracker_(inner.tracker()),
+      patience_(patience) {
+  FRAP_EXPECTS(patience >= 0);
+}
+
+void WaitingGraphAdmissionController::attach() {
+  tracker_.set_on_decrease([this] { on_decrease(); });
+}
+
+void WaitingGraphAdmissionController::snapshot_gate(Pending& p) const {
+  if (p.touched.empty()) {
+    if (p.spec.shape != nullptr) {
+      const auto touched = p.spec.shape->touched_resources();
+      p.touched.assign(touched.begin(), touched.end());
+    } else {
+      for (const auto& n : p.spec.nodes) {
+        p.touched.push_back(static_cast<std::uint32_t>(n.resource));
+      }
+      std::sort(p.touched.begin(), p.touched.end());
+      p.touched.erase(std::unique(p.touched.begin(), p.touched.end()),
+                      p.touched.end());
+    }
+  }
+  p.gate_f.resize(p.touched.size());
+  for (std::size_t i = 0; i < p.touched.size(); ++i) {
+    p.gate_f[i] = tracker_.stage_lhs_term(p.touched[i]);
+  }
+}
+
+bool WaitingGraphAdmissionController::gate_changed(const Pending& p) const {
+  for (std::size_t i = 0; i < p.touched.size(); ++i) {
+    // Bitwise compare, deliberately: f is strictly increasing in U, so an
+    // identical f-term means an identical touched utilization and the failed
+    // test would repeat verbatim. Any real change — in either direction —
+    // re-evaluates, so the gate can only skip provably-futile retries.
+    // frap-lint: allow(float-equality) -- exactness is the point here.
+    if (p.gate_f[i] != tracker_.stage_lhs_term(p.touched[i])) return true;
+  }
+  return false;
+}
+
+void WaitingGraphAdmissionController::decide(const Pending& p,
+                                             const AdmissionDecision& d) {
+  if (decide_) decide_(p.spec, d);
+}
+
+AdmissionDecision WaitingGraphAdmissionController::timed_out_decision(
+    const Pending& p) const {
+  AdmissionDecision d = p.last_test;
+  d.admitted = false;
+  d.reason = AdmissionDecision::Reason::kTimedOut;
+  d.arrival = p.arrival;
+  d.decided_at = sim_.now();
+  return d;
+}
+
+void WaitingGraphAdmissionController::submit(const GraphTaskSpec& spec) {
+  const Time arrival = sim_.now();
+  Pending p{spec, arrival, AdmissionDecision{}, sim::kInvalidEventId, {}, {}};
+  // FIFO: while earlier arrivals wait, newcomers queue behind them even if
+  // they would fit — otherwise small tasks would starve large waiting ones.
+  if (queue_.empty()) {
+    const auto d = inner_.try_admit(spec, arrival);
+    if (d.admitted) {
+      decide(p, d);
+      return;
+    }
+    p.last_test = d;
+  } else {
+    p.last_test.bound = LongPathEvaluator::kDelayBudget;
+    p.last_test.lhs_before = tracker_.cached_lhs();
+    p.last_test.lhs_with_task = p.last_test.lhs_before;
+  }
+  if (patience_ <= 0) {
+    decide(p, timed_out_decision(p));
+    return;
+  }
+  snapshot_gate(p);
+  const std::uint64_t id = spec.id;
+  p.timeout_event = sim_.after(patience_, [this, id] { timeout(id); });
+  queue_.push_back(std::move(p));
+}
+
+void WaitingGraphAdmissionController::on_decrease() {
+  if (queue_.empty()) return;
+  // Headroom gate: only the FIFO front is eligible for retry, so if none of
+  // ITS touched f-terms moved since its last failed test, no evaluation can
+  // change outcome — skip without invoking the evaluator at all.
+  if (!retrying_ && !gate_changed(queue_.front())) {
+    ++gate_skips_;
+    return;
+  }
+  retry();
+}
+
+void WaitingGraphAdmissionController::retry() {
+  // Same re-arm discipline as WaitingAdmissionController::retry: a decide
+  // callback can cascade into further decreases mid-scan.
+  if (retrying_) {
+    rearm_ = true;
+    return;
+  }
+  retrying_ = true;
+  do {
+    rearm_ = false;
+    while (!queue_.empty()) {
+      Pending& p = queue_.front();
+      const auto d = inner_.try_admit(p.spec, p.arrival);
+      if (!d.admitted) {
+        p.last_test = d;
+        snapshot_gate(p);
+        break;  // FIFO: later tasks wait their turn
+      }
+      sim_.cancel(p.timeout_event);
+      Pending done = std::move(p);
+      queue_.pop_front();
+      decide(done, d);
+    }
+    if (rearm_) ++rearmed_retries_;
+  } while (rearm_);
+  retrying_ = false;
+}
+
+void WaitingGraphAdmissionController::timeout(std::uint64_t task_id) {
+  auto it = std::find_if(queue_.begin(), queue_.end(),
+                         [&](const Pending& p) { return p.spec.id == task_id; });
+  if (it == queue_.end()) return;  // already admitted
+  const bool was_front = it == queue_.begin();
+  Pending done = std::move(*it);
+  queue_.erase(it);
+  ++timed_out_;
+  decide(done, timed_out_decision(done));
+  // A timeout promotes the next waiter to the front without any decrease
+  // event; it has never been tested against the current state, so retry now
+  // (which also snapshots its gate on failure) rather than stranding it
+  // until the next touched-f change.
+  if (was_front && !queue_.empty()) retry();
 }
 
 }  // namespace frap::core

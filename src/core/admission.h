@@ -50,6 +50,7 @@
 #include "core/admission_audit.h"
 #include "core/admission_decision.h"
 #include "core/feasible_region.h"
+#include "core/long_path_bound.h"
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
 #include "core/task_graph.h"
@@ -331,11 +332,22 @@ class SheddingAdmissionController : public Admitter {
 // per task over its graph; contributions are per-resource sums. Pipeline
 // TaskSpecs are admitted through the Admitter interface by converting them
 // to their chain-graph form (GraphTaskSpec::from_pipeline).
+//
+// Two pluggable bounds (docs/dag_bounds.md):
+//   * GraphRegionEvaluator — the paper's single-critical-path test;
+//     evaluated from a full utilization snapshot (re-walk per attempt).
+//   * LongPathEvaluator — the per-path long-path bound. Canonicalized specs
+//     (spec.shape set) take the incremental fast path: O(touched resources
+//     + cached profile entries) per attempt with an allocation-free sparse
+//     commit; specs without a shape fall back to the snapshot walk.
 class GraphAdmissionController : public Admitter {
  public:
   GraphAdmissionController(sim::Simulator& sim,
                            SyntheticUtilizationTracker& tracker,
                            GraphRegionEvaluator evaluator);
+  GraphAdmissionController(sim::Simulator& sim,
+                           SyntheticUtilizationTracker& tracker,
+                           LongPathEvaluator evaluator);
 
   [[nodiscard]] AdmissionDecision try_admit(const GraphTaskSpec& spec,
                                             Time now);
@@ -347,21 +359,112 @@ class GraphAdmissionController : public Admitter {
     return try_admit(spec, sim_.now());
   }
 
+  [[nodiscard]] bool long_path() const { return long_path_.has_value(); }
+  LongPathEvaluator* long_path_evaluator() {
+    return long_path_ ? &*long_path_ : nullptr;
+  }
+
+  SyntheticUtilizationTracker& tracker() { return tracker_; }
+
   std::uint64_t attempts() const { return attempts_; }
   std::uint64_t admitted() const { return admitted_; }
+
+  // Region evaluations performed (one per try_admit attempt, including
+  // waiting-queue retries). The waiting controller's headroom gate is
+  // pinned against this counter: a decrease that cannot change the front
+  // waiter's test must not add an evaluation.
+  std::uint64_t evaluations() const { return evaluations_; }
 
   // Optional decision tracing; same passivity contract as
   // AdmissionController::set_sink.
   void set_sink(obs::DecisionSink* sink) { sink_ = sink; }
 
  private:
+  // Incremental long-path fast path; requires spec.shape.
+  AdmissionDecision try_admit_interned(const GraphTaskSpec& spec, Time now);
+
   sim::Simulator& sim_;
   SyntheticUtilizationTracker& tracker_;
-  GraphRegionEvaluator evaluator_;
+  std::optional<GraphRegionEvaluator> evaluator_;  // critical-path mode
+  std::optional<LongPathEvaluator> long_path_;     // long-path mode
   std::vector<double> scratch_u_;  // reused utilization snapshot buffer
+  // Reused sparse (stage, value) buffers for the interned commit; reserved
+  // to num_stages() up front so the hot path never grows them.
+  std::vector<std::uint32_t> commit_stages_;
+  std::vector<double> commit_values_;
   std::uint64_t attempts_ = 0;
   std::uint64_t admitted_ = 0;
+  std::uint64_t evaluations_ = 0;
   obs::DecisionSink* sink_ = nullptr;
+};
+
+// Sec. 5 waiting behaviour for DAG tasks, with a headroom gate fixing the
+// re-walk-on-expire cost: a parked task stores the tracker's cached f-terms
+// over its touched resources at its last failed test, and a utilization
+// decrease only re-runs the (profile or full-DAG) evaluation when one of
+// those f-terms actually changed. f is strictly increasing in U, so equal
+// f-terms mean the touched utilizations are unchanged and the failed test
+// would repeat verbatim — the gate can never strand an admissible waiter.
+// Decreases at resources the front waiter does not touch cost O(touched)
+// compares and zero evaluator invocations (gate_skips()).
+class WaitingGraphAdmissionController {
+ public:
+  using DecisionCallback =
+      std::function<void(const GraphTaskSpec&, const AdmissionDecision&)>;
+
+  WaitingGraphAdmissionController(sim::Simulator& sim,
+                                  GraphAdmissionController& inner,
+                                  Duration patience);
+
+  // Call once; the controller hooks the tracker's decrease notifications.
+  // Any previously installed on-decrease callback is replaced.
+  void attach();
+
+  void set_decision_callback(DecisionCallback cb) { decide_ = std::move(cb); }
+
+  // Submits an arrival at the current time. May decide synchronously (fits
+  // now, or patience == 0) or later.
+  void submit(const GraphTaskSpec& spec);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t timed_out() const { return timed_out_; }
+
+  // Decrease notifications short-circuited by the headroom gate (no
+  // evaluator invocation).
+  std::uint64_t gate_skips() const { return gate_skips_; }
+
+  // Decreases that arrived while a retry scan was running (scan re-armed).
+  std::uint64_t rearmed_retries() const { return rearmed_retries_; }
+
+ private:
+  struct Pending {
+    GraphTaskSpec spec;
+    Time arrival;
+    AdmissionDecision last_test;  // most recent failed admission attempt
+    sim::EventId timeout_event;
+    std::vector<std::uint32_t> touched;  // resources, ascending
+    std::vector<double> gate_f;  // cached f-terms at the last failed test
+  };
+
+  void snapshot_gate(Pending& p) const;
+  [[nodiscard]] bool gate_changed(const Pending& p) const;
+  void on_decrease();
+  void retry();
+  void timeout(std::uint64_t task_id);
+  void decide(const Pending& p, const AdmissionDecision& d);
+  AdmissionDecision timed_out_decision(const Pending& p) const;
+
+  sim::Simulator& sim_;
+  GraphAdmissionController& inner_;
+  SyntheticUtilizationTracker& tracker_;
+  Duration patience_;
+  std::deque<Pending> queue_;
+  DecisionCallback decide_;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t gate_skips_ = 0;
+  bool retrying_ = false;
+  bool rearm_ = false;  // decrease observed mid-retry: scan again
+  std::uint64_t rearmed_retries_ = 0;
 };
 
 }  // namespace frap::core

@@ -1,0 +1,143 @@
+// Long-path admission bound for DAG tasks (docs/dag_bounds.md).
+//
+// Theorem 2 admits a DAG task by pushing the per-stage delay f(U_k)·D_max
+// through the single critical path and comparing against alpha·(1 - Σβ).
+// Following He et al. (*Bounding the Response Time of DAG Tasks Using Long
+// Paths*), evaluating EVERY source->sink path with per-path constants
+// strictly dominates the single-path test. The instantiation here keeps the
+// paper's per-stage delay (Theorem 1) and tightens the two global constants
+// into per-task / per-resource ones:
+//
+//     for every path P:   Σ_{i in P} [ f(U_{k_i}) · D̂_{k_i} / D_n
+//                                       + β_{k_i} ]   <=   1
+//
+// where D_n is THIS task's relative deadline and D̂_k is a static
+// per-resource deadline ceiling with the contract that every admitted task
+// touching resource k has D_n <= D̂_k (enforced per evaluation). Theorem 1
+// then bounds the node's residence by f(U_k)·D̂_k for ANY fixed-priority
+// order — the ceiling plays D_max's role per resource — and B_k <= β_k·D_n
+// bounds blocking, so the condition above makes every path's delay <= D_n.
+// The critical-path test is the special case that collapses D_n/D̂_k to the
+// worst-case alpha = D_min/D_max and splits the f- and β-paths; the
+// dominance proof is in docs/dag_bounds.md.
+//
+// Evaluation cost: with an interned shape (core/task_graph_shape.h) the
+// per-path maximum is taken over the shape's cached dominant path profiles
+// in O(touched resources + profile entries), INDEPENDENT of graph size, and
+// the "before" value reuses the tracker's cached per-stage f-terms. When
+// the profile set is capped the envelope gives a sound admit fast path and
+// the exact DP runs only in the gray band — decisions always equal the
+// exact all-paths test. Without a shape the evaluator falls back to the
+// exact per-node DP (reference path).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/feasible_region.h"
+#include "core/synthetic_utilization.h"
+#include "core/task_graph.h"
+#include "core/task_graph_shape.h"
+
+namespace frap::core {
+
+class LongPathEvaluator {
+ public:
+  // Normalized per-path delay budget: the RHS of the condition above. Every
+  // admission comparison against it goes through FeasibleRegion::admits_lhs.
+  static constexpr double kDelayBudget = 1.0;
+
+  // deadline_ceiling[k] = D̂_k (> 0, finite) per resource. beta[k] is the
+  // normalized PCP blocking per resource; empty = all zeros.
+  //
+  // stage_cap is the victim guard: a per-resource ceiling on f(U_k) itself.
+  // The per-path budget above is verified for the NEWCOMER at its admission
+  // instant, but a later admission can still raise U_k under tasks admitted
+  // earlier with tighter deadlines. Capping every touched f-term at
+  // alpha·(1 - betâ) — the same per-resource state envelope every
+  // critical-path admission enforces (a single node's f-term never exceeds
+  // the path sum) — pins the global state invariant those victims relied
+  // on. A touched f-term above the cap maps to +inf weight, so the verdict
+  // still flows through one admits_lhs comparison (frap-lint R2). Any
+  // critical-path admit satisfies the cap by construction, which is what
+  // keeps the dominance direction exact (docs/dag_bounds.md). Pass +inf to
+  // disable (admission-instant guarantee only).
+  LongPathEvaluator(std::vector<double> deadline_ceiling,
+                    std::vector<double> beta,
+                    double stage_cap = kNoStageCap);
+
+  static constexpr double kNoStageCap =
+      std::numeric_limits<double>::infinity();
+  double stage_cap() const { return stage_cap_; }
+
+  std::size_t num_resources() const { return ceiling_.size(); }
+  double deadline_ceiling(std::size_t k) const { return ceiling_[k]; }
+
+  // True when the spec honors the static ceiling contract on every touched
+  // resource (D_n <= D̂_k). Admission aborts on violation; callers that
+  // generate tasks use this to pre-filter.
+  [[nodiscard]] bool respects_ceilings(const GraphTaskSpec& spec) const;
+
+  struct Eval {
+    double lhs_before = 0;     // path value of the current state
+    double lhs_with_task = 0;  // path value with the task's contribution
+    bool admitted = false;     // admits_lhs(lhs_with_task, kDelayBudget)
+  };
+
+  // Incremental admission evaluation: requires spec.shape (a canonicalized
+  // spec). Reads the tracker's cached per-stage f-terms for the "before"
+  // weights and recomputes f only at the touched resources for the "with
+  // task" weights; O(touched + profile entries), no graph walk, and no heap
+  // allocation once the evaluator's scratch is warm. Debug builds cross-
+  // check both values bit-exactly against recompute-from-snapshot.
+  [[nodiscard]] Eval evaluate(const GraphTaskSpec& spec,
+                              const SyntheticUtilizationTracker& tracker);
+
+  // Reference evaluation from an explicit utilization snapshot. With a
+  // shape this runs the identical profile logic as evaluate() (bit-identical
+  // values given bit-identical utilizations — the identity test's hook);
+  // without one it runs the exact per-node DP over the spec.
+  [[nodiscard]] double lhs_from_snapshot(const GraphTaskSpec& spec,
+                                         std::span<const double> utilizations);
+
+  [[nodiscard]] bool feasible(const GraphTaskSpec& spec,
+                              std::span<const double> utilizations) {
+    return FeasibleRegion::admits_lhs(lhs_from_snapshot(spec, utilizations),
+                                      kDelayBudget);
+  }
+
+  // Exact all-paths value (per-node DP), bypassing the profile fast path;
+  // the differential and property tests compare against it.
+  [[nodiscard]] double exact_lhs_from_snapshot(
+      const GraphTaskSpec& spec, std::span<const double> utilizations);
+
+  // Gray-band fallbacks taken (profile value inconclusive, exact DP ran).
+  std::uint64_t dp_fallbacks() const { return dp_fallbacks_; }
+
+ private:
+  // Per-resource weight at touched position t of `shape`, given that
+  // resource's f-term: f · D̂_k/D_n + β_k. Aborts on a ceiling violation.
+  double weight_of(std::size_t k, double f_term, Duration deadline,
+                   double inv_deadline) const;
+
+  // Max path value over the shape's cached profiles; exact when the profile
+  // set is complete, else envelope admit / kept reject / DP gray band.
+  // w_local holds one weight per touched resource of the shape.
+  double path_value(const TaskGraphShape& shape,
+                    std::span<const double> w_local);
+
+  std::vector<double> ceiling_;
+  std::vector<double> beta_;
+  double stage_cap_ = kNoStageCap;
+
+  // Reused scratch (sized on first use, stable after warmup).
+  std::vector<double> w_before_;
+  std::vector<double> w_with_;
+  std::vector<double> w_resource_;  // dense per-resource weights for the DP
+  std::vector<double> dp_dist_;
+  std::vector<double> dbg_u_;  // debug cross-check snapshot (kept heap-free)
+  std::uint64_t dp_fallbacks_ = 0;
+};
+
+}  // namespace frap::core

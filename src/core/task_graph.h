@@ -23,6 +23,8 @@
 
 namespace frap::core {
 
+class TaskGraphShape;  // hash-consed topology + layout (task_graph_shape.h)
+
 struct GraphNode {
   std::size_t resource = 0;  // index of the resource (stage server) used
   StageDemand demand;
@@ -39,6 +41,13 @@ struct GraphTaskSpec {
   double importance = 0;
   std::vector<GraphNode> nodes;
   std::vector<GraphEdge> edges;
+
+  // Interned shape (set by TaskGraphShapeRegistry; non-owning, the registry
+  // must outlive every spec that points at it). When set AND the spec is in
+  // canonical layout (TaskGraphShapeRegistry::canonicalize), admission and
+  // the DAG runtime reuse the shape's cached path structure instead of
+  // re-walking the graph per task. nullptr keeps every legacy path working.
+  const TaskGraphShape* shape = nullptr;
 
   std::size_t num_nodes() const { return nodes.size(); }
 

@@ -1,0 +1,459 @@
+#include "core/task_graph_shape.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace frap::core {
+
+namespace {
+
+// splitmix64-style mixing; the same finalizer util::IdMap uses. Color and
+// encoding hashes only steer bucket placement and canonical ORDER — shape
+// equality always compares the full encoding, so collisions cannot alias.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix(h ^ mix(v));
+}
+
+std::uint64_t duration_bits(Duration d) {
+  return std::bit_cast<std::uint64_t>(static_cast<double>(d));
+}
+
+// Dense multiplicity vector over touched-resource positions.
+using Mvec = std::vector<std::uint32_t>;
+
+std::uint64_t vec_sum(const Mvec& v) {
+  std::uint64_t s = 0;
+  for (std::uint32_t m : v) s += m;
+  return s;
+}
+
+// a dominates b: a[i] >= b[i] everywhere (equal vectors dominate too; the
+// caller dedupes first).
+bool dominates(const Mvec& a, const Mvec& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+void fold_max(Mvec& into, const Mvec& from) {
+  if (into.empty()) {
+    into = from;
+    return;
+  }
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+// Pareto-prunes `set` in place (dedupe + dominance filter), then caps it at
+// `cap` keeping the largest profiles by (sum, lexicographic) — the dominant
+// long paths. Dropped vectors fold into `envelope`; returns true when
+// anything was dropped by the CAP (dominance drops are lossless).
+bool prune_profiles(std::vector<Mvec>& set, std::size_t cap, Mvec& envelope) {
+  // Largest-sum first; lexicographically larger first on ties, so the order
+  // (and therefore the kept set) is independent of insertion order.
+  std::sort(set.begin(), set.end(), [](const Mvec& a, const Mvec& b) {
+    const std::uint64_t sa = vec_sum(a);
+    const std::uint64_t sb = vec_sum(b);
+    if (sa != sb) return sa > sb;
+    return a > b;
+  });
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  std::vector<Mvec> kept;
+  kept.reserve(std::min(set.size(), cap + 1));
+  for (Mvec& v : set) {
+    bool dominated = false;
+    // Only an earlier (>= sum) vector can dominate v.
+    for (const Mvec& k : kept) {
+      if (dominates(k, v)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(std::move(v));
+  }
+  bool capped = false;
+  if (kept.size() > cap) {
+    for (std::size_t i = cap; i < kept.size(); ++i) {
+      fold_max(envelope, kept[i]);
+    }
+    kept.resize(cap);
+    capped = true;
+  }
+  set = std::move(kept);
+  return capped;
+}
+
+}  // namespace
+
+bool TaskGraphShape::layout_matches(const GraphTaskSpec& spec) const {
+  if (spec.nodes.size() != node_resource_.size()) return false;
+  if (spec.edges.size() != edge_to_.size()) return false;
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    if (spec.nodes[i].resource != node_resource_[i]) return false;
+    if (spec.nodes[i].demand.compute != node_compute_[i]) return false;
+  }
+  // Canonicalized specs carry their edges in the shape's (sorted) canonical
+  // order, so an exact positional compare suffices — and keeps this check,
+  // which runs inside every hot-path FRAP_ASSERT, allocation-free.
+  for (std::size_t i = 0; i < spec.edges.size(); ++i) {
+    if (spec.edges[i].from != edge_from_[i] ||
+        spec.edges[i].to != edge_to_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double TaskGraphShape::longest_path_weight(
+    std::span<const double> weight_by_resource,
+    std::vector<double>& scratch_dist) const {
+  const std::size_t n = num_nodes();
+  scratch_dist.assign(n, 0.0);
+  double best = 0;
+  // Canonical order is topological: predecessors of v precede v, so
+  // scratch_dist[v] already holds the max predecessor path weight.
+  for (std::size_t v = 0; v < n; ++v) {
+    FRAP_EXPECTS(node_resource_[v] < weight_by_resource.size());
+    const double val = scratch_dist[v] + weight_by_resource[node_resource_[v]];
+    best = std::max(best, val);
+    for (std::uint32_t s : successors(v)) {
+      scratch_dist[s] = std::max(scratch_dist[s], val);
+    }
+  }
+  return best;
+}
+
+TaskGraphShapeRegistry::CanonicalForm TaskGraphShapeRegistry::canonical_form(
+    const GraphTaskSpec& spec) {
+  // n == 0 is allowed: the empty graph canonicalizes to a benign shape with
+  // no touched resources and no profiles (its path maximum is 0). valid()
+  // still rejects empty specs before they reach a runtime.
+  const std::size_t n = spec.nodes.size();
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  std::vector<std::vector<std::uint32_t>> pred(n);
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (const auto& e : spec.edges) {
+    succ[e.from].push_back(static_cast<std::uint32_t>(e.to));
+    pred[e.to].push_back(static_cast<std::uint32_t>(e.from));
+    ++indeg[e.to];
+  }
+
+  // Longest hop distance from any source: a permutation-invariant graph
+  // property that respects topology (edge u->v implies depth u < depth v),
+  // so any depth-sorted order is topological regardless of tie-breaks.
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<std::uint32_t> remaining = indeg;
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (remaining[v] == 0) queue.push_back(static_cast<std::uint32_t>(v));
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const std::uint32_t v = queue[head++];
+    for (std::uint32_t s : succ[v]) {
+      depth[s] = std::max(depth[s], depth[v] + 1);
+      if (--remaining[s] == 0) queue.push_back(s);
+    }
+  }
+  FRAP_EXPECTS(queue.size() == n);  // acyclic (spec.valid() guarantees it)
+
+  // Weisfeiler-Leman color refinement seeded with the node attributes.
+  std::vector<std::uint64_t> color(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint64_t c = mix(depth[v]);
+    c = combine(c, spec.nodes[v].resource);
+    c = combine(c, duration_bits(spec.nodes[v].demand.compute));
+    c = combine(c, pred[v].size());
+    c = combine(c, succ[v].size());
+    color[v] = c;
+  }
+  std::vector<std::uint64_t> next(n);
+  std::vector<std::uint64_t> neigh;
+  auto distinct = [](std::vector<std::uint64_t> c) {
+    std::sort(c.begin(), c.end());
+    return static_cast<std::size_t>(
+        std::unique(c.begin(), c.end()) - c.begin());
+  };
+  std::size_t classes = distinct(color);
+  for (int round = 0; round < 8 && classes < n; ++round) {
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t c = mix(color[v]);
+      neigh.clear();
+      for (std::uint32_t p : pred[v]) neigh.push_back(color[p]);
+      std::sort(neigh.begin(), neigh.end());
+      for (std::uint64_t h : neigh) c = combine(c, h);
+      c = combine(c, 0x70726564u);  // separate pred from succ multisets
+      neigh.clear();
+      for (std::uint32_t s : succ[v]) neigh.push_back(color[s]);
+      std::sort(neigh.begin(), neigh.end());
+      for (std::uint64_t h : neigh) c = combine(c, h);
+      next[v] = c;
+    }
+    color.swap(next);
+    const std::size_t now = distinct(color);
+    if (now == classes) break;  // stable partition
+    classes = now;
+  }
+
+  // Canonical order: (depth, refined color), original index as the last
+  // resort. Residual ties are either truly automorphic (any order yields
+  // the same encoding) or a missed aliasing opportunity — never a false
+  // merge, because equality compares the full encoding.
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<std::uint32_t>(v);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (depth[a] != depth[b]) return depth[a] < depth[b];
+              if (color[a] != color[b]) return color[a] < color[b];
+              return a < b;
+            });
+
+  CanonicalForm form;
+  form.canon_of_original.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    form.canon_of_original[order[pos]] = static_cast<std::uint32_t>(pos);
+  }
+
+  form.encoding.reserve(2 + 2 * n + spec.edges.size());
+  form.encoding.push_back(n);
+  form.encoding.push_back(spec.edges.size());
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const auto& node = spec.nodes[order[pos]];
+    form.encoding.push_back(node.resource);
+    form.encoding.push_back(duration_bits(node.demand.compute));
+  }
+  std::vector<std::uint64_t> edges;
+  edges.reserve(spec.edges.size());
+  for (const auto& e : spec.edges) {
+    edges.push_back(
+        (static_cast<std::uint64_t>(form.canon_of_original[e.from]) << 32) |
+        form.canon_of_original[e.to]);
+  }
+  std::sort(edges.begin(), edges.end());
+  form.encoding.insert(form.encoding.end(), edges.begin(), edges.end());
+
+  std::uint64_t h = 0x646167u;
+  for (std::uint64_t w : form.encoding) h = combine(h, w);
+  form.hash = h;
+  return form;
+}
+
+std::unique_ptr<TaskGraphShape> TaskGraphShapeRegistry::build_shape(
+    const GraphTaskSpec& spec, CanonicalForm form) {
+  auto shape = std::unique_ptr<TaskGraphShape>(new TaskGraphShape());
+  const std::size_t n = spec.nodes.size();
+  shape->hash_ = form.hash;
+  shape->encoding_ = std::move(form.encoding);
+
+  shape->node_resource_.resize(n);
+  shape->node_compute_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t c = form.canon_of_original[v];
+    shape->node_resource_[c] =
+        static_cast<std::uint32_t>(spec.nodes[v].resource);
+    shape->node_compute_[c] = spec.nodes[v].demand.compute;
+  }
+
+  std::vector<std::uint64_t> edges;
+  edges.reserve(spec.edges.size());
+  for (const auto& e : spec.edges) {
+    edges.push_back(
+        (static_cast<std::uint64_t>(form.canon_of_original[e.from]) << 32) |
+        form.canon_of_original[e.to]);
+  }
+  std::sort(edges.begin(), edges.end());
+  shape->edge_from_.reserve(edges.size());
+  shape->edge_to_.reserve(edges.size());
+  shape->indegree_.assign(n, 0);
+  std::vector<std::uint32_t> outdeg(n, 0);
+  for (std::uint64_t e : edges) {
+    const auto from = static_cast<std::uint32_t>(e >> 32);
+    const auto to = static_cast<std::uint32_t>(e & 0xffffffffu);
+    FRAP_ASSERT(from < to);  // canonical order is topological
+    shape->edge_from_.push_back(from);
+    shape->edge_to_.push_back(to);
+    ++outdeg[from];
+    ++shape->indegree_[to];
+  }
+  shape->succ_offset_.resize(n + 1);
+  shape->succ_offset_[0] = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    shape->succ_offset_[v + 1] = shape->succ_offset_[v] + outdeg[v];
+  }
+  shape->succ_.resize(edges.size());
+  std::vector<std::uint32_t> cursor(shape->succ_offset_.begin(),
+                                    shape->succ_offset_.end() - 1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    shape->succ_[cursor[shape->edge_from_[i]]++] = shape->edge_to_[i];
+  }
+
+  // Touched resources + per-resource compute sums (sorted by resource).
+  std::vector<std::pair<std::uint32_t, Duration>> per_resource;
+  for (std::size_t v = 0; v < n; ++v) {
+    per_resource.emplace_back(shape->node_resource_[v],
+                              shape->node_compute_[v]);
+  }
+  std::sort(per_resource.begin(), per_resource.end());
+  for (const auto& [r, c] : per_resource) {
+    if (!shape->touched_resources_.empty() &&
+        shape->touched_resources_.back() == r) {
+      shape->resource_compute_.back() += c;
+    } else {
+      shape->touched_resources_.push_back(r);
+      shape->resource_compute_.push_back(c);
+    }
+  }
+
+  enumerate_profiles(*shape);
+  return shape;
+}
+
+void TaskGraphShapeRegistry::enumerate_profiles(TaskGraphShape& shape) {
+  const std::size_t n = shape.num_nodes();
+  const std::size_t width = shape.touched_resources_.size();
+  // resource -> local position (touched_resources_ is sorted).
+  auto local_of = [&](std::uint32_t r) {
+    const auto it = std::lower_bound(shape.touched_resources_.begin(),
+                                     shape.touched_resources_.end(), r);
+    FRAP_ASSERT(it != shape.touched_resources_.end() && *it == r);
+    return static_cast<std::size_t>(it - shape.touched_resources_.begin());
+  };
+
+  std::vector<std::vector<Mvec>> paths(n);   // Pareto sets per node
+  std::vector<Mvec> env(n);                  // dropped-path envelope per node
+  std::vector<std::uint32_t> uses_left(n, 0);  // successors not yet consumed
+  for (std::size_t v = 0; v < n; ++v) {
+    uses_left[v] = static_cast<std::uint32_t>(shape.successors(v).size());
+  }
+  // Predecessors per node, derived from the CSR.
+  std::vector<std::vector<std::uint32_t>> pred(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::uint32_t s : shape.successors(v)) {
+      pred[s].push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+
+  bool complete = true;
+  std::vector<Mvec> finals;
+  Mvec final_env;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t lv = local_of(shape.node_resource_[v]);
+    std::vector<Mvec> cand;
+    if (pred[v].empty()) {
+      cand.emplace_back(width, 0u);
+    } else {
+      for (std::uint32_t u : pred[v]) {
+        for (const Mvec& p : paths[u]) cand.push_back(p);
+        if (!env[u].empty()) fold_max(env[v], env[u]);
+      }
+    }
+    for (Mvec& p : cand) ++p[lv];
+    if (!env[v].empty()) ++env[v][lv];
+    if (prune_profiles(cand, kNodeProfileCap, env[v])) complete = false;
+    paths[v] = std::move(cand);
+    for (std::uint32_t u : pred[v]) {
+      if (--uses_left[u] == 0) {
+        paths[u].clear();
+        paths[u].shrink_to_fit();
+      }
+    }
+    if (shape.successors(v).empty()) {  // sink: collect
+      for (const Mvec& p : paths[v]) finals.push_back(p);
+      if (!env[v].empty()) fold_max(final_env, env[v]);
+    }
+  }
+  if (prune_profiles(finals, kFinalProfileCap, final_env)) complete = false;
+
+  shape.profiles_complete_ = complete;
+  shape.profile_offset_.push_back(0);
+  for (const Mvec& p : finals) {
+    for (std::size_t i = 0; i < width; ++i) {
+      if (p[i] > 0) {
+        shape.profile_entries_.push_back(
+            {static_cast<std::uint32_t>(i), p[i]});
+      }
+    }
+    shape.profile_offset_.push_back(
+        static_cast<std::uint32_t>(shape.profile_entries_.size()));
+  }
+  if (!complete) {
+    FRAP_ASSERT(!final_env.empty());
+    for (std::size_t i = 0; i < width; ++i) {
+      if (final_env[i] > 0) {
+        shape.envelope_.push_back({static_cast<std::uint32_t>(i),
+                                   final_env[i]});
+      }
+    }
+  }
+}
+
+const TaskGraphShape* TaskGraphShapeRegistry::intern(
+    const GraphTaskSpec& spec) {
+  CanonicalForm form = canonical_form(spec);
+  auto& bucket = by_hash_[form.hash];
+  for (std::uint32_t idx : bucket) {
+    if (shapes_[idx]->encoding_ == form.encoding) {
+      ++hits_;
+      return shapes_[idx].get();
+    }
+  }
+  ++misses_;
+  auto shape = build_shape(spec, std::move(form));
+  shape->id_ = shapes_.size();
+  bucket.push_back(static_cast<std::uint32_t>(shapes_.size()));
+  shapes_.push_back(std::move(shape));
+  return shapes_.back().get();
+}
+
+GraphTaskSpec TaskGraphShapeRegistry::canonicalize(const GraphTaskSpec& spec) {
+  const CanonicalForm form = canonical_form(spec);
+  const TaskGraphShape* shape = nullptr;
+  auto it = by_hash_.find(form.hash);
+  if (it != by_hash_.end()) {
+    for (std::uint32_t idx : it->second) {
+      if (shapes_[idx]->encoding_ == form.encoding) {
+        ++hits_;
+        shape = shapes_[idx].get();
+        break;
+      }
+    }
+  }
+  if (shape == nullptr) {
+    ++misses_;
+    auto built = build_shape(spec, form);
+    built->id_ = shapes_.size();
+    by_hash_[form.hash].push_back(static_cast<std::uint32_t>(shapes_.size()));
+    shapes_.push_back(std::move(built));
+    shape = shapes_.back().get();
+  }
+
+  GraphTaskSpec out;
+  out.id = spec.id;
+  out.deadline = spec.deadline;
+  out.importance = spec.importance;
+  out.shape = shape;
+  out.nodes.resize(spec.nodes.size());
+  for (std::size_t v = 0; v < spec.nodes.size(); ++v) {
+    out.nodes[form.canon_of_original[v]] = spec.nodes[v];
+  }
+  out.edges.reserve(spec.edges.size());
+  for (std::size_t i = 0; i < shape->num_edges(); ++i) {
+    out.edges.push_back(GraphEdge{shape->edge_from_[i], shape->edge_to_[i]});
+  }
+  return out;
+}
+
+}  // namespace frap::core

@@ -1,0 +1,191 @@
+// Hash-consed task-graph shapes (docs/dag_bounds.md).
+//
+// A production deployment runs millions of concurrent DAG tasks that share
+// a few hundred graph *shapes*: the topology, the per-node resource
+// assignment, and the per-node demand layout are fixed per request class;
+// only the id, the deadline, and the arrival instant vary per task. The
+// registry here interns each shape once, so every per-shape cost — the
+// topological order, the CSR adjacency, and most importantly the dominant
+// long-path profiles the long-path admission bound evaluates — is paid at
+// registration, not per admission.
+//
+// Canonicalization: two GraphTaskSpecs intern to the same shape when they
+// are isomorphic INCLUDING node attributes (resource and demand): permuting
+// node ids must alias, changing a demand must not. Node order is
+// canonicalized by (longest-path depth, Weisfeiler-Leman refinement color);
+// equality on a hash hit compares the full canonical encoding, so a hash
+// collision can never alias two distinct shapes. Graphs whose WL colors
+// stay non-discrete (large non-trivial automorphism-like tie classes) may
+// intern two isomorphic presentations as separate shapes — a cache miss,
+// never a correctness issue.
+//
+// Dominant path profiles: the long-path bound needs, for nonnegative
+// per-resource weights w, the value max over source->sink paths P of
+// sum_{i in P} w[resource(i)]. A path only enters through its *resource
+// multiplicity vector* m_P (how often P visits each resource), and for
+// w >= 0 the maximum is attained on a Pareto-maximal m_P. The enumeration
+// below keeps, per node, the Pareto frontier of path profiles ending there
+// (capped; overflow folds into a componentwise-max envelope that stays an
+// upper bound on every dropped path). When `profiles_complete()` the kept
+// profiles evaluate the path maximum EXACTLY in O(profiles * nnz),
+// independent of graph size; otherwise the envelope gives a sound admit
+// fast path and the evaluator falls back to the exact DP in the gray band
+// (core/long_path_bound.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/task_graph.h"
+#include "util/time.h"
+
+namespace frap::core {
+
+class TaskGraphShape {
+ public:
+  // Registry-assigned dense id (index into registry order).
+  std::uint64_t id() const { return id_; }
+  std::uint64_t hash() const { return hash_; }
+
+  std::size_t num_nodes() const { return node_resource_.size(); }
+  std::size_t num_edges() const { return edge_to_.size(); }
+
+  // Canonical per-node layout. Canonical order is topological: every edge
+  // goes from a lower to a higher canonical index.
+  std::span<const std::uint32_t> node_resource() const {
+    return node_resource_;
+  }
+  std::span<const Duration> node_compute() const { return node_compute_; }
+
+  // CSR successor adjacency over canonical node ids.
+  std::span<const std::uint32_t> successors(std::size_t node) const {
+    return {succ_.data() + succ_offset_[node],
+            succ_offset_[node + 1] - succ_offset_[node]};
+  }
+  std::span<const std::uint32_t> indegree() const { return indegree_; }
+
+  // Resources this shape touches (sorted, unique) and the total compute the
+  // shape places on each (same order). A task's per-resource contribution
+  // is resource_compute[k] / deadline — O(touched resources), no node walk.
+  std::span<const std::uint32_t> touched_resources() const {
+    return touched_resources_;
+  }
+  std::span<const Duration> resource_compute() const {
+    return resource_compute_;
+  }
+
+  // --- dominant long-path profiles --------------------------------------
+  // Sparse multiplicity vectors over touched-resource positions: profile p
+  // spans entries [profile_offset(p), profile_offset(p+1)) of
+  // profile_entries(). Entry (local, mult): `local` indexes into
+  // touched_resources().
+  struct ProfileEntry {
+    std::uint32_t local = 0;  // index into touched_resources()
+    std::uint32_t mult = 0;   // visits along the path
+  };
+  std::size_t num_profiles() const { return profile_offset_.size() - 1; }
+  std::span<const ProfileEntry> profile(std::size_t p) const {
+    return {profile_entries_.data() + profile_offset_[p],
+            profile_offset_[p + 1] - profile_offset_[p]};
+  }
+
+  // True when the kept profiles are the COMPLETE Pareto frontier: the path
+  // maximum over them is exact for any nonnegative weights.
+  [[nodiscard]] bool profiles_complete() const { return profiles_complete_; }
+
+  // Componentwise-max envelope over every path profile dropped by the caps
+  // (empty when profiles_complete()). For w >= 0, max(kept, envelope) is an
+  // upper bound on the true path maximum.
+  std::span<const ProfileEntry> envelope() const { return envelope_; }
+
+  // True when `spec`'s node/edge layout equals this shape verbatim (same
+  // order — i.e. the spec is already in canonical form). O(V + E); the DAG
+  // runtime uses it as a debug-mode guard before borrowing the CSR.
+  [[nodiscard]] bool layout_matches(const GraphTaskSpec& spec) const;
+
+  // Longest source->sink path with per-node weights w[resource(node)],
+  // computed by the exact DP over the canonical CSR into caller scratch
+  // (resized to num_nodes()). Reference / fallback path for the evaluator.
+  [[nodiscard]] double longest_path_weight(
+      std::span<const double> weight_by_resource,
+      std::vector<double>& scratch_dist) const;
+
+ private:
+  friend class TaskGraphShapeRegistry;
+  TaskGraphShape() = default;
+
+  std::uint64_t id_ = 0;
+  std::uint64_t hash_ = 0;
+  std::vector<std::uint64_t> encoding_;  // canonical bytes; equality proof
+
+  std::vector<std::uint32_t> node_resource_;
+  std::vector<Duration> node_compute_;
+  std::vector<std::uint32_t> edge_from_;  // canonical, lexicographic
+  std::vector<std::uint32_t> edge_to_;
+  std::vector<std::uint32_t> succ_offset_;
+  std::vector<std::uint32_t> succ_;
+  std::vector<std::uint32_t> indegree_;
+
+  std::vector<std::uint32_t> touched_resources_;
+  std::vector<Duration> resource_compute_;
+
+  std::vector<ProfileEntry> profile_entries_;
+  std::vector<std::uint32_t> profile_offset_;
+  std::vector<ProfileEntry> envelope_;
+  bool profiles_complete_ = true;
+};
+
+// Hash-consing registry. Owns the shapes; pointers remain stable for the
+// registry's lifetime (admission controllers and runtimes keep them).
+// Single-threaded like the rest of the simulator core (frap-lint R5); the
+// sharded service would shard registries alongside trackers.
+class TaskGraphShapeRegistry {
+ public:
+  // Per-node Pareto-set cap during profile enumeration, and the cap on the
+  // final kept profile count. Overflow folds into the envelope and clears
+  // profiles_complete().
+  static constexpr std::size_t kNodeProfileCap = 8;
+  static constexpr std::size_t kFinalProfileCap = 16;
+
+  TaskGraphShapeRegistry() = default;
+  TaskGraphShapeRegistry(const TaskGraphShapeRegistry&) = delete;
+  TaskGraphShapeRegistry& operator=(const TaskGraphShapeRegistry&) = delete;
+
+  // Interns the spec's shape: returns the existing shape when an
+  // attribute-isomorphic one is registered, otherwise canonicalizes,
+  // enumerates profiles, and registers a new one. Requires
+  // spec.valid(num_resources) for any num_resources > max node resource.
+  const TaskGraphShape* intern(const GraphTaskSpec& spec);
+
+  // Canonicalized copy of `spec` (nodes permuted into the shape's canonical
+  // order, edges rewritten) with its `shape` pointer set — the form the DAG
+  // runtime executes without rebuilding adjacency per task.
+  [[nodiscard]] GraphTaskSpec canonicalize(const GraphTaskSpec& spec);
+
+  std::size_t size() const { return shapes_.size(); }
+  const TaskGraphShape& shape(std::size_t i) const { return *shapes_[i]; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct CanonicalForm {
+    std::vector<std::uint32_t> canon_of_original;  // original id -> canonical
+    std::vector<std::uint64_t> encoding;
+    std::uint64_t hash = 0;
+  };
+  static CanonicalForm canonical_form(const GraphTaskSpec& spec);
+  static std::unique_ptr<TaskGraphShape> build_shape(
+      const GraphTaskSpec& spec, CanonicalForm form);
+  static void enumerate_profiles(TaskGraphShape& shape);
+
+  std::vector<std::unique_ptr<TaskGraphShape>> shapes_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace frap::core

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "core/task_graph_shape.h"
 #include "util/check.h"
 
 namespace frap::pipeline {
@@ -48,7 +49,19 @@ void DagRuntime::set_stage_observer(obs::StageObserver* observer) {
 
 void DagRuntime::start_task(const core::GraphTaskSpec& spec,
                             Time absolute_deadline) {
-  FRAP_EXPECTS(spec.valid(servers_.size()));
+  const bool interned = spec.shape != nullptr;
+  if (interned) {
+    // Canonicalized spec: the registry validated the graph at intern time
+    // and the shape carries indegrees + CSR adjacency, so the per-task
+    // validity re-walk (a topological sort per release) is skipped and the
+    // per-edge successor lists are never rebuilt — on_node_complete walks
+    // the shape's CSR directly.
+    FRAP_ASSERT(spec.shape->layout_matches(spec));
+    FRAP_EXPECTS(spec.deadline > 0);
+    FRAP_EXPECTS(spec.shape->num_nodes() == spec.nodes.size());
+  } else {
+    FRAP_EXPECTS(spec.valid(servers_.size()));
+  }
   FRAP_EXPECTS(execs_.find(spec.id) == execs_.end());
 
   Exec exec;
@@ -57,16 +70,22 @@ void DagRuntime::start_task(const core::GraphTaskSpec& spec,
   exec.absolute_deadline = absolute_deadline;
   exec.priority = policy_(spec);
   exec.nodes_remaining = spec.nodes.size();
-  exec.pending_preds.assign(spec.nodes.size(), 0);
-  exec.successors.assign(spec.nodes.size(), {});
   exec.jobs.resize(spec.nodes.size());
   exec.node_release.assign(spec.nodes.size(), kTimeZero);
   exec.nodes_left_on_resource.assign(servers_.size(), 0);
-  for (const auto& e : spec.edges) {
-    ++exec.pending_preds[e.to];
-    exec.successors[e.from].push_back(e.to);
+  if (interned) {
+    const auto indeg = spec.shape->indegree();
+    exec.pending_preds.assign(indeg.begin(), indeg.end());
+  } else {
+    exec.pending_preds.assign(spec.nodes.size(), 0);
+    exec.successors.assign(spec.nodes.size(), {});
+    for (const auto& e : spec.edges) {
+      ++exec.pending_preds[e.to];
+      exec.successors[e.from].push_back(e.to);
+    }
   }
   for (const auto& n : spec.nodes) {
+    FRAP_EXPECTS(n.resource < servers_.size());
     ++exec.nodes_left_on_resource[n.resource];
   }
 
@@ -123,9 +142,16 @@ void DagRuntime::on_node_complete(sched::Job& job) {
 
   FRAP_ASSERT(exec.nodes_remaining > 0);
   --exec.nodes_remaining;
-  for (std::size_t succ : exec.successors[ctx.node]) {
-    FRAP_ASSERT(exec.pending_preds[succ] > 0);
-    if (--exec.pending_preds[succ] == 0) release_node(exec, succ);
+  if (exec.spec.shape != nullptr) {
+    for (std::uint32_t succ : exec.spec.shape->successors(ctx.node)) {
+      FRAP_ASSERT(exec.pending_preds[succ] > 0);
+      if (--exec.pending_preds[succ] == 0) release_node(exec, succ);
+    }
+  } else {
+    for (std::size_t succ : exec.successors[ctx.node]) {
+      FRAP_ASSERT(exec.pending_preds[succ] > 0);
+      if (--exec.pending_preds[succ] == 0) release_node(exec, succ);
+    }
   }
 
   if (exec.nodes_remaining == 0) {

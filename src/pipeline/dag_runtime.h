@@ -101,6 +101,8 @@ class DagRuntime : private sched::StageListener {
     Time absolute_deadline = kTimeZero;
     sched::PriorityValue priority = 0;
     std::vector<std::size_t> pending_preds;  // per node
+    // Per-node successor lists, built per task ONLY when spec.shape is
+    // unset; an interned spec walks its shape's CSR instead.
     std::vector<std::vector<std::size_t>> successors;
     std::vector<std::unique_ptr<sched::Job>> jobs;  // per node
     std::vector<Time> node_release;                 // per node (if released)

@@ -123,6 +123,59 @@ TEST(AllocSteadyStateTest, AdmitExpireCycleIsAllocationFree) {
   tracker.verify_lhs_cache(1e-9);
 }
 
+// The ISSUE 9 extension of the same invariant: steady-state GRAPH admits
+// through the long-path incremental fast path — profile evaluation over the
+// interned shape, victim-guard cap checks, sparse commit, expiry — must not
+// allocate either. The spec is canonicalized once; only its id changes per
+// admission.
+TEST(AllocSteadyStateTest, LongPathGraphAdmitCycleIsAllocationFree) {
+  constexpr std::uint64_t kLiveTarget = 5000;
+  constexpr Duration kSpacing = 1.0 / static_cast<double>(kLiveTarget);
+
+  sim::Simulator sim;
+  SyntheticUtilizationTracker tracker(sim, kStages);
+  GraphAdmissionController controller(
+      sim, tracker,
+      LongPathEvaluator(std::vector<double>(kStages, 1.0), {}, 0.5));
+
+  // Diamond across four resources with tiny computes: the admit test stays
+  // far from the budget, so the live count is deadline-governed.
+  TaskGraphShapeRegistry registry;
+  GraphTaskSpec raw;
+  raw.id = 0;
+  raw.deadline = 1.0;
+  raw.nodes.resize(4);
+  for (std::size_t v = 0; v < 4; ++v) {
+    raw.nodes[v].resource = v % kStages;
+    raw.nodes[v].demand.compute = 2e-8;
+  }
+  raw.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  GraphTaskSpec spec = registry.canonicalize(raw);
+
+  std::uint64_t id = 1;
+  for (std::uint64_t i = 0; i < 2 * kLiveTarget; ++i) {
+    sim.run_until(sim.now() + kSpacing);
+    spec.id = id++;
+    ASSERT_TRUE(controller.try_admit(spec, sim.now()).admitted);
+  }
+  ASSERT_GE(tracker.live_tasks(), kLiveTarget - 1);
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 2000; ++i) {
+    sim.run_until(sim.now() + kSpacing);
+    spec.id = id++;
+    if (!controller.try_admit(spec, sim.now()).admitted) break;
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "steady-state long-path graph admits must not allocate";
+  EXPECT_EQ(controller.admitted(), controller.attempts());
+  EXPECT_EQ(controller.evaluations(), 2 * kLiveTarget + 2000);
+  tracker.verify_lhs_cache(1e-9);
+}
+
 // remove_task (the shed path) must also be allocation-free in steady state,
 // including the immediate wheel-cell reclamation.
 TEST(AllocSteadyStateTest, RemoveTaskIsAllocationFree) {

@@ -354,6 +354,26 @@ TEST(FrapLintRules, R9PassesSanctionedIdiomsAndNonHotpathCode) {
                            << (all.empty() ? "" : all.front().message);
 }
 
+TEST(FrapLintRules, R9DagFastPathIdiomsAreClean) {
+  // The ISSUE 9 incremental admit path in miniature: profile dot products,
+  // member scratch resize, sparse-commit push_back into reserved buffers —
+  // the exact shapes LongPathEvaluator::path_value and try_admit_interned
+  // use under their hotpath contracts.
+  auto all = lint_source("src/core/r9_dag_pass.cpp",
+                         read_fixture("r9_dag_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R9DagRewalkRecipeIsFlagged) {
+  // The pre-interning recipe the fast path replaced: snapshot vector (22),
+  // std::function callback (24), and the same-file helper whose body news
+  // the weight array, flagged at the call site (25).
+  auto fs = findings_for("r9_dag_flag.cpp", "src/core/r9_dag_flag.cpp",
+                         "hotpath-alloc");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{22, 24, 25}));
+}
+
 TEST(FrapLintContracts, MalformedContractsAreUnsuppressibleFindings) {
   auto all =
       lint_source("src/core/contract.cpp", read_fixture("contract.cpp"));

@@ -7,10 +7,13 @@
 #include <map>
 #include <vector>
 
+#include "core/long_path_bound.h"
 #include "core/synthetic_utilization.h"
 #include "core/task_graph.h"
+#include "core/task_graph_shape.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "workload/random_dag.h"
 
 namespace frap {
 namespace {
@@ -184,6 +187,186 @@ TEST_P(CriticalPathFuzzTest, MatchesBruteForceOnRandomDags) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CriticalPathFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------- shape intern ---
+
+core::GraphTaskSpec chain_spec(std::uint64_t id, Duration deadline,
+                               std::vector<std::size_t> resources,
+                               Duration compute) {
+  core::GraphTaskSpec g;
+  g.id = id;
+  g.deadline = deadline;
+  g.nodes.resize(resources.size());
+  for (std::size_t v = 0; v < resources.size(); ++v) {
+    g.nodes[v].resource = resources[v];
+    g.nodes[v].demand.compute = compute;
+    if (v + 1 < resources.size()) g.edges.push_back({v, v + 1});
+  }
+  return g;
+}
+
+class ShapeInternFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The generator produces valid (acyclic) graphs by construction, and the
+// registry's canonicalization is attribute-faithful: a node-id permutation
+// MUST alias to the same shape; a demand change must NOT.
+TEST_P(ShapeInternFuzzTest, PermutationAliasesDemandChangeDoesNot) {
+  util::Rng rng(GetParam() * 7919 + 5);
+  core::TaskGraphShapeRegistry registry;
+  constexpr std::size_t kResources = 4;
+  for (int i = 0; i < 200; ++i) {
+    workload::RandomDagConfig cfg;
+    cfg.kind = rng.bernoulli(0.5)
+                   ? workload::RandomDagConfig::Kind::kLayered
+                   : workload::RandomDagConfig::Kind::kErdosRenyi;
+    cfg.num_nodes = static_cast<std::size_t>(rng.uniform_int(1, 14));
+    cfg.num_resources = kResources;
+    const auto spec = workload::random_dag(
+        rng, cfg, static_cast<std::uint64_t>(i), rng.uniform(0.5, 2.0));
+    ASSERT_TRUE(spec.valid(kResources));
+
+    const auto* shape = registry.intern(spec);
+    ASSERT_NE(shape, nullptr);
+    EXPECT_EQ(shape->num_nodes(), spec.nodes.size());
+    EXPECT_EQ(shape->num_edges(), spec.edges.size());
+
+    // Continuous random computes make node attributes distinct almost
+    // surely, so canonicalization is discrete: any relabeling aliases.
+    const auto permuted = workload::permute_nodes(rng, spec);
+    EXPECT_EQ(registry.intern(permuted), shape);
+
+    // Same topology, one perturbed demand: a DIFFERENT shape.
+    auto tweaked = spec;
+    const auto v = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.nodes.size()) - 1));
+    tweaked.nodes[v].demand.compute *= 1.5;
+    EXPECT_NE(registry.intern(tweaked), shape);
+
+    // The canonicalized copy is semantically the same task: same deadline,
+    // same per-resource contributions, same critical-path value under
+    // arbitrary per-resource weights.
+    const auto canon = registry.canonicalize(spec);
+    ASSERT_EQ(canon.shape, shape);
+    ASSERT_TRUE(shape->layout_matches(canon));
+    EXPECT_EQ(canon.deadline, spec.deadline);
+    const auto c0 = spec.resource_contributions(kResources);
+    const auto c1 = canon.resource_contributions(kResources);
+    for (std::size_t k = 0; k < kResources; ++k) {
+      EXPECT_NEAR(c0[k], c1[k], 1e-12);
+    }
+    std::vector<double> w0(spec.nodes.size());
+    std::vector<double> w1(canon.nodes.size());
+    std::vector<double> by_resource(kResources);
+    for (std::size_t k = 0; k < kResources; ++k) {
+      by_resource[k] = rng.uniform(0.0, 1.0);
+    }
+    for (std::size_t v2 = 0; v2 < spec.nodes.size(); ++v2) {
+      w0[v2] = by_resource[spec.nodes[v2].resource];
+    }
+    for (std::size_t v2 = 0; v2 < canon.nodes.size(); ++v2) {
+      w1[v2] = by_resource[canon.nodes[v2].resource];
+    }
+    EXPECT_NEAR(spec.critical_path(w0), canon.critical_path(w1), 1e-9);
+  }
+  // Every third intern above is a permutation hit.
+  EXPECT_GE(registry.hits(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeInternFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(ShapeInternEdgeCaseTest, EmptyGraphInternsToBenignShape) {
+  core::TaskGraphShapeRegistry registry;
+  core::GraphTaskSpec empty;
+  empty.id = 1;
+  empty.deadline = 1.0;
+  // Not a runnable task (valid() demands at least one node)…
+  EXPECT_FALSE(empty.valid(4));
+  // …but the registry still canonicalizes it deterministically: zero
+  // profiles, zero touched resources, and repeated interns alias.
+  const auto* shape = registry.intern(empty);
+  ASSERT_NE(shape, nullptr);
+  EXPECT_EQ(shape->num_nodes(), 0u);
+  EXPECT_EQ(shape->num_profiles(), 0u);
+  EXPECT_TRUE(shape->profiles_complete());
+  EXPECT_EQ(registry.intern(empty), shape);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ShapeInternEdgeCaseTest, SingleNodeChainAndDiamondProfiles) {
+  core::TaskGraphShapeRegistry registry;
+
+  // Single node: one profile, multiplicity 1 on its only resource.
+  const auto single = chain_spec(1, 1.0, {2}, 3 * kMilli);
+  const auto* s1 = registry.intern(single);
+  ASSERT_EQ(s1->num_profiles(), 1u);
+  EXPECT_TRUE(s1->profiles_complete());
+  ASSERT_EQ(s1->profile(0).size(), 1u);
+  EXPECT_EQ(s1->touched_resources()[s1->profile(0)[0].local], 2u);
+  EXPECT_EQ(s1->profile(0)[0].mult, 1u);
+
+  // Chain with a repeated resource: the single path profile accumulates
+  // multiplicity 2 at the repeat.
+  const auto chain = chain_spec(2, 1.0, {0, 1, 0}, 2 * kMilli);
+  const auto* s2 = registry.intern(chain);
+  ASSERT_EQ(s2->num_profiles(), 1u);
+  EXPECT_TRUE(s2->profiles_complete());
+  std::uint32_t mult0 = 0;
+  for (const auto& e : s2->profile(0)) {
+    if (s2->touched_resources()[e.local] == 0u) mult0 = e.mult;
+  }
+  EXPECT_EQ(mult0, 2u);
+
+  // Diamond 0 -> {1, 2} -> 3 with distinct resources: two maximal paths,
+  // neither dominating (different middle resources), both kept.
+  core::GraphTaskSpec diamond;
+  diamond.id = 3;
+  diamond.deadline = 1.0;
+  diamond.nodes.resize(4);
+  for (std::size_t v = 0; v < 4; ++v) {
+    diamond.nodes[v].resource = v;
+    diamond.nodes[v].demand.compute = (v + 1) * kMilli;
+  }
+  diamond.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const auto* s3 = registry.intern(diamond);
+  EXPECT_TRUE(s3->profiles_complete());
+  EXPECT_EQ(s3->num_profiles(), 2u);
+}
+
+// On chains the long-path bound with per-resource ceilings equal to the
+// task deadline IS the critical-path test with alpha = 1: same lhs (up to
+// summation order), same verdict.
+TEST(ShapeInternEdgeCaseTest, ChainLongPathAgreesWithCriticalPath) {
+  util::Rng rng(99);
+  constexpr std::size_t kResources = 6;
+  core::TaskGraphShapeRegistry registry;
+  const core::GraphRegionEvaluator crit(1.0, {});
+  for (int i = 0; i < 300; ++i) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    std::vector<std::size_t> resources(len);
+    for (auto& r : resources) {
+      r = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kResources) - 1));
+    }
+    const Duration deadline = rng.uniform(0.5, 2.0);
+    const auto spec = registry.canonicalize(chain_spec(
+        static_cast<std::uint64_t>(i), deadline, std::move(resources),
+        rng.uniform(1 * kMilli, 10 * kMilli)));
+
+    core::LongPathEvaluator long_eval(
+        std::vector<double>(kResources, deadline), {});
+    std::vector<double> u(kResources);
+    for (auto& x : u) x = rng.uniform(0.0, 0.9);
+
+    const double lhs_long = long_eval.lhs_from_snapshot(spec, u);
+    const double lhs_crit = crit.lhs(spec, u);
+    EXPECT_NEAR(lhs_long, lhs_crit, 1e-9) << "chain " << i;
+    EXPECT_EQ(core::FeasibleRegion::admits_lhs(
+                  lhs_long, core::LongPathEvaluator::kDelayBudget),
+              core::FeasibleRegion::admits_lhs(lhs_crit, crit.bound(spec)))
+        << "chain " << i;
+  }
+}
 
 }  // namespace
 }  // namespace frap

@@ -1,0 +1,30 @@
+// Must-flag fixture for R9 on the DAG admission fast path: the
+// pre-interning recipe — a per-attempt snapshot vector, a type-erased
+// completion callback, and a same-file helper that heap-allocates the
+// weight array. Line numbers are asserted by the unit tests.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+struct Tracker {
+  double utilization(std::size_t k) const { return 0.1 * double(k); }
+  std::size_t num_stages() const { return 8; }
+};
+
+// Not annotated itself — contributes a one-level call summary.
+double* snapshot_weights(const Tracker& t) {
+  return new double[t.num_stages()];  // line 17: summary for propagation
+}
+
+// frap:contract(hotpath)
+bool rewalk_admit(const Tracker& t, std::size_t n) {
+  std::vector<double> u(t.num_stages());  // line 22: per-attempt snapshot
+  for (std::size_t k = 0; k < u.size(); ++k) u[k] = t.utilization(k);
+  std::function<double(double)> f = [](double x) { return x; };  // line 24
+  double* w = snapshot_weights(t);  // line 25: allocating same-file callee
+  double acc = 0;
+  for (std::size_t k = 0; k < n && k < u.size(); ++k) acc += f(w[k] + u[k]);
+  delete[] w;
+  return acc <= 1.0;
+}

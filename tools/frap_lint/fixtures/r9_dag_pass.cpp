@@ -1,0 +1,53 @@
+// Must-pass fixture for R9 on the DAG admission fast path: the shape of
+// LongPathEvaluator::path_value and GraphAdmissionController::
+// try_admit_interned — profile dot products over interned shape data,
+// member scratch grown with resize (reserved to capacity after warmup),
+// and the sparse commit staged through preallocated push_back buffers.
+// Zero findings expected.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct ProfileEntry {
+  std::uint32_t local;
+  std::uint32_t mult;
+};
+
+struct Shape {
+  std::vector<ProfileEntry> profiles;
+  std::vector<std::uint32_t> touched;
+};
+
+struct DagAdmitter {
+  std::vector<double> w_scratch;
+  std::vector<std::uint32_t> commit_stages;
+  std::vector<double> commit_values;
+  std::uint64_t admits = 0;
+
+  // frap:contract(hotpath)
+  double path_value(const Shape& shape, const double* w) {
+    double best = 0;
+    for (const auto& e : shape.profiles) {
+      const double v = static_cast<double>(e.mult) * w[e.local];
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+  // frap:contract(hotpath)
+  bool try_admit_interned(const Shape& shape, const double* f_terms) {
+    if (w_scratch.size() < shape.touched.size()) {
+      w_scratch.resize(shape.touched.size());  // capacity growth, then reuse
+    }
+    commit_stages.clear();
+    commit_values.clear();
+    for (std::size_t t = 0; t < shape.touched.size(); ++t) {
+      w_scratch[t] = f_terms[shape.touched[t]];
+      commit_stages.push_back(shape.touched[t]);
+      commit_values.push_back(w_scratch[t]);
+    }
+    const bool ok = path_value(shape, w_scratch.data()) <= 1.0;
+    if (ok) ++admits;
+    return ok;
+  }
+};
