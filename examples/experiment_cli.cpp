@@ -8,6 +8,13 @@
 //
 //   ./experiment_cli obs --format=jsonl --seed=7
 //   ./experiment_cli obs --format=prom --out=metrics.prom --load=1.5
+//
+// `ingest` subcommand — encode a workload capture as a binary wire frame
+// (optionally to/from a file), zero-copy decode it, and admit every record
+// through the traced sharded service (docs/wire_format.md):
+//
+//   ./experiment_cli ingest --count=5000 --stages=3 --capture=arrivals.frap
+//   ./experiment_cli ingest --in=arrivals.frap --format=jsonl
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -45,6 +52,32 @@ int run_obs_main(const std::vector<std::string>& args) {
   return pipeline::run_obs_command(parsed.config, out);
 }
 
+int run_ingest_main(const std::vector<std::string>& args) {
+  using namespace frap;
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(pipeline::ingest_cli_usage().c_str(), stdout);
+      return 0;
+    }
+  }
+  const auto parsed = pipeline::parse_ingest_args(args);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: %s\n\n%s", parsed.error.c_str(),
+                 pipeline::ingest_cli_usage().c_str());
+    return 2;
+  }
+  if (parsed.config.out_path.empty()) {
+    return pipeline::run_ingest_command(parsed.config, std::cout, std::cerr);
+  }
+  std::ofstream out(parsed.config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 parsed.config.out_path.c_str());
+    return 1;
+  }
+  return pipeline::run_ingest_command(parsed.config, out, std::cerr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +86,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (!args.empty() && args.front() == "obs") {
     return run_obs_main({args.begin() + 1, args.end()});
+  }
+  if (!args.empty() && args.front() == "ingest") {
+    return run_ingest_main({args.begin() + 1, args.end()});
   }
   for (const auto& a : args) {
     if (a == "--help" || a == "-h") {

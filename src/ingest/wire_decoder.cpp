@@ -1,0 +1,97 @@
+#include "ingest/wire_decoder.h"
+
+#include <cmath>
+
+namespace frap::ingest {
+
+namespace {
+
+WireParse fail(WireError e, std::size_t offset) { return WireParse{e, offset}; }
+
+}  // namespace
+
+WireParse WireView::validate(std::span<const std::byte> frame) {
+  const std::byte* d = frame.data();
+  const std::size_t n = frame.size();
+
+  if (n < kWireHeaderSize) return fail(WireError::kTruncatedHeader, 0);
+  if (load_u32(d) != kWireMagic) return fail(WireError::kBadMagic, 0);
+  if (load_u16(d + 4) != kWireVersion) return fail(WireError::kBadVersion, 4);
+  const std::uint16_t stages = load_u16(d + 6);
+  if (stages == 0) return fail(WireError::kZeroStages, 6);
+  const std::uint32_t count = load_u32(d + 8);
+  if (count == 0) return fail(WireError::kEmptyFrame, 8);
+  if (load_u32(d + 12) != 0) return fail(WireError::kBadReserved, 12);
+  const double base_time = load_f64(d + 16);
+  if (!std::isfinite(base_time)) return fail(WireError::kBadValue, 16);
+
+  std::size_t off = kWireHeaderSize;
+  double prev_arrival = base_time;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    const std::size_t rec = off;
+    if (n - rec < kWireRecordFixedSize)
+      return fail(WireError::kTruncatedRecord, rec);
+    const std::byte* p = d + rec;
+
+    const double deadline = load_f64(p + 8);
+    if (!std::isfinite(deadline) || deadline <= 0)
+      return fail(WireError::kBadValue, rec + 8);
+    if (!std::isfinite(load_f64(p + 16)))
+      return fail(WireError::kBadValue, rec + 16);
+    const double arrival = load_f64(p + 24);
+    if (!std::isfinite(arrival) || arrival < base_time)
+      return fail(WireError::kBadValue, rec + 24);
+    if (arrival < prev_arrival)
+      return fail(WireError::kNonMonotoneArrival, rec + 24);
+    prev_arrival = arrival;
+
+    const std::uint8_t kind = std::to_integer<std::uint8_t>(p[32]);
+    if (std::to_integer<std::uint8_t>(p[33]) != 0)
+      return fail(WireError::kBadReserved, rec + 33);
+    const std::uint16_t nfield = load_u16(p + 34);
+    off = rec + kWireRecordFixedSize;
+
+    if (kind == static_cast<std::uint8_t>(RecordKind::kClass)) {
+      // Class-id validity is a session concern (the table is out of band);
+      // structurally any id is representable.
+      continue;
+    }
+    if (kind != static_cast<std::uint8_t>(RecordKind::kInline))
+      return fail(WireError::kBadRecordKind, rec + 32);
+
+    if (nfield == 0 || nfield > stages)
+      return fail(WireError::kBadPairCount, rec + 34);
+    if (n - off < static_cast<std::size_t>(nfield) * kWirePairSize)
+      return fail(WireError::kTruncatedRecord, off);
+    std::uint32_t prev_stage = 0;
+    for (std::uint16_t i = 0; i < nfield; ++i) {
+      const std::size_t pair = off + i * kWirePairSize;
+      const std::uint32_t stage = load_u32(d + pair);
+      if (stage >= stages) return fail(WireError::kStageOutOfRange, pair);
+      if (i > 0 && stage <= prev_stage)
+        return fail(WireError::kUnorderedStages, pair);
+      prev_stage = stage;
+      const double demand = load_f64(d + pair + 4);
+      if (!std::isfinite(demand) || demand <= 0)
+        return fail(WireError::kBadValue, pair + 4);
+    }
+    off += static_cast<std::size_t>(nfield) * kWirePairSize;
+  }
+  if (off != n) return fail(WireError::kTrailingBytes, off);
+  return WireParse{};
+}
+
+WireView WireView::open(std::span<const std::byte> frame, WireParse* parse) {
+  const WireParse p = validate(frame);
+  if (parse != nullptr) *parse = p;
+  if (!p.ok()) return WireView{};
+  WireView v;
+  v.data_ = frame.data();
+  v.size_ = frame.size();
+  v.num_stages_ = load_u16(frame.data() + 6);
+  v.record_count_ = load_u32(frame.data() + 8);
+  v.base_time_ = load_f64(frame.data() + 16);
+  return v;
+}
+
+}  // namespace frap::ingest

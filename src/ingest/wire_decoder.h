@@ -1,0 +1,179 @@
+// Zero-copy wire-frame decoding: WireView + ArrivalCursor.
+//
+// WireView::open() runs the ONE validation pass a frame ever gets —
+// structure (magic, version, bounds of every record and pair block) and
+// values (finite, positive deadlines/demands, ascending stages, monotone
+// arrivals) — and binds a view over the caller's bytes. Nothing is copied
+// and nothing is allocated, per frame or per record: the cursor walks the
+// buffer in place and hands out WireArrival VIEWS whose accessors are
+// single unaligned loads at the use site. The buffer must outlive the view
+// and every cursor/arrival derived from it.
+//
+// Iteration over a validated view is deliberately unchecked (FRAP_ASSERT
+// only): the open()-time pass established every structural invariant, so
+// the per-record hot path — the one the ingest-throughput floor in
+// BENCH_ingest.json is measured on — pays no branches for cases that
+// cannot happen. Never iterate a view that open() did not return; the
+// default-constructed view is !valid() and asserts on use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "ingest/wire_format.h"
+#include "util/check.h"
+#include "util/time.h"
+
+namespace frap::ingest {
+
+// Result of the per-frame validation pass: the typed error plus the byte
+// offset the decoder rejected at (0 for header-level failures).
+struct WireParse {
+  WireError error = WireError::kNone;
+  std::size_t offset = 0;
+
+  [[nodiscard]] bool ok() const { return error == WireError::kNone; }
+};
+
+// Zero-copy view of ONE arrival record inside a validated frame. Fields
+// are decoded lazily — each accessor is one unaligned load — so consumers
+// that only need the id (routing) or the arrival instant (scheduling)
+// never touch the rest of the record.
+class WireArrival {
+ public:
+  WireArrival() = default;
+
+  // frap:contract(hotpath)
+  [[nodiscard]] std::uint64_t id() const { return load_u64(rec_); }
+
+  // frap:contract(hotpath)
+  [[nodiscard]] Duration deadline() const { return load_f64(rec_ + 8); }
+
+  // frap:contract(hotpath)
+  [[nodiscard]] double importance() const { return load_f64(rec_ + 16); }
+
+  // Absolute arrival instant, exactly as written on the wire.
+  // frap:contract(hotpath)
+  [[nodiscard]] Time arrival() const { return load_f64(rec_ + 24); }
+
+  // Offset from the frame's base_time (rebase consumers only; exact replay
+  // uses arrival() to avoid any arithmetic on the captured instant).
+  // frap:contract(hotpath)
+  [[nodiscard]] Duration arrival_offset() const {
+    return load_f64(rec_ + 24) - base_;
+  }
+
+  // frap:contract(hotpath)
+  [[nodiscard]] RecordKind kind() const {
+    return static_cast<RecordKind>(std::to_integer<std::uint8_t>(rec_[32]));
+  }
+
+  // Task-class id (kClass records only).
+  // frap:contract(hotpath)
+  [[nodiscard]] std::uint16_t class_id() const {
+    FRAP_ASSERT(kind() == RecordKind::kClass);
+    return load_u16(rec_ + 34);
+  }
+
+  // Number of (stage, demand) pairs (0 for class records).
+  // frap:contract(hotpath)
+  [[nodiscard]] std::uint16_t pair_count() const {
+    return kind() == RecordKind::kInline ? load_u16(rec_ + 34)
+                                         : std::uint16_t{0};
+  }
+
+  // Pair i, 0 <= i < pair_count(): stage index (ascending) and demand.
+  // frap:contract(hotpath)
+  [[nodiscard]] std::uint32_t stage(std::size_t i) const {
+    FRAP_ASSERT(i < pair_count());
+    return load_u32(rec_ + kWireRecordFixedSize + i * kWirePairSize);
+  }
+
+  // frap:contract(hotpath)
+  [[nodiscard]] double demand(std::size_t i) const {
+    FRAP_ASSERT(i < pair_count());
+    return load_f64(rec_ + kWireRecordFixedSize + i * kWirePairSize + 4);
+  }
+
+ private:
+  friend class ArrivalCursor;
+  const std::byte* rec_ = nullptr;  // start of the record inside the frame
+  Time base_ = kTimeZero;           // the frame's base_time
+};
+
+class WireView;
+
+// In-place record iterator over a validated frame. Copyable; copies are
+// independent positions over the same buffer.
+class ArrivalCursor {
+ public:
+  // Positions `out` at the next record and advances. Returns false at the
+  // end of the frame. Allocation-free and bounds-check-free (the view was
+  // validated once at open()).
+  // frap:contract(hotpath)
+  bool next(WireArrival& out) {
+    if (remaining_ == 0) return false;
+    const std::byte* p = data_ + off_;
+    out.rec_ = p;
+    out.base_ = base_time_;
+    std::size_t size = kWireRecordFixedSize;
+    if (std::to_integer<std::uint8_t>(p[32]) ==
+        static_cast<std::uint8_t>(RecordKind::kInline)) {
+      size += load_u16(p + 34) * kWirePairSize;
+    }
+    off_ += size;
+    --remaining_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t remaining() const { return remaining_; }
+
+ private:
+  friend class WireView;
+  ArrivalCursor(const std::byte* data, std::size_t first_record_offset,
+                std::uint32_t count, Time base_time)
+      : data_(data),
+        off_(first_record_offset),
+        remaining_(count),
+        base_time_(base_time) {}
+
+  const std::byte* data_;
+  std::size_t off_;
+  std::uint32_t remaining_;
+  Time base_time_;
+};
+
+// Validated, zero-copy view of one frame.
+class WireView {
+ public:
+  WireView() = default;  // !valid(); open() produces usable views
+
+  // Full structural + value validation in one linear pass; no allocation.
+  [[nodiscard]] static WireParse validate(std::span<const std::byte> frame);
+
+  // validate() + bind. On failure returns a view with valid() == false and
+  // stores the typed error in *parse (when given).
+  [[nodiscard]] static WireView open(std::span<const std::byte> frame,
+                                     WireParse* parse = nullptr);
+
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+  [[nodiscard]] std::size_t num_stages() const { return num_stages_; }
+  [[nodiscard]] std::uint32_t record_count() const { return record_count_; }
+  [[nodiscard]] Time base_time() const { return base_time_; }
+  [[nodiscard]] std::size_t size_bytes() const { return size_; }
+
+  [[nodiscard]] ArrivalCursor cursor() const {
+    FRAP_EXPECTS(valid());
+    return ArrivalCursor(data_, kWireHeaderSize, record_count_, base_time_);
+  }
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint16_t num_stages_ = 0;
+  std::uint32_t record_count_ = 0;
+  Time base_time_ = kTimeZero;
+};
+
+}  // namespace frap::ingest

@@ -1,0 +1,91 @@
+#include "ingest/wire_encoder.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace frap::ingest {
+
+WireEncoder::WireEncoder(std::size_t num_stages, Time base_time)
+    : num_stages_(num_stages), base_time_(base_time), last_arrival_(base_time) {
+  FRAP_EXPECTS(num_stages_ > 0);
+  FRAP_EXPECTS(num_stages_ <= std::numeric_limits<std::uint16_t>::max());
+  FRAP_EXPECTS(std::isfinite(base_time));
+  reset(base_time);
+}
+
+void WireEncoder::reset(Time base_time) {
+  FRAP_EXPECTS(std::isfinite(base_time));
+  buf_.clear();
+  buf_.resize(kWireHeaderSize);
+  count_ = 0;
+  base_time_ = base_time;
+  last_arrival_ = base_time;
+  std::byte* h = buf_.data();
+  store_u32(h, kWireMagic);
+  store_u16(h + 4, kWireVersion);
+  store_u16(h + 6, static_cast<std::uint16_t>(num_stages_));
+  store_u32(h + 8, 0);  // record_count, patched by frame()
+  store_u32(h + 12, 0);
+  store_f64(h + 16, base_time_);
+}
+
+void WireEncoder::append_prefix(Time arrival, std::uint64_t id,
+                                Duration deadline, double importance,
+                                RecordKind kind, std::uint16_t n) {
+  FRAP_EXPECTS(std::isfinite(arrival) && arrival >= last_arrival_);
+  FRAP_EXPECTS(std::isfinite(deadline) && deadline > 0);
+  FRAP_EXPECTS(std::isfinite(importance));
+  last_arrival_ = arrival;
+
+  const std::size_t rec = buf_.size();
+  buf_.resize(rec + kWireRecordFixedSize);
+  std::byte* p = buf_.data() + rec;
+  store_u64(p, id);
+  store_f64(p + 8, deadline);
+  store_f64(p + 16, importance);
+  store_f64(p + 24, arrival);  // absolute: exact bit-for-bit round trip
+  p[32] = static_cast<std::byte>(kind);
+  p[33] = std::byte{0};
+  store_u16(p + 34, n);
+  ++count_;
+}
+
+void WireEncoder::add(Time arrival, const core::TaskSpec& spec) {
+  FRAP_EXPECTS(spec.valid());
+  FRAP_EXPECTS(spec.num_stages() == num_stages_);
+  std::uint16_t touched = 0;
+  for (const auto& s : spec.stages) {
+    FRAP_EXPECTS(std::isfinite(s.compute));
+    if (s.compute > 0) ++touched;
+  }
+  FRAP_EXPECTS(touched > 0);
+
+  append_prefix(arrival, spec.id, spec.deadline, spec.importance,
+                RecordKind::kInline, touched);
+  const std::size_t pairs = buf_.size();
+  buf_.resize(pairs + static_cast<std::size_t>(touched) * kWirePairSize);
+  std::byte* p = buf_.data() + pairs;
+  for (std::size_t j = 0; j < num_stages_; ++j) {
+    const Duration c = spec.stages[j].compute;
+    if (c <= 0) continue;
+    store_u32(p, static_cast<std::uint32_t>(j));
+    store_f64(p + 4, c);
+    p += kWirePairSize;
+  }
+}
+
+void WireEncoder::add_class(Time arrival, std::uint64_t id, Duration deadline,
+                            double importance, std::uint16_t class_id) {
+  append_prefix(arrival, id, deadline, importance, RecordKind::kClass,
+                class_id);
+}
+
+std::span<const std::byte> WireEncoder::frame() {
+  FRAP_EXPECTS(count_ > 0);
+  store_u32(buf_.data() + 8, count_);
+  return std::span<const std::byte>(buf_.data(), buf_.size());
+}
+
+}  // namespace frap::ingest

@@ -1,0 +1,65 @@
+// Wire-frame encoder: the capture seam's serializer.
+//
+// Appends packed arrival records (canonical form: sparse, strictly
+// ascending stages, only demands > 0) into an internal byte buffer and
+// patches the record count on finish. The buffer is reused across frames
+// via reset(), so a steady encode -> publish cycle allocates only until the
+// buffer reaches its high-water mark.
+//
+// Preconditions (FRAP_EXPECTS) mirror exactly what WireView::open()
+// validates, so every frame the encoder produces decodes cleanly and
+// re-encoding a decoded frame is byte-identical
+// (tests/wire_format_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task.h"
+#include "ingest/wire_format.h"
+#include "util/time.h"
+
+namespace frap::ingest {
+
+class WireEncoder {
+ public:
+  // Frames of `num_stages`-wide tasks; `base_time` is the frame epoch
+  // (finite, <= every arrival added — arrivals themselves are stored
+  // absolute so they round-trip exactly).
+  explicit WireEncoder(std::size_t num_stages, Time base_time = kTimeZero);
+
+  // Starts a new frame at `base_time`, reusing the buffer.
+  void reset(Time base_time);
+
+  // Appends an inline record: only stages with compute > 0 are serialized
+  // (at least one is required). Arrivals must be non-decreasing and
+  // >= base_time; the spec must be valid with this encoder's stage count.
+  void add(Time arrival, const core::TaskSpec& spec);
+
+  // Appends a class record referencing a TaskClassTable entry.
+  void add_class(Time arrival, std::uint64_t id, Duration deadline,
+                 double importance, std::uint16_t class_id);
+
+  // Patches the header and returns the finished frame (valid until the
+  // next reset()/add()). Requires at least one record.
+  [[nodiscard]] std::span<const std::byte> frame();
+
+  [[nodiscard]] std::size_t num_stages() const { return num_stages_; }
+  [[nodiscard]] std::uint32_t record_count() const { return count_; }
+  [[nodiscard]] Time base_time() const { return base_time_; }
+
+ private:
+  // Appends the fixed 36-byte record prefix.
+  void append_prefix(Time arrival, std::uint64_t id, Duration deadline,
+                     double importance, RecordKind kind, std::uint16_t n);
+
+  std::vector<std::byte> buf_;
+  std::size_t num_stages_;
+  std::uint32_t count_ = 0;
+  Time base_time_;
+  Time last_arrival_;
+};
+
+}  // namespace frap::ingest

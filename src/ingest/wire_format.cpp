@@ -1,0 +1,45 @@
+#include "ingest/wire_format.h"
+
+namespace frap::ingest {
+
+const char* wire_error_name(WireError e) {
+  switch (e) {
+    case WireError::kNone:
+      return "ok";
+    case WireError::kTruncatedHeader:
+      return "truncated-header";
+    case WireError::kBadMagic:
+      return "bad-magic";
+    case WireError::kBadVersion:
+      return "bad-version";
+    case WireError::kZeroStages:
+      return "zero-stages";
+    case WireError::kEmptyFrame:
+      return "empty-frame";
+    case WireError::kBadReserved:
+      return "bad-reserved";
+    case WireError::kTruncatedRecord:
+      return "truncated-record";
+    case WireError::kBadRecordKind:
+      return "bad-record-kind";
+    case WireError::kBadPairCount:
+      return "bad-pair-count";
+    case WireError::kStageOutOfRange:
+      return "stage-out-of-range";
+    case WireError::kUnorderedStages:
+      return "unordered-stages";
+    case WireError::kBadValue:
+      return "bad-value";
+    case WireError::kNonMonotoneArrival:
+      return "non-monotone-arrival";
+    case WireError::kTrailingBytes:
+      return "trailing-bytes";
+    case WireError::kUnknownClass:
+      return "unknown-class";
+    case WireError::kStageMismatch:
+      return "stage-mismatch";
+  }
+  return "unknown";
+}
+
+}  // namespace frap::ingest

@@ -1,0 +1,145 @@
+// FRAP binary arrival wire format v1 (docs/wire_format.md).
+//
+// A FRAME is one contiguous byte buffer: a fixed 24-byte header followed by
+// `record_count` packed arrival RECORDS. All integers are little-endian;
+// floating-point fields are IEEE-754 binary64 copied bit-for-bit, so an
+// encode -> decode round trip reproduces every deadline, demand, and
+// arrival instant EXACTLY and replayed admission decisions are bit-identical
+// to the in-process run (tests/ingest_replay_test.cpp).
+//
+//   Header (24 bytes)                  Record (36 + 12*k bytes)
+//   +0  u32  magic   "FRAP"            +0  u64  id
+//   +4  u16  version (= 1)             +8  f64  relative deadline  (s)
+//   +6  u16  num_stages                +16 f64  importance
+//   +8  u32  record_count              +24 f64  absolute arrival   (s)
+//   +12 u32  reserved (= 0)                     (>= header base_time)
+//   +16 f64  base_time (s)             +32 u8   kind (0 inline, 1 class)
+//                                      +33 u8   reserved (= 0)
+//                                      +34 u16  n: inline pair count k,
+//                                               or task-class id
+//                                      +36 k * { u32 stage, f64 demand }
+//                                               (inline records only)
+//
+// Inline records carry only the stages the task actually touches (demand
+// > 0), in strictly ascending stage order — the canonical form, so
+// re-encoding a decoded frame is byte-identical. Class records reference a
+// task-class table registered out of band (ingest/ingest_session.h); the
+// wire carries per-arrival id/deadline/importance while the per-stage
+// demands come from the table.
+//
+// Arrivals are stored ABSOLUTE, not as offsets from base_time: a replayed
+// instant must equal the captured one bit-for-bit, and base + (t - base)
+// does not round-trip in binary64. base_time is the frame's epoch metadata
+// (<= the first arrival); rebase-style consumers may shift by it, exact
+// replay never does arithmetic on arrivals at all.
+//
+// Safety: WireView::open() validates structure AND values (bounds, version,
+// finiteness, monotone arrivals) in ONE linear pass per frame; iteration
+// afterwards is unchecked-by-construction and allocation-free. Malformed
+// input of any shape yields a typed WireError, never UB
+// (tests/wire_format_test.cpp fuzzes truncations and field corruptions
+// under ASan/UBSan).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace frap::ingest {
+
+// The decoder reads multi-byte fields with memcpy at unaligned offsets and
+// relies on the host being little-endian (every supported target is; a
+// big-endian port would byte-swap in load_*/store_*).
+static_assert(std::endian::native == std::endian::little,
+              "frap wire format requires a little-endian host");
+
+inline constexpr std::uint32_t kWireMagic = 0x50415246u;  // "FRAP" in LE
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderSize = 24;
+inline constexpr std::size_t kWireRecordFixedSize = 36;
+inline constexpr std::size_t kWirePairSize = 12;
+
+enum class RecordKind : std::uint8_t {
+  kInline = 0,  // per-task (stage, demand) pairs follow
+  kClass = 1,   // demands come from a registered TaskClassTable entry
+};
+
+// Typed decode failures. Everything a hostile or truncated buffer can be
+// wrong about maps to one of these; the decoder never reads out of bounds
+// and never aborts on wire data.
+enum class WireError : std::uint8_t {
+  kNone = 0,
+  kTruncatedHeader,    // buffer shorter than the fixed header
+  kBadMagic,           // first four bytes are not "FRAP"
+  kBadVersion,         // version != kWireVersion
+  kZeroStages,         // num_stages == 0
+  kEmptyFrame,         // record_count == 0
+  kBadReserved,        // a reserved field is nonzero
+  kTruncatedRecord,    // a record (or its pair block) overruns the buffer
+  kBadRecordKind,      // kind is neither inline nor class
+  kBadPairCount,       // inline pair count of 0 or > num_stages
+  kStageOutOfRange,    // pair names a stage >= num_stages
+  kUnorderedStages,    // pairs not in strictly ascending stage order
+  kBadValue,           // non-finite / non-positive deadline or demand,
+                       // non-finite importance or base_time, non-finite
+                       // arrival or arrival before base_time
+  kNonMonotoneArrival, // arrival offsets decrease across records
+  kTrailingBytes,      // bytes left over after the last record
+  kUnknownClass,       // class record id not in the session's table
+  kStageMismatch,      // frame width != the consuming session's width
+};
+
+// Stable diagnostic name ("bad-magic", ...).
+const char* wire_error_name(WireError e);
+
+// --- unaligned little-endian field access ---------------------------------
+//
+// memcpy into a local is the sanctioned way to read unaligned data; every
+// compiler lowers these to single loads/stores on the targets we build for.
+
+// frap:contract(hotpath)
+inline std::uint16_t load_u16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// frap:contract(hotpath)
+inline std::uint32_t load_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// frap:contract(hotpath)
+inline std::uint64_t load_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// frap:contract(hotpath)
+inline double load_f64(const std::byte* p) {
+  double v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store_u16(std::byte* p, std::uint16_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+inline void store_u32(std::byte* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+inline void store_u64(std::byte* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+inline void store_f64(std::byte* p, double v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+}  // namespace frap::ingest

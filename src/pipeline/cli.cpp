@@ -1,10 +1,21 @@
 #include "pipeline/cli.h"
 
 #include <cstdlib>
+#include <fstream>
+#include <vector>
 
+#include "core/feasible_region.h"
+#include "ingest/ingest_session.h"
+#include "ingest/trace_codec.h"
+#include "ingest/wire_decoder.h"
+#include "ingest/wire_encoder.h"
 #include "obs/clock.h"
 #include "obs/observer.h"
 #include "obs/prometheus.h"
+#include "service/sharded_admission.h"
+#include "workload/bursty.h"
+#include "workload/pipeline_workload.h"
+#include "workload/replay.h"
 
 namespace frap::pipeline {
 
@@ -225,6 +236,161 @@ std::string obs_cli_usage() {
       "  plus any experiment flag (see `experiment_cli --help`). Only the\n"
       "  exact/approx admission modes emit decision events; stage gauges\n"
       "  render in every mode.\n";
+}
+
+IngestCliParseResult parse_ingest_args(const std::vector<std::string>& args) {
+  IngestCliParseResult r;
+  for (const auto& arg : args) {
+    std::string key;
+    std::string value;
+    if (!split_flag(arg, key, value)) {
+      r.error = "expected --key[=value], got: " + arg;
+      return r;
+    }
+    double d = 0;
+    std::uint64_t u = 0;
+    if (key == "format") {
+      if (value == "jsonl") {
+        r.config.format = ObsFormat::kJsonl;
+      } else if (value == "prom") {
+        r.config.format = ObsFormat::kPrometheus;
+      } else {
+        r.error = "unknown ingest format: " + value;
+        return r;
+      }
+    } else if (key == "out" && !value.empty()) {
+      r.config.out_path = value;
+    } else if (key == "in" && !value.empty()) {
+      r.config.in_path = value;
+    } else if (key == "capture" && !value.empty()) {
+      r.config.capture_path = value;
+    } else if (key == "count" && parse_u64(value, u) && u >= 1) {
+      r.config.count = static_cast<std::size_t>(u);
+    } else if (key == "stages" && parse_u64(value, u) && u >= 1) {
+      r.config.stages = static_cast<std::size_t>(u);
+    } else if (key == "load" && parse_double(value, d) && d > 0) {
+      r.config.load = d;
+    } else if (key == "resolution" && parse_double(value, d) && d > 0) {
+      r.config.resolution = d;
+    } else if (key == "mean-compute" && parse_double(value, d) && d > 0) {
+      r.config.mean_compute_ms = d;
+    } else if (key == "seed" && parse_u64(value, u)) {
+      r.config.seed = u;
+    } else if (key == "shards" && parse_u64(value, u) && u >= 1) {
+      r.config.shards = static_cast<std::size_t>(u);
+    } else if (key == "mmpp" && value.empty()) {
+      r.config.mmpp = true;
+    } else if (key == "ring" && parse_u64(value, u) && u >= 1) {
+      r.config.ring_capacity = static_cast<std::size_t>(u);
+    } else {
+      r.error = "unknown or malformed flag: " + arg;
+      return r;
+    }
+  }
+  r.ok = true;
+  return r;
+}
+
+int run_ingest_command(const IngestCliConfig& cfg, std::ostream& os,
+                       std::ostream& err) {
+  constexpr Duration kMilli = 1e-3;
+
+  // Source the frame: a captured file, or a fresh workload capture.
+  std::vector<std::byte> bytes;
+  if (!cfg.in_path.empty()) {
+    std::ifstream in(cfg.in_path, std::ios::binary);
+    if (!in || !ingest::read_frame(in, &bytes)) {
+      err << "ingest: could not read a frame from " << cfg.in_path << '\n';
+      return 1;
+    }
+  } else {
+    auto wcfg = workload::PipelineWorkloadConfig::balanced(
+        cfg.stages, cfg.mean_compute_ms * kMilli, cfg.load, cfg.resolution);
+    workload::PipelineWorkloadGenerator gen(wcfg, cfg.seed);
+    workload::ArrivalTrace trace;
+    if (cfg.mmpp) {
+      workload::MmppArrivalProcess arrivals(workload::MmppArrivalProcess::Config{},
+                                            cfg.seed + 1);
+      trace = workload::capture_mmpp(arrivals, gen, cfg.count);
+    } else {
+      trace = workload::capture_poisson(gen, cfg.count);
+    }
+    ingest::WireEncoder enc(cfg.stages);
+    const auto frame = ingest::encode_trace(trace, enc);
+    bytes.assign(frame.begin(), frame.end());
+  }
+
+  if (!cfg.capture_path.empty()) {
+    std::ofstream out(cfg.capture_path, std::ios::binary);
+    if (!out || !ingest::write_frame(out, bytes)) {
+      err << "ingest: could not write frame to " << cfg.capture_path << '\n';
+      return 1;
+    }
+  }
+
+  // One validation pass; untrusted bytes surface as a typed error, never UB.
+  ingest::WireParse parse;
+  const ingest::WireView view = ingest::WireView::open(bytes, &parse);
+  if (!parse.ok()) {
+    err << "ingest: invalid frame: " << ingest::wire_error_name(parse.error)
+        << " at byte " << parse.offset << '\n';
+    return 1;
+  }
+
+  // ManualClock + sampling off, as in run_obs_command: output depends only
+  // on the flags (and the frame), never on host timing.
+  obs::ManualClock clock;
+  obs::SinkConfig sink_cfg;
+  sink_cfg.ring_capacity = cfg.ring_capacity;
+  sink_cfg.latency_sample_period = 0;
+  service::ShardedAdmissionService svc(
+      core::FeasibleRegion::deadline_monotonic(view.num_stages()),
+      service::ShardedAdmissionConfig{.num_shards = cfg.shards});
+  svc.enable_tracing(sink_cfg, &clock);
+
+  ingest::IngestSession session(view.num_stages());
+  const ingest::IngestStats st = session.admit(view, svc);
+  if (!st.ok()) {
+    err << "ingest: frame rejected: " << ingest::wire_error_name(st.error)
+        << '\n';
+    return 1;
+  }
+
+  if (cfg.format == ObsFormat::kPrometheus) {
+    os << "# frap_ingest records=" << st.records << " admitted=" << st.admitted
+       << " rejected=" << st.rejected << " stages=" << view.num_stages()
+       << " frame_bytes=" << view.size_bytes() << '\n';
+    obs::render_prometheus(svc.obs_snapshot(), os);
+  } else {
+    os << "{\"frap_ingest\":{\"records\":" << st.records
+       << ",\"admitted\":" << st.admitted << ",\"rejected\":" << st.rejected
+       << ",\"stages\":" << view.num_stages()
+       << ",\"frame_bytes\":" << view.size_bytes() << "}}\n";
+    obs::render_jsonl(svc.observer().trace(), os);
+  }
+  return os.good() ? 0 : 1;
+}
+
+std::string ingest_cli_usage() {
+  return
+      "usage: experiment_cli ingest [--count=N] [--stages=N] [--mmpp]\n"
+      "                             [--capture=PATH] [--in=PATH]\n"
+      "                             [--shards=K] [--format=prom|jsonl]\n"
+      "                             [--out=PATH] [workload flags...]\n"
+      "  --count=N           arrivals to generate (default 1000)\n"
+      "  --stages=N          pipeline length (default 2)\n"
+      "  --load=F            input load fraction (default 0.5)\n"
+      "  --resolution=F      deadline / total compute ratio (100)\n"
+      "  --mean-compute=MS   per-stage mean computation, ms (10)\n"
+      "  --seed=N            RNG seed (1)\n"
+      "  --mmpp              bursty MMPP arrivals instead of Poisson\n"
+      "  --capture=PATH      also write the encoded frame to PATH\n"
+      "  --in=PATH           decode PATH instead of generating (other\n"
+      "                      workload flags are ignored)\n"
+      "  --shards=K          sharded-service shard count (4)\n"
+      "  --format=F          prom (default) or jsonl (decision trace)\n"
+      "  --out=PATH          write to PATH instead of stdout\n"
+      "  --ring=N            trace-ring capacity (default 65536)\n";
 }
 
 std::string experiment_cli_usage() {

@@ -78,4 +78,50 @@ std::string obs_cli_usage();
 // process exit code (0 = success).
 int run_obs_command(const ObsCliConfig& cfg, std::ostream& os);
 
+// --- `ingest` subcommand --------------------------------------------------
+//
+// `experiment_cli ingest [--count=N] [--stages=N] [--mmpp] [--seed=N]
+//  [--capture=PATH] [--in=PATH] [--shards=K] [--format=prom|jsonl]
+//  [--out=PATH] ...` exercises the full wire path: generate a workload
+// capture (Poisson or MMPP), encode it as one binary frame
+// (docs/wire_format.md), optionally persist/load the frame as a file, then
+// zero-copy decode and admit every record through the sharded service with
+// tracing on. Output is the service's Prometheus page or decision-trace
+// JSONL, prefixed by a one-line ingest summary. Deterministic for fixed
+// flags: the observer runs on a ManualClock with latency sampling off, and
+// frames replay bit-identically (tests/cli_test.cpp).
+
+struct IngestCliConfig {
+  ObsFormat format = ObsFormat::kPrometheus;
+  std::string out_path;      // empty = caller decides (stdout)
+  std::string in_path;       // read this captured frame file, don't generate
+  std::string capture_path;  // also write the encoded frame here
+  std::size_t count = 1000;  // records to generate (ignored with --in)
+  std::size_t stages = 2;
+  double load = 0.5;
+  double resolution = 100.0;
+  double mean_compute_ms = 10.0;
+  std::uint64_t seed = 1;
+  std::size_t shards = 4;
+  bool mmpp = false;  // bursty MMPP arrivals instead of Poisson
+  std::size_t ring_capacity = std::size_t{1} << 16;
+};
+
+struct IngestCliParseResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  IngestCliConfig config;
+};
+
+// Parses the arguments AFTER the `ingest` word.
+IngestCliParseResult parse_ingest_args(const std::vector<std::string>& args);
+
+std::string ingest_cli_usage();
+
+// Runs the ingest pipeline and renders cfg.format to `os`; failures
+// (unreadable file, invalid frame) are reported on `err`. Returns the
+// process exit code (0 = success).
+int run_ingest_command(const IngestCliConfig& cfg, std::ostream& os,
+                       std::ostream& err);
+
 }  // namespace frap::pipeline

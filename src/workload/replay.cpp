@@ -1,11 +1,15 @@
 #include "workload/replay.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
 
 #include "util/check.h"
+#include "workload/bursty.h"
+#include "workload/periodic.h"
+#include "workload/pipeline_workload.h"
 
 namespace frap::workload {
 
@@ -77,6 +81,52 @@ double ArrivalTrace::offered_load(std::size_t stage) const {
   Duration work = 0;
   for (const auto& r : records_) work += r.task.stages[stage].compute;
   return work / span;
+}
+
+ArrivalTrace capture_poisson(PipelineWorkloadGenerator& gen, std::size_t count,
+                             Time start) {
+  FRAP_EXPECTS(count > 0);
+  ArrivalTrace trace(gen.config().num_stages());
+  Time t = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += gen.next_interarrival();
+    trace.append(t, gen.next_task());
+  }
+  return trace;
+}
+
+ArrivalTrace capture_mmpp(MmppArrivalProcess& arrivals,
+                          PipelineWorkloadGenerator& tasks, std::size_t count,
+                          Time start) {
+  FRAP_EXPECTS(count > 0);
+  ArrivalTrace trace(tasks.config().num_stages());
+  Time t = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += arrivals.next_interarrival();
+    trace.append(t, tasks.next_task());
+  }
+  return trace;
+}
+
+ArrivalTrace capture_periodic(std::span<PeriodicStream> streams,
+                              std::size_t per_stream, Time start) {
+  FRAP_EXPECTS(!streams.empty());
+  FRAP_EXPECTS(per_stream > 0);
+  std::vector<ArrivalRecord> merged;
+  merged.reserve(streams.size() * per_stream);
+  for (auto& stream : streams) {
+    for (std::size_t k = 0; k < per_stream; ++k) {
+      const Time release = start + stream.next_release();
+      merged.push_back(ArrivalRecord{release, stream.current_invocation()});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ArrivalRecord& a, const ArrivalRecord& b) {
+                     return a.time < b.time;
+                   });
+  ArrivalTrace trace(streams.front().config().stages.size());
+  for (auto& r : merged) trace.append(r.time, r.task);
+  return trace;
 }
 
 }  // namespace frap::workload

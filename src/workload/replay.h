@@ -14,12 +14,17 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "core/task.h"
 #include "util/time.h"
 
 namespace frap::workload {
+
+class PipelineWorkloadGenerator;
+class MmppArrivalProcess;
+class PeriodicStream;
 
 struct ArrivalRecord {
   Time time = kTimeZero;
@@ -55,5 +60,27 @@ class ArrivalTrace {
   std::size_t num_stages_ = 0;
   std::vector<ArrivalRecord> records_;
 };
+
+// Capture seams: materialize a stochastic generator's arrival stream as a
+// trace, so it can be saved (text) or serialized to the binary wire format
+// (src/ingest/trace_codec.h) and replayed bit-deterministically. Each call
+// advances the generator's RNG state exactly as a live run would.
+
+// `count` Poisson arrivals starting at `start` (exponential interarrivals
+// and task parameters both drawn from `gen`).
+ArrivalTrace capture_poisson(PipelineWorkloadGenerator& gen, std::size_t count,
+                             Time start = kTimeZero);
+
+// `count` arrivals whose instants come from the MMPP process and whose
+// tasks come from `tasks` (interarrival draws of `tasks` are unused).
+ArrivalTrace capture_mmpp(MmppArrivalProcess& arrivals,
+                          PipelineWorkloadGenerator& tasks, std::size_t count,
+                          Time start = kTimeZero);
+
+// `per_stream` invocations of every periodic stream, merged into one
+// time-sorted trace (ties keep stream order). Streams must share a stage
+// count and use disjoint id ranges.
+ArrivalTrace capture_periodic(std::span<PeriodicStream> streams,
+                              std::size_t per_stream, Time start = kTimeZero);
 
 }  // namespace frap::workload

@@ -25,6 +25,9 @@
 #include "core/feasible_region.h"
 #include "core/synthetic_utilization.h"
 #include "core/task.h"
+#include "ingest/ingest_session.h"
+#include "ingest/wire_decoder.h"
+#include "ingest/wire_encoder.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -173,6 +176,61 @@ TEST(AllocSteadyStateTest, LongPathGraphAdmitCycleIsAllocationFree) {
       << "steady-state long-path graph admits must not allocate";
   EXPECT_EQ(controller.admitted(), controller.attempts());
   EXPECT_EQ(controller.evaluations(), 2 * kLiveTarget + 2000);
+  tracker.verify_lhs_cache(1e-9);
+}
+
+// The ISSUE 10 extension: the full wire-ingest cycle — zero-copy cursor
+// decode, TaskSpec assembly through the session scratch, rebased replay
+// (run_until + admit + commit + expiry) — must be allocation-free once the
+// session and tracker pools are warm. This is the "zero-copy" claim of
+// docs/wire_format.md made enforceable: the decoder holds no per-record
+// state and the feed seam reuses one scratch spec.
+TEST(AllocSteadyStateTest, IngestDecodeAdmitCycleIsAllocationFree) {
+  constexpr std::size_t kRecords = 1000;
+  constexpr Duration kSpacing = 1e-4;
+  constexpr Duration kSpan = kRecords * kSpacing;  // 0.1 s per frame
+
+  // Pre-encode one frame (producer side; allocations here are untimed).
+  // Deadline < frame span so each epoch's ids expire before they recur.
+  ingest::WireEncoder enc(kStages);
+  {
+    TaskSpec spec = tiny_spec(0);
+    spec.deadline = 0.05;
+    for (std::size_t k = 0; k < kRecords; ++k) {
+      spec.id = k + 1;
+      enc.add(static_cast<double>(k) * kSpacing, spec);
+    }
+  }
+  const auto view = ingest::WireView::open(enc.frame());
+  ASSERT_TRUE(view.valid());
+
+  sim::Simulator sim;
+  SyntheticUtilizationTracker tracker(sim, kStages);
+  AdmissionController controller(sim, tracker,
+                                 FeasibleRegion::deadline_monotonic(kStages));
+  ingest::IngestSession session(kStages);
+
+  // Warm: a few epochs fill the session scratch, tracker pools, and wheel.
+  Time t = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto st = session.replay(view, controller, sim, nullptr, t);
+    ASSERT_TRUE(st.ok());
+    ASSERT_EQ(st.admitted, kRecords);
+    t += kSpan;
+  }
+
+  g_allocs.store(0);
+  g_counting.store(true);
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    admitted += session.replay(view, controller, sim, nullptr, t).admitted;
+    t += kSpan;
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "wire decode -> assemble -> admit cycles must not allocate";
+  EXPECT_EQ(admitted, 20u * kRecords);
   tracker.verify_lhs_cache(1e-9);
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -227,6 +228,132 @@ TEST(ObsCliTest, RunReportsFailedStream) {
   std::ostringstream os;
   os.setstate(std::ios::failbit);
   EXPECT_EQ(run_obs_command(r.config, os), 1);
+}
+
+TEST(IngestCliTest, DefaultsWithNoArgs) {
+  const auto r = parse_ingest_args({});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.format, ObsFormat::kPrometheus);
+  EXPECT_EQ(r.config.count, 1000u);
+  EXPECT_EQ(r.config.stages, 2u);
+  EXPECT_EQ(r.config.shards, 4u);
+  EXPECT_FALSE(r.config.mmpp);
+  EXPECT_TRUE(r.config.in_path.empty());
+  EXPECT_TRUE(r.config.capture_path.empty());
+}
+
+TEST(IngestCliTest, ParsesEveryFlag) {
+  const auto r = parse_ingest_args(
+      {"--format=jsonl", "--out=/tmp/o.jsonl", "--in=/tmp/in.frap",
+       "--capture=/tmp/cap.frap", "--count=77", "--stages=4", "--load=0.8",
+       "--resolution=60", "--mean-compute=5", "--seed=9", "--shards=2",
+       "--mmpp", "--ring=1024"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.config.format, ObsFormat::kJsonl);
+  EXPECT_EQ(r.config.out_path, "/tmp/o.jsonl");
+  EXPECT_EQ(r.config.in_path, "/tmp/in.frap");
+  EXPECT_EQ(r.config.capture_path, "/tmp/cap.frap");
+  EXPECT_EQ(r.config.count, 77u);
+  EXPECT_EQ(r.config.stages, 4u);
+  EXPECT_DOUBLE_EQ(r.config.load, 0.8);
+  EXPECT_DOUBLE_EQ(r.config.resolution, 60.0);
+  EXPECT_DOUBLE_EQ(r.config.mean_compute_ms, 5.0);
+  EXPECT_EQ(r.config.seed, 9u);
+  EXPECT_EQ(r.config.shards, 2u);
+  EXPECT_TRUE(r.config.mmpp);
+  EXPECT_EQ(r.config.ring_capacity, 1024u);
+}
+
+TEST(IngestCliTest, RejectsBadFlags) {
+  EXPECT_FALSE(parse_ingest_args({"--format=xml"}).ok);
+  EXPECT_FALSE(parse_ingest_args({"--count=0"}).ok);
+  EXPECT_FALSE(parse_ingest_args({"--stages=abc"}).ok);
+  EXPECT_FALSE(parse_ingest_args({"--shards=0"}).ok);
+  EXPECT_FALSE(parse_ingest_args({"--mmpp=1"}).ok);  // flag takes no value
+  EXPECT_FALSE(parse_ingest_args({"--frobnicate=1"}).ok);
+  EXPECT_FALSE(parse_ingest_args({"notaflag"}).ok);
+}
+
+TEST(IngestCliTest, UsageMentionsEveryIngestFlag) {
+  const auto usage = ingest_cli_usage();
+  for (const char* flag :
+       {"--count", "--stages", "--load", "--resolution", "--mean-compute",
+        "--seed", "--mmpp", "--capture", "--in", "--shards", "--format",
+        "--out", "--ring"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(IngestCliTest, RunIsDeterministicForFixedFlags) {
+  const auto r = parse_ingest_args(
+      {"--count=300", "--stages=3", "--load=0.9", "--seed=5",
+       "--format=jsonl"});
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream a;
+  std::ostringstream na;
+  ASSERT_EQ(run_ingest_command(r.config, a, na), 0);
+  EXPECT_TRUE(na.str().empty());
+  // Summary line + one JSONL object per decision.
+  EXPECT_EQ(a.str().rfind("{\"frap_ingest\":{\"records\":300,", 0), 0u);
+  std::ostringstream b;
+  std::ostringstream nb;
+  ASSERT_EQ(run_ingest_command(r.config, b, nb), 0);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(IngestCliTest, PrometheusOutputCarriesIngestSummary) {
+  const auto r = parse_ingest_args({"--count=100", "--seed=3"});
+  ASSERT_TRUE(r.ok) << r.error;
+  std::ostringstream os;
+  std::ostringstream err;
+  ASSERT_EQ(run_ingest_command(r.config, os, err), 0);
+  EXPECT_EQ(os.str().rfind("# frap_ingest records=100 ", 0), 0u);
+  EXPECT_NE(os.str().find("frap_decisions_total"), std::string::npos);
+}
+
+TEST(IngestCliTest, CaptureThenInReplaysTheSameFrame) {
+  const std::string path =
+      ::testing::TempDir() + "/ingest_cli_capture.frap";
+  auto gen = parse_ingest_args({"--count=200", "--stages=3", "--seed=11",
+                                "--capture=" + path, "--format=jsonl"});
+  ASSERT_TRUE(gen.ok) << gen.error;
+  std::ostringstream a;
+  std::ostringstream ea;
+  ASSERT_EQ(run_ingest_command(gen.config, a, ea), 0);
+
+  auto replay =
+      parse_ingest_args({"--in=" + path, "--format=jsonl", "--stages=9",
+                         "--seed=999"});  // workload flags must be ignored
+  ASSERT_TRUE(replay.ok) << replay.error;
+  std::ostringstream b;
+  std::ostringstream eb;
+  ASSERT_EQ(run_ingest_command(replay.config, b, eb), 0);
+  EXPECT_EQ(a.str(), b.str());  // bit-identical decisions either way
+}
+
+TEST(IngestCliTest, MissingAndCorruptInputsAreTypedFailures) {
+  auto missing = parse_ingest_args({"--in=/nonexistent/nope.frap"});
+  ASSERT_TRUE(missing.ok);
+  std::ostringstream os;
+  std::ostringstream err;
+  EXPECT_EQ(run_ingest_command(missing.config, os, err), 1);
+  EXPECT_NE(err.str().find("could not read"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/ingest_cli_corrupt.frap";
+  {
+    std::ofstream out(path, std::ios::binary);
+    // Length prefix 24 (one header's worth) followed by 24 garbage bytes:
+    // read_frame succeeds, WireView::open rejects the magic.
+    const char junk[] =
+        "\x18\x00\x00\x00\x00\x00\x00\x00garbage.garbage.garbage.";
+    out.write(junk, sizeof(junk) - 1);
+  }
+  auto corrupt = parse_ingest_args({"--in=" + path});
+  ASSERT_TRUE(corrupt.ok);
+  std::ostringstream os2;
+  std::ostringstream err2;
+  EXPECT_EQ(run_ingest_command(corrupt.config, os2, err2), 1);
+  EXPECT_NE(err2.str().find("invalid frame: bad-magic"), std::string::npos);
 }
 
 }  // namespace

@@ -374,6 +374,27 @@ TEST(FrapLintRules, R9DagRewalkRecipeIsFlagged) {
   EXPECT_EQ(lines_of(fs), (std::vector<int>{22, 24, 25}));
 }
 
+TEST(FrapLintRules, R9IngestZeroCopyIdiomsAreClean) {
+  // The ISSUE 10 wire-ingest hot path in miniature: memcpy unaligned loads
+  // from a validated span, fixed-stride cursor advance, and scratch-spec
+  // assembly that clears touched stages and push_backs into a reserved
+  // touched list — the exact shapes ArrivalCursor::next and
+  // IngestSession::assemble use under their hotpath contracts.
+  auto all = lint_source("src/ingest/r9_ingest_pass.cpp",
+                         read_fixture("r9_ingest_pass.cpp"));
+  EXPECT_TRUE(all.empty()) << all.size() << " unexpected finding(s), first: "
+                           << (all.empty() ? "" : all.front().message);
+}
+
+TEST(FrapLintRules, R9IngestCopyingDecodeRecipeIsFlagged) {
+  // The per-record copying decode the zero-copy cursor replaced: owned
+  // demand vector (20), std::function sink (21), and the same-file helper
+  // whose body news the decode buffer, flagged at the call site (22).
+  auto fs = findings_for("r9_ingest_flag.cpp", "src/ingest/r9_ingest_flag.cpp",
+                         "hotpath-alloc");
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{20, 21, 22}));
+}
+
 TEST(FrapLintContracts, MalformedContractsAreUnsuppressibleFindings) {
   auto all =
       lint_source("src/core/contract.cpp", read_fixture("contract.cpp"));

@@ -1,0 +1,30 @@
+// Must-flag fixture for R9 on the wire-ingest hot path: the per-record
+// copying decode recipe the zero-copy cursor replaced — an owned demand
+// vector per record, a type-erased per-record sink, and a same-file
+// helper that heap-allocates the decode buffer. Line numbers are
+// asserted by the unit tests.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+// Not annotated itself — contributes a one-level call summary.
+double* copy_record(const double* p, std::size_t n) {
+  double* out = new double[n];  // line 13: summary for propagation
+  for (std::size_t i = 0; i < n; ++i) out[i] = p[i];
+  return out;
+}
+
+// frap:contract(hotpath)
+double decode_record(const double* pairs, std::size_t n) {
+  std::vector<double> demands(pairs, pairs + n);  // line 20: owned copy
+  std::function<void(double)> sink = [](double) {};  // line 21
+  double* owned = copy_record(pairs, n);  // line 22: allocating callee
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sink(demands[i]);
+    acc += owned[i];
+  }
+  delete[] owned;
+  return acc;
+}

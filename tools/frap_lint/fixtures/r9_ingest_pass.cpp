@@ -1,0 +1,59 @@
+// Must-pass fixture for R9 on the wire-ingest hot path: the shape of
+// ArrivalCursor::next and IngestSession::assemble — memcpy unaligned loads
+// out of a validated byte span, fixed-stride cursor advance, and scratch
+// TaskSpec reuse that clears only previously-touched stages and push_backs
+// into a touched-list reserved to the stage width at construction.
+// Zero findings expected.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+struct WireScratch {
+  std::vector<double> compute;         // sized to num_stages once
+  std::vector<std::uint32_t> touched;  // reserved to num_stages once
+};
+
+// frap:contract(hotpath)
+inline double load_f64(const unsigned char* p) {
+  double v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// frap:contract(hotpath)
+inline std::uint16_t load_u16(const unsigned char* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+struct Cursor {
+  const unsigned char* data;
+  std::size_t off;
+  std::uint32_t remaining;
+
+  // frap:contract(hotpath)
+  bool next(std::size_t* rec) {
+    if (remaining == 0) return false;
+    *rec = off;
+    std::size_t sz = 36;
+    if (data[off + 32] == 0) sz += std::size_t{12} * load_u16(data + off + 34);
+    off += sz;
+    --remaining;
+    return true;
+  }
+};
+
+// frap:contract(hotpath)
+void assemble(WireScratch& s, const unsigned char* rec, std::uint32_t n) {
+  for (const std::uint32_t j : s.touched) s.compute[j] = 0;
+  s.touched.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const unsigned char* pair = rec + 36 + std::size_t{12} * i;
+    std::uint32_t stage;
+    std::memcpy(&stage, pair, sizeof stage);
+    s.compute[stage] = load_f64(pair + 4);
+    s.touched.push_back(stage);  // capacity reserved up front; never grows
+  }
+}
